@@ -1,0 +1,50 @@
+//! Ablation benches for DESIGN.md's marked design choices (◊): they
+//! measure *simulated outcomes*, not wall-clock, and print the deltas the
+//! design decisions buy.
+//!
+//! Run with `cargo bench --bench ablations`. Criterion is used as the
+//! runner for uniformity; the interesting output is the printed table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashsim_core::platform::{MemModel, Sim, Study};
+use flashsim_core::runner::run_once;
+use flashsim_machine::CpuModel;
+use flashsim_workloads::{ProblemScale, Radix};
+
+/// ◊ Occupancy modelling: FlashLite vs NUMA on the hotspot workload.
+/// (The Figure-7 effect in miniature: one number per model.)
+fn ablate_occupancy(c: &mut Criterion) {
+    let study = Study::scaled();
+    let radix = Radix::unplaced(ProblemScale::Tiny, 8);
+    let fl = run_once(study.sim(Sim::SimosMipsy(225), 8, MemModel::FlashLite), &radix);
+    let numa = run_once(study.sim(Sim::SimosMipsy(225), 8, MemModel::Numa), &radix);
+    println!(
+        "[ablation] hotspot parallel time: flashlite={:.0}us numa={:.0}us (numa/flashlite={:.2})",
+        fl.parallel_time.as_ns_f64() / 1000.0,
+        numa.parallel_time.as_ns_f64() / 1000.0,
+        numa.parallel_time.ratio(fl.parallel_time)
+    );
+    c.bench_function("ablate_occupancy_noop", |b| b.iter(|| 0));
+}
+
+/// ◊ R10000 implementation constraints: gold standard vs MXS on the same
+/// stream (the simulated-time gap is the paper's 20-30% ILP
+/// over-exploitation).
+fn ablate_constraints(c: &mut Criterion) {
+    let study = Study::scaled();
+    let radix = Radix::tuned(ProblemScale::Tiny, 1);
+    let gold = run_once(study.hardware(1), &radix);
+    let mut mxs_cfg = study.hardware(1);
+    mxs_cfg.cpu = CpuModel::Mxs;
+    let mxs = run_once(mxs_cfg, &radix);
+    println!(
+        "[ablation] R10000 constraints: gold={:.0}us mxs-core={:.0}us (mxs/gold={:.2})",
+        gold.parallel_time.as_ns_f64() / 1000.0,
+        mxs.parallel_time.as_ns_f64() / 1000.0,
+        mxs.parallel_time.ratio(gold.parallel_time)
+    );
+    c.bench_function("ablate_constraints_noop", |b| b.iter(|| 0));
+}
+
+criterion_group!(benches, ablate_occupancy, ablate_constraints);
+criterion_main!(benches);

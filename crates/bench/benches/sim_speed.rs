@@ -1,0 +1,74 @@
+//! Criterion benches of the simulators themselves.
+//!
+//! The paper's §2.3 claims "Mipsy runs 4-5 times faster than MXS"; this
+//! bench measures our models' relative throughput on the same op stream,
+//! plus the cost of the detailed FlashLite model over the generic NUMA
+//! model. Run with `cargo bench` and compare the group medians.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flashsim_core::platform::{MemModel, Sim, Study};
+use flashsim_core::runner::run_once;
+use flashsim_workloads::{Fft, FftBlocking, ProblemScale};
+
+fn bench_processor_models(c: &mut Criterion) {
+    let study = Study::scaled();
+    let fft = Fft::sized(ProblemScale::Tiny, 1, FftBlocking::Tlb);
+
+    let mut group = c.benchmark_group("processor_models");
+    group.sample_size(10);
+    group.bench_function("solo_mipsy_150", |b| {
+        b.iter_batched(
+            || study.sim(Sim::SoloMipsy(150), 1, MemModel::FlashLite),
+            |cfg| run_once(cfg, &fft),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("simos_mipsy_150", |b| {
+        b.iter_batched(
+            || study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite),
+            |cfg| run_once(cfg, &fft),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("simos_mxs", |b| {
+        b.iter_batched(
+            || study.sim(Sim::SimosMxs, 1, MemModel::FlashLite),
+            |cfg| run_once(cfg, &fft),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("hardware_r10000", |b| {
+        b.iter_batched(
+            || study.hardware(1),
+            |cfg| run_once(cfg, &fft),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_memory_models(c: &mut Criterion) {
+    let study = Study::scaled();
+    let fft = Fft::sized(ProblemScale::Tiny, 4, FftBlocking::Tlb);
+
+    let mut group = c.benchmark_group("memory_models");
+    group.sample_size(10);
+    group.bench_function("flashlite_4p", |b| {
+        b.iter_batched(
+            || study.sim(Sim::SimosMipsy(150), 4, MemModel::FlashLite),
+            |cfg| run_once(cfg, &fft),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("numa_4p", |b| {
+        b.iter_batched(
+            || study.sim(Sim::SimosMipsy(150), 4, MemModel::Numa),
+            |cfg| run_once(cfg, &fft),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_processor_models, bench_memory_models);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates the §3.1.3 instruction-latency experiment: adding the
+//! R10000's 5-cycle multiply and 19-cycle divide to SimOS-Mipsy-225 moves
+//! Radix-Sort's relative time from 0.71 to ~1.0 in the paper.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Instruction-latency ablation (sec 3.1.3)", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    let (without, with) =
+        flashsim_core::figures::latency_ablation(&setup.study, setup.scale, &cal.tuning);
+    let (p_without, p_with) = flashsim_core::report::paper::LATENCY_ABLATION;
+    println!("SimOS-Mipsy 225MHz, Radix-Sort relative execution time:");
+    println!("  without mul/div latencies: {without:.2}   (paper: {p_without:.2})");
+    println!("  with    mul/div latencies: {with:.2}   (paper: {p_with:.2})");
+}

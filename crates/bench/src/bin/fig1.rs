@@ -1,0 +1,8 @@
+//! Regenerates Figure 1: initial uniprocessor comparison, before any
+//! application or simulator tuning.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 1", &setup);
+    let fig = flashsim_core::figures::fig1(&setup.study, setup.scale);
+    print!("{}", flashsim_core::report::render_relative(&fig));
+}

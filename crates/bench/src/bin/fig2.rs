@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: uniprocessor comparison after the application
+//! TLB-blocking fixes (FFT re-blocked, Radix-Sort radix reduced).
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 2", &setup);
+    let fig = flashsim_core::figures::fig2(&setup.study, setup.scale);
+    print!("{}", flashsim_core::report::render_relative(&fig));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3: final uniprocessor comparison with calibrated
+//! simulators (runs the calibration loop first).
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 3", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    let fig = flashsim_core::figures::fig3(&setup.study, setup.scale, &cal.tuning);
+    print!("{}", flashsim_core::report::render_relative(&fig));
+}

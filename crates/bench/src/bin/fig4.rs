@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: final 4-processor comparison with calibrated
+//! simulators.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 4", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    let fig = flashsim_core::figures::fig4(&setup.study, setup.scale, &cal.tuning);
+    print!("{}", flashsim_core::report::render_relative(&fig));
+}

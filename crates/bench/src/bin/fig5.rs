@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: the FFT speedup trend study (hardware vs
+//! SimOS-MXS vs the misleading SimOS-Mipsy at 300 MHz).
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 5", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    let fig = flashsim_core::figures::fig5(&setup.study, setup.scale, &cal.tuning);
+    print!("{}", flashsim_core::report::render_speedup(&fig));
+}

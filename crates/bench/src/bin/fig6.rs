@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: the Radix-Sort speedup trend study (hardware vs
+//! SimOS-Mipsy-225 vs Solo-Mipsy-225, which wrongly predicts good
+//! speedup). Paper: hardware speedup is only ~5.3 at 16 processors.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 6", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    let fig = flashsim_core::figures::fig6(&setup.study, setup.scale, &cal.tuning);
+    print!("{}", flashsim_core::report::render_speedup(&fig));
+    println!("(paper: hardware Radix speedup at P=16 is {:.1})",
+        flashsim_core::report::paper::RADIX_SPEEDUP_16);
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 7: unplaced Radix-Sort speedup — the hotspot study
+//! separating FlashLite's occupancy modelling from NUMA's latency-only
+//! model. Paper: NUMA is off by ~31% at 16 processors.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Figure 7", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    let fig = flashsim_core::figures::fig7(&setup.study, setup.scale, &cal.tuning);
+    print!("{}", flashsim_core::report::render_speedup(&fig));
+    let hw = fig.curve("FLASH 150MHz").and_then(|c| c.at(16));
+    let numa = fig.curve("NUMA").and_then(|c| c.at(16));
+    if let (Some(hw), Some(numa)) = (hw, numa) {
+        println!("NUMA error at P=16: {:.0}% (paper: {:.0}%)",
+            ((numa - hw) / hw * 100.0).abs(),
+            flashsim_core::report::paper::NUMA_HOTSPOT_ERROR_16 * 100.0);
+    }
+}

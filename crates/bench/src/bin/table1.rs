@@ -1,0 +1,6 @@
+//! Regenerates Table 1: the FLASH hardware configuration.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Table 1", &setup);
+    print!("{}", flashsim_core::report::render_table1());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2: SPLASH-2 problem sizes (paper and scaled).
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Table 2", &setup);
+    println!("{:<12}{:<28}Scaled equivalent", "Application", "Paper problem size");
+    for row in flashsim_core::workloads::table2() {
+        println!("{:<12}{:<28}{}", row.app, row.paper, row.scaled);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3: dependent-load latencies on hardware vs tuned and
+//! untuned FlashLite, by actually running the calibration loop.
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Table 3 + calibration", &setup);
+    let cal = flashsim_core::calibrate::calibrate(&setup.study);
+    print!("{}", flashsim_core::report::render_table3(&cal));
+}

@@ -1,0 +1,44 @@
+//! Regenerates the paper's §3.4 summary judgement: ranks the simulators
+//! by absolute accuracy (MARE over the Figure-3 suite) and scores their
+//! speedup-trend fidelity (Figures 5-6) — the "even inaccurate simulators
+//! predict trends, if the important effects are modelled" analysis.
+use flashsim_core::calibrate::calibrate;
+use flashsim_core::figures::{fig3, fig5, fig6};
+use flashsim_core::metrics::{render_scorecards, scorecards, trend_fidelity};
+
+fn main() {
+    let setup = flashsim_bench::setup_from_args();
+    flashsim_bench::header("Sec 3.4 summary: accuracy and trend fidelity", &setup);
+    let cal = calibrate(&setup.study);
+
+    let grid = fig3(&setup.study, setup.scale, &cal.tuning);
+    println!("Absolute accuracy over the tuned uniprocessor suite:");
+    print!("{}", render_scorecards(&scorecards(&grid)));
+
+    for (name, fig) in [
+        ("FFT (Figure 5)", fig5(&setup.study, setup.scale, &cal.tuning)),
+        ("Radix (Figure 6)", fig6(&setup.study, setup.scale, &cal.tuning)),
+    ] {
+        println!("\nSpeedup-trend fidelity, {name}:");
+        let hw = fig.curve("FLASH 150MHz").expect("hardware curve");
+        for curve in &fig.curves {
+            if curve.platform == hw.platform {
+                continue;
+            }
+            match trend_fidelity(hw, curve) {
+                Some(t) => println!(
+                    "  {:<22} worst {:>4.0}%  mean {:>4.0}%  tau {:+.2}",
+                    curve.platform,
+                    t.worst_error * 100.0,
+                    t.mean_error * 100.0,
+                    t.tau
+                ),
+                None => println!("  {:<22} (no shared points)", curve.platform),
+            }
+        }
+    }
+    println!(
+        "\n(paper sec 3.4: even good trend predictors can be off by 30% or more\n\
+         at a point - often larger than the gains papers report)"
+    );
+}

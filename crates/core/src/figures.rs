@@ -1,0 +1,382 @@
+//! Data generation for every figure in the paper's evaluation.
+//!
+//! Each `figN` function runs the exact experiment matrix behind the
+//! corresponding figure and returns structured data; `flashsim-bench`
+//! binaries render them. All runs within a figure execute in parallel on
+//! host threads (each simulation is single-threaded and independent).
+//!
+//! | Function | Paper figure | Matrix |
+//! |---|---|---|
+//! | [`fig1`] | Figure 1 | untuned apps × untuned sims, uniprocessor |
+//! | [`fig2`] | Figure 2 | TLB-blocking app fixes applied |
+//! | [`fig3`] | Figure 3 | + calibrated simulators |
+//! | [`fig4`] | Figure 4 | same, four processors |
+//! | [`fig5`] | Figure 5 | FFT speedup: hardware, SimOS-MXS, SimOS-Mipsy-300 |
+//! | [`fig6`] | Figure 6 | Radix speedup: hardware, SimOS-Mipsy-225, Solo-Mipsy-225 |
+//! | [`fig7`] | Figure 7 | unplaced Radix: FlashLite (un/tuned) vs NUMA |
+//! | [`latency_ablation`] | §3.1.3 | Radix on SimOS-Mipsy-225 ± real mul/div latencies |
+
+use crate::platform::{MemModel, Sim, Study, Tuning};
+use crate::runner::{parallel_map, relative_time, run_hardware, run_once, speedup};
+use flashsim_engine::TimeDelta;
+use flashsim_isa::Program;
+use flashsim_machine::{CpuModel, MachineConfig};
+use flashsim_workloads::{Fft, FftBlocking, Lu, Ocean, ProblemScale, Radix};
+use std::sync::Arc;
+
+/// The four applications at a given thread count, in figure order.
+/// `apps_tuned` applies the Figure-2 TLB-blocking fixes.
+pub fn apps_untuned(scale: ProblemScale, threads: usize) -> Vec<(&'static str, Arc<dyn Program>)> {
+    vec![
+        ("FFT", Arc::new(Fft::sized(scale, threads, FftBlocking::Cache)) as Arc<dyn Program>),
+        ("Radix-Sort", Arc::new(Radix::untuned(scale, threads))),
+        ("LU", Arc::new(Lu::sized(scale, threads))),
+        ("Ocean", Arc::new(Ocean::sized(scale, threads))),
+    ]
+}
+
+/// The applications with the paper's §3.1.2 input fixes (FFT blocked for
+/// the TLB; Radix-Sort with the reduced radix).
+pub fn apps_tuned(scale: ProblemScale, threads: usize) -> Vec<(&'static str, Arc<dyn Program>)> {
+    vec![
+        ("FFT", Arc::new(Fft::sized(scale, threads, FftBlocking::Tlb)) as Arc<dyn Program>),
+        ("Radix-Sort", Arc::new(Radix::tuned(scale, threads))),
+        ("LU", Arc::new(Lu::sized(scale, threads))),
+        ("Ocean", Arc::new(Ocean::sized(scale, threads))),
+    ]
+}
+
+/// One bar of a relative-execution-time figure.
+#[derive(Debug, Clone)]
+pub struct RelativePoint {
+    /// Application name.
+    pub app: &'static str,
+    /// Simulator column label.
+    pub sim: String,
+    /// Simulated time / hardware time (1.0 = exact).
+    pub relative: f64,
+}
+
+/// A Figure-1/2/3/4-style dataset.
+#[derive(Debug, Clone)]
+pub struct RelativeFigure {
+    /// Figure title.
+    pub title: String,
+    /// Node count of every run.
+    pub nodes: u32,
+    /// All bars.
+    pub points: Vec<RelativePoint>,
+}
+
+impl RelativeFigure {
+    /// The bar for (`app`, `sim` label), if present.
+    pub fn get(&self, app: &str, sim: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.app == app && p.sim == sim)
+            .map(|p| p.relative)
+    }
+}
+
+fn relative_figure(
+    study: &Study,
+    title: &str,
+    nodes: u32,
+    apps: Vec<(&'static str, Arc<dyn Program>)>,
+    tuning: Option<&Tuning>,
+) -> RelativeFigure {
+    let sims = Sim::figure_order();
+    // Hardware baselines (one per app), in parallel.
+    let hw_times: Vec<TimeDelta> = parallel_map(apps.clone(), |(_, prog)| {
+        run_hardware(study, nodes, prog.as_ref()).parallel_time
+    });
+
+    let mut jobs: Vec<(usize, Sim, Arc<dyn Program>)> = Vec::new();
+    for (app_idx, (_, prog)) in apps.iter().enumerate() {
+        for sim in &sims {
+            jobs.push((app_idx, *sim, Arc::clone(prog)));
+        }
+    }
+    let results: Vec<(usize, Sim, TimeDelta)> = parallel_map(jobs, |(app_idx, sim, prog)| {
+        let cfg = match tuning {
+            None => study.sim(sim, nodes, MemModel::FlashLite),
+            Some(t) => study.sim_tuned(sim, nodes, MemModel::FlashLite, t),
+        };
+        (app_idx, sim, run_once(cfg, prog.as_ref()).parallel_time)
+    });
+
+    let points = results
+        .into_iter()
+        .map(|(app_idx, sim, t)| RelativePoint {
+            app: apps[app_idx].0,
+            sim: sim.label(),
+            relative: relative_time(t, hw_times[app_idx]),
+        })
+        .collect();
+    RelativeFigure {
+        title: title.to_owned(),
+        nodes,
+        points,
+    }
+}
+
+/// Figure 1: initial uniprocessor comparison — untuned applications on
+/// untuned simulators.
+pub fn fig1(study: &Study, scale: ProblemScale) -> RelativeFigure {
+    relative_figure(
+        study,
+        "Figure 1: Initial uniprocessor SPLASH-2 results before simulator tuning",
+        1,
+        apps_untuned(scale, 1),
+        None,
+    )
+}
+
+/// Figure 2: after the application TLB-blocking fixes.
+pub fn fig2(study: &Study, scale: ProblemScale) -> RelativeFigure {
+    relative_figure(
+        study,
+        "Figure 2: Uniprocessor SPLASH-2 results after blocking fixes",
+        1,
+        apps_tuned(scale, 1),
+        None,
+    )
+}
+
+/// Figure 3: final uniprocessor comparison with calibrated simulators.
+pub fn fig3(study: &Study, scale: ProblemScale, tuning: &Tuning) -> RelativeFigure {
+    relative_figure(
+        study,
+        "Figure 3: Final uniprocessor SPLASH-2 comparison",
+        1,
+        apps_tuned(scale, 1),
+        Some(tuning),
+    )
+}
+
+/// Figure 4: final four-processor comparison.
+pub fn fig4(study: &Study, scale: ProblemScale, tuning: &Tuning) -> RelativeFigure {
+    relative_figure(
+        study,
+        "Figure 4: Final 4-processor SPLASH-2 comparison",
+        4,
+        apps_tuned(scale, 4),
+        Some(tuning),
+    )
+}
+
+/// One platform's speedup curve.
+#[derive(Debug, Clone)]
+pub struct SpeedupCurve {
+    /// Platform label.
+    pub platform: String,
+    /// `(processors, speedup)` points.
+    pub points: Vec<(u32, f64)>,
+}
+
+impl SpeedupCurve {
+    /// The speedup at `p` processors, if measured.
+    pub fn at(&self, p: u32) -> Option<f64> {
+        self.points.iter().find(|(n, _)| *n == p).map(|(_, s)| *s)
+    }
+}
+
+/// A Figure-5/6/7-style dataset.
+#[derive(Debug, Clone)]
+pub struct SpeedupFigure {
+    /// Figure title.
+    pub title: String,
+    /// One curve per platform.
+    pub curves: Vec<SpeedupCurve>,
+}
+
+impl SpeedupFigure {
+    /// The curve with the given platform label.
+    pub fn curve(&self, platform: &str) -> Option<&SpeedupCurve> {
+        self.curves.iter().find(|c| c.platform == platform)
+    }
+}
+
+/// Builds one speedup curve for a platform given a program factory.
+fn speedup_curve<F, G>(
+    label: &str,
+    counts: &[u32],
+    make_prog: &F,
+    make_cfg: &G,
+) -> SpeedupCurve
+where
+    F: Fn(u32) -> Arc<dyn Program> + Sync,
+    G: Fn(u32) -> Option<MachineConfig> + Sync,
+{
+    let times: Vec<(u32, TimeDelta)> = parallel_map(counts.to_vec(), |p| {
+        let prog = make_prog(p);
+        let t = match make_cfg(p) {
+            Some(cfg) => run_once(cfg, prog.as_ref()).parallel_time,
+            None => {
+                // Hardware path: averaged measurement handled by caller.
+                unreachable!("hardware curves use speedup_curve_hw")
+            }
+        };
+        (p, t)
+    });
+    let t1 = times
+        .iter()
+        .find(|(p, _)| *p == 1)
+        .expect("curve includes 1 processor")
+        .1;
+    SpeedupCurve {
+        platform: label.to_owned(),
+        points: times.into_iter().map(|(p, t)| (p, speedup(t1, t))).collect(),
+    }
+}
+
+fn speedup_curve_hw<F>(study: &Study, counts: &[u32], make_prog: &F) -> SpeedupCurve
+where
+    F: Fn(u32) -> Arc<dyn Program> + Sync,
+{
+    let times: Vec<(u32, TimeDelta)> = parallel_map(counts.to_vec(), |p| {
+        let prog = make_prog(p);
+        (p, run_hardware(study, p, prog.as_ref()).parallel_time)
+    });
+    let t1 = times.iter().find(|(p, _)| *p == 1).expect("has 1p").1;
+    SpeedupCurve {
+        platform: "FLASH 150MHz".to_owned(),
+        points: times.into_iter().map(|(p, t)| (p, speedup(t1, t))).collect(),
+    }
+}
+
+/// The processor counts of the speedup studies.
+pub const SPEEDUP_COUNTS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Figure 5: FFT speedup — hardware, SimOS-MXS, and the misleading
+/// SimOS-Mipsy at 300 MHz (plus 150 MHz for reference).
+pub fn fig5(study: &Study, scale: ProblemScale, tuning: &Tuning) -> SpeedupFigure {
+    let make_fft =
+        |p: u32| Arc::new(Fft::sized(scale, p as usize, FftBlocking::Tlb)) as Arc<dyn Program>;
+    let mut curves = vec![speedup_curve_hw(study, &SPEEDUP_COUNTS, &make_fft)];
+    for sim in [Sim::SimosMxs, Sim::SimosMipsy(300), Sim::SimosMipsy(150)] {
+        curves.push(speedup_curve(
+            &sim.label(),
+            &SPEEDUP_COUNTS,
+            &make_fft,
+            &|p| Some(study.sim_tuned(sim, p, MemModel::FlashLite, tuning)),
+        ));
+    }
+    SpeedupFigure {
+        title: "Figure 5: Speedup trend study for FFT".to_owned(),
+        curves,
+    }
+}
+
+/// Figure 6: Radix speedup — hardware, SimOS-Mipsy-225, and Solo-Mipsy-225
+/// (which wrongly predicts good speedup).
+pub fn fig6(study: &Study, scale: ProblemScale, tuning: &Tuning) -> SpeedupFigure {
+    let make_radix = |p: u32| Arc::new(Radix::tuned(scale, p as usize)) as Arc<dyn Program>;
+    let mut curves = vec![speedup_curve_hw(study, &SPEEDUP_COUNTS, &make_radix)];
+    for sim in [Sim::SimosMipsy(225), Sim::SoloMipsy(225)] {
+        curves.push(speedup_curve(
+            &sim.label(),
+            &SPEEDUP_COUNTS,
+            &make_radix,
+            &|p| Some(study.sim_tuned(sim, p, MemModel::FlashLite, tuning)),
+        ));
+    }
+    SpeedupFigure {
+        title: "Figure 6: Speedup trend study for Radix".to_owned(),
+        curves,
+    }
+}
+
+/// Figure 7: unplaced Radix-Sort speedup under SimOS-Mipsy-225 — the
+/// hotspot experiment separating FlashLite (occupancy) from NUMA
+/// (latency only).
+pub fn fig7(study: &Study, scale: ProblemScale, tuning: &Tuning) -> SpeedupFigure {
+    let counts = [1u32, 8, 16];
+    let make = |p: u32| Arc::new(Radix::unplaced(scale, p as usize)) as Arc<dyn Program>;
+    let sim = Sim::SimosMipsy(225);
+
+    let mut curves = vec![speedup_curve_hw(study, &counts, &make)];
+    curves.push(speedup_curve("Tuned FlashLite", &counts, &make, &|p| {
+        Some(study.sim_tuned(sim, p, MemModel::FlashLite, tuning))
+    }));
+    curves.push(speedup_curve("Untuned FlashLite", &counts, &make, &|p| {
+        Some(study.sim(sim, p, MemModel::FlashLite))
+    }));
+    curves.push(speedup_curve("NUMA", &counts, &make, &|p| {
+        Some(study.sim_tuned(sim, p, MemModel::Numa, tuning))
+    }));
+    SpeedupFigure {
+        title: "Figure 7: Speedup for unplaced Radix-Sort (SimOS-Mipsy 225MHz)".to_owned(),
+        curves,
+    }
+}
+
+/// The §3.1.3 instruction-latency ablation: Radix-Sort relative time on
+/// SimOS-Mipsy-225 without and with the R10000's mul/div latencies.
+/// The paper reports 0.71 → 1.02.
+pub fn latency_ablation(study: &Study, scale: ProblemScale, tuning: &Tuning) -> (f64, f64) {
+    let radix = Radix::tuned(scale, 1);
+    let hw = run_hardware(study, 1, &radix).parallel_time;
+
+    let base_cfg = study.sim_tuned(Sim::SimosMipsy(225), 1, MemModel::FlashLite, tuning);
+    let without = run_once(base_cfg.clone(), &radix).parallel_time;
+
+    let mut with_cfg = base_cfg;
+    with_cfg.cpu = match with_cfg.cpu {
+        CpuModel::Mipsy { mhz, l2_iface, .. } => CpuModel::Mipsy {
+            mhz,
+            model_int_latencies: true,
+            l2_iface,
+        },
+        other => other,
+    };
+    let with = run_once(with_cfg, &radix).parallel_time;
+    (relative_time(without, hw), relative_time(with, hw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_lists_cover_table2_in_order() {
+        let apps = apps_untuned(ProblemScale::Tiny, 1);
+        let names: Vec<_> = apps.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["FFT", "Radix-Sort", "LU", "Ocean"]);
+        let tuned = apps_tuned(ProblemScale::Tiny, 2);
+        assert_eq!(tuned.len(), 4);
+        for (_, p) in &tuned {
+            assert_eq!(p.num_threads(), 2);
+        }
+    }
+
+    #[test]
+    fn relative_figure_lookup() {
+        let fig = RelativeFigure {
+            title: "t".into(),
+            nodes: 1,
+            points: vec![RelativePoint {
+                app: "FFT",
+                sim: "SimOS-MXS 150MHz".into(),
+                relative: 0.8,
+            }],
+        };
+        assert_eq!(fig.get("FFT", "SimOS-MXS 150MHz"), Some(0.8));
+        assert_eq!(fig.get("LU", "SimOS-MXS 150MHz"), None);
+    }
+
+    #[test]
+    fn speedup_figure_lookup() {
+        let fig = SpeedupFigure {
+            title: "t".into(),
+            curves: vec![SpeedupCurve {
+                platform: "FLASH 150MHz".into(),
+                points: vec![(1, 1.0), (16, 12.0)],
+            }],
+        };
+        let c = fig.curve("FLASH 150MHz").unwrap();
+        assert_eq!(c.at(16), Some(12.0));
+        assert_eq!(c.at(8), None);
+        assert!(fig.curve("nope").is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! `flashsim-cpu` — the processor timing models of the FLASH validation
+//! study.
+//!
+//! Three models, spanning the paper's fidelity range:
+//!
+//! - [`mipsy::Mipsy`]: single-issue, in-order, one instruction per cycle,
+//!   blocking reads, a write buffer, prefetching — run at 150/225/300 MHz
+//!   to compensate for unmodelled ILP (§2.3),
+//! - [`ooo::OooCore`] configured as **MXS** ([`OooConfig::mxs`]): a generic
+//!   4-issue out-of-order model with R10000 functional units, latencies and
+//!   branch prediction but none of the R10000's implementation
+//!   constraints,
+//! - [`ooo::OooCore`] configured as the **gold-standard R10000**
+//!   ([`OooConfig::r10000`]): the same engine plus address interlocks,
+//!   exception serialization, secondary-cache interface occupancy, and
+//!   realistic sustained issue bandwidth.
+//!
+//! Cores talk to the machine through [`env::MemEnv`]; they are pure
+//! pipeline-timing models and know nothing about TLBs, page placement, or
+//! coherence.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_cpu::env::{Core, FixedEnv};
+//! use flashsim_cpu::mipsy::{Mipsy, MipsyConfig};
+//! use flashsim_isa::{Op, OpClass, Reg};
+//!
+//! let mut core = Mipsy::new(MipsyConfig::at_mhz(150));
+//! let mut env = FixedEnv::all_hits();
+//! core.execute(&Op::compute(OpClass::IntAlu, Reg(8), Reg::ZERO, Reg::ZERO), &mut env);
+//! assert!(core.now().as_ns() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod embra;
+pub mod env;
+pub mod lat;
+pub mod mipsy;
+pub mod ooo;
+
+pub use branch::BranchPredictor;
+pub use embra::Embra;
+pub use env::{AccessLevel, Core, FixedEnv, MemAccessKind, MemEnv, Resolution};
+pub use lat::LatencyTable;
+pub use mipsy::{Mipsy, MipsyConfig};
+pub use ooo::{mxs, r10000, OooConfig, OooCore};

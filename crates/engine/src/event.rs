@@ -1,0 +1,146 @@
+//! A time-ordered event queue.
+//!
+//! The machine layer schedules processor wake-ups, timer interrupts, and
+//! synchronization releases through this queue. Events at equal times are
+//! delivered in insertion order (FIFO tie-break), which keeps multi-processor
+//! runs deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_engine::event::EventQueue;
+//! use flashsim_engine::time::Time;
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Time::from_ns(20), "late");
+//! q.push(Time::from_ns(10), "early");
+//! assert_eq!(q.pop(), Some((Time::from_ns(10), "early")));
+//! assert_eq!(q.pop(), Some((Time::from_ns(20), "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(Time, T)` events with FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    payloads: Vec<Option<T>>,
+    free: Vec<usize>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at time `at`.
+    pub fn push(&mut self, at: Time, payload: T) {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.payloads[slot] = Some(payload);
+                slot
+            }
+            None => {
+                self.payloads.push(Some(payload));
+                self.payloads.len() - 1
+            }
+        };
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        let Reverse((at, _, slot)) = self.heap.pop()?;
+        let payload = self.payloads[slot].take().expect("slot holds a payload");
+        self.free.push(slot);
+        Some((at, payload))
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), 3);
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(7), "x");
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut q = EventQueue::new();
+        for round in 0..5 {
+            q.push(Time::from_ns(round), round);
+            assert_eq!(q.pop(), Some((Time::from_ns(round), round)));
+        }
+        // Only one payload slot should ever have been allocated.
+        assert_eq!(q.payloads.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

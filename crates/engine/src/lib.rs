@@ -1,0 +1,49 @@
+//! `flashsim-engine` — the discrete-event substrate shared by every
+//! simulator in the `flashsim` workspace.
+//!
+//! The FLASH validation study compares many simulators against one gold
+//! standard; for the comparisons to be meaningful, all of them must agree on
+//! the primitive notions of time, contention, randomness, and statistics.
+//! This crate provides exactly those four things and nothing else:
+//!
+//! - [`time`]: picosecond-resolution [`time::Time`]/[`time::TimeDelta`]
+//!   newtypes and [`time::Clock`] domains (150/225/300 MHz CPUs, 75 MHz
+//!   MAGIC, the network),
+//! - [`resource`]: busy-until occupancy timelines used to model the MAGIC
+//!   protocol processor, memory banks, network links, and the R10000
+//!   secondary-cache interface,
+//! - [`event`]: a deterministic time-ordered event queue,
+//! - [`rng`]: a pinned, reproducible PRNG for workload data and hardware
+//!   run-to-run jitter,
+//! - [`stats`]: counters, histograms, and labelled stat sets.
+//!
+//! # Examples
+//!
+//! Modelling contention at a node controller:
+//!
+//! ```
+//! use flashsim_engine::resource::Resource;
+//! use flashsim_engine::time::{Clock, Time};
+//!
+//! let magic = Clock::from_mhz(75);
+//! let mut pp = Resource::new("protocol-processor");
+//! // Two requests arrive nearly together; the second queues.
+//! let a = pp.acquire(Time::ZERO, magic.cycles(12));
+//! let b = pp.acquire(Time::from_ns(40), magic.cycles(12));
+//! assert!(b.start >= a.end);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use resource::{Grant, Resource, ResourcePool};
+pub use rng::Rng;
+pub use stats::{Counter, Histogram, StatSet};
+pub use time::{Clock, Time, TimeDelta};

@@ -1,0 +1,142 @@
+//! FlashLite timing parameters.
+//!
+//! FlashLite's timing came from the Verilog RTL of MAGIC — its authors
+//! *were* the hardware designers — so even "untuned" it sat within ~13 % of
+//! the machine (Table 3). We model that history with three parameter sets:
+//!
+//! - [`FlashLiteParams::hardware`]: the values the gold-standard machine
+//!   uses. By construction these *are* the truth in this workspace.
+//! - [`FlashLiteParams::untuned`]: design-time estimates — close, but fast
+//!   on the local path and slow on dirty-remote interventions, matching the
+//!   error signs in the paper's Table 3.
+//! - Tuned values are *computed*, not hardcoded: `flashsim-core`'s
+//!   calibration loop adjusts an untuned set until snbench latencies match
+//!   the gold standard, exactly the paper's §3.1.2 procedure.
+//!
+//! All protocol-processor handler costs are in 75 MHz MAGIC cycles; bus and
+//! memory figures are absolute times.
+
+use flashsim_engine::{Clock, TimeDelta};
+use flashsim_net::NetworkParams;
+
+/// Timing parameters for the FlashLite memory-system model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashLiteParams {
+    /// MAGIC system clock (75 MHz on FLASH).
+    pub magic_clock: Clock,
+    /// Processor-side miss detection + pin crossing before MAGIC sees the
+    /// request.
+    pub proc_miss_detect: TimeDelta,
+    /// PP handler: processor-interface request decode (MAGIC cycles).
+    pub pp_pi_request: u64,
+    /// PP handler: directory lookup + local reply scheduling (cycles).
+    pub pp_dir_local: u64,
+    /// PP handler: directory lookup for a network request (cycles).
+    pub pp_dir_remote: u64,
+    /// PP handler: network-interface outbound send (cycles).
+    pub pp_ni_out: u64,
+    /// PP handler: network-interface inbound reply processing (cycles).
+    pub pp_ni_reply: u64,
+    /// PP handler: intervention/invalidation processing at a third node
+    /// (cycles).
+    pub pp_intervention: u64,
+    /// PP handler: extra work on the dirty path at the home (cycles).
+    pub pp_dirty_extra: u64,
+    /// PP handler: writeback processing (cycles).
+    pub pp_writeback: u64,
+    /// Time for the owning processor to yank a dirty line out of its
+    /// backside secondary cache (the R10000 routes interventions through
+    /// the processor, making this large).
+    pub proc_intervention: TimeDelta,
+    /// DRAM access time (paper: 140 ns to the first double-word).
+    pub mem_access: TimeDelta,
+    /// Memory bank occupancy per access.
+    pub mem_busy: TimeDelta,
+    /// Number of interleaved banks per node.
+    pub mem_banks: usize,
+    /// Reply transfer back over the processor bus + critical-word restart.
+    pub reply_fill: TimeDelta,
+    /// Network timing.
+    pub net: NetworkParams,
+    /// Coherence line size in bytes (secondary cache line, 128 on FLASH).
+    pub line_bytes: u64,
+    /// Request/control message payload bytes.
+    pub header_bytes: u64,
+    /// Directory pointer-pool capacity per node.
+    pub dir_pool: u32,
+}
+
+impl FlashLiteParams {
+    /// The gold-standard values (defined as the hardware's truth).
+    pub fn hardware() -> FlashLiteParams {
+        FlashLiteParams {
+            magic_clock: Clock::from_mhz(75),
+            proc_miss_detect: TimeDelta::from_ns(100),
+            pp_pi_request: 8,
+            pp_dir_local: 10,
+            pp_dir_remote: 16,
+            pp_ni_out: 10,
+            pp_ni_reply: 16,
+            pp_intervention: 16,
+            pp_dirty_extra: 20,
+            pp_writeback: 10,
+            proc_intervention: TimeDelta::from_ns(750),
+            mem_access: TimeDelta::from_ns(140),
+            mem_busy: TimeDelta::from_ns(120),
+            mem_banks: 4,
+            reply_fill: TimeDelta::from_ns(110),
+            net: NetworkParams::flash(),
+            line_bytes: 128,
+            header_bytes: 16,
+            dir_pool: 1 << 16,
+        }
+    }
+
+    /// Design-time estimates used before any hardware existed: the local
+    /// path is optimistic (fast) and the processor-intervention path
+    /// pessimistic (slow), reproducing the error signs of Table 3's
+    /// untuned column.
+    pub fn untuned() -> FlashLiteParams {
+        FlashLiteParams {
+            proc_miss_detect: TimeDelta::from_ns(60),
+            reply_fill: TimeDelta::from_ns(80),
+            mem_access: TimeDelta::from_ns(120),
+            proc_intervention: TimeDelta::from_ns(1050),
+            pp_dirty_extra: 14,
+            ..FlashLiteParams::hardware()
+        }
+    }
+
+    /// Duration of `cycles` MAGIC cycles.
+    pub fn pp(&self, cycles: u64) -> TimeDelta {
+        self.magic_clock.cycles(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_magic_runs_at_75mhz() {
+        let p = FlashLiteParams::hardware();
+        assert_eq!(p.magic_clock.mhz(), 75);
+        assert_eq!(p.pp(10).as_ns(), 133);
+    }
+
+    #[test]
+    fn untuned_differs_in_documented_directions() {
+        let hw = FlashLiteParams::hardware();
+        let un = FlashLiteParams::untuned();
+        assert!(un.proc_miss_detect < hw.proc_miss_detect, "untuned local path is fast");
+        assert!(un.reply_fill < hw.reply_fill);
+        assert!(un.proc_intervention > hw.proc_intervention, "untuned dirty path is slow");
+        assert_eq!(un.magic_clock, hw.magic_clock);
+        assert_eq!(un.line_bytes, hw.line_bytes);
+    }
+
+    #[test]
+    fn mem_access_matches_table1() {
+        assert_eq!(FlashLiteParams::hardware().mem_access.as_ns(), 140);
+    }
+}

@@ -1,0 +1,42 @@
+//! `flashsim-isa` — the abstract instruction set shared by every processor
+//! model and workload in the `flashsim` workspace.
+//!
+//! The paper runs the same MIPS binaries on hardware and on every simulator.
+//! This crate defines the workspace's substitute for those binaries:
+//!
+//! - [`op`]: the operation IR ([`op::Op`], [`op::OpClass`], virtual
+//!   addresses and dependence registers),
+//! - [`sink`]: lazy, deterministic op-stream generation on producer threads,
+//! - [`program`]: the [`program::Program`] trait — a parallel application
+//!   with declared memory segments and per-thread kernels.
+//!
+//! See `DESIGN.md` §1 for why an abstract op stream preserves the paper's
+//! effects (address streams drive caches/TLB/page colouring; instruction
+//! classes drive latency effects; registers drive ILP).
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_isa::op::{OpClass, VAddr};
+//! use flashsim_isa::sink::spawn_stream;
+//!
+//! // A tiny "kernel": a dependent pointer chase, as in snbench.
+//! let mut stream = spawn_stream(|sink| {
+//!     let mut ptr = sink.load(VAddr(0));
+//!     for i in 1..8u64 {
+//!         ptr = sink.load_dep(VAddr(i * 128), ptr);
+//!     }
+//! });
+//! assert_eq!(stream.by_ref().filter(|o| o.class == OpClass::Load).count(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod op;
+pub mod program;
+pub mod sink;
+
+pub use op::{Op, OpClass, Reg, VAddr};
+pub use program::{check_segments, Placement, Program, Segment};
+pub use sink::{spawn_stream, Sink, ThreadStream};

@@ -1,0 +1,414 @@
+//! Lazy op-stream generation.
+//!
+//! Workload kernels are ordinary Rust functions that *emit* operations into
+//! a [`Sink`]; the machine layer *consumes* them through a [`ThreadStream`].
+//! Generation runs on a dedicated OS thread per simulated processor with a
+//! small bounded channel in between, so multi-million-op streams are never
+//! materialized in memory, yet kernels read like the loops they model
+//! instead of hand-written state machines.
+//!
+//! Streams are fully deterministic: a kernel's output depends only on its
+//! own parameters, never on simulation timing. This is what lets the
+//! workspace uphold the paper's "same binaries on every platform" rule — an
+//! integration test asserts identical op counts on all platforms.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_isa::sink::{spawn_stream, Sink};
+//! use flashsim_isa::op::{OpClass, VAddr};
+//!
+//! let mut stream = spawn_stream(|sink: &mut Sink| {
+//!     for i in 0..4u64 {
+//!         sink.load(VAddr(i * 8));
+//!         sink.alu(1);
+//!     }
+//! });
+//! let ops: Vec<_> = std::iter::from_fn(|| stream.next_op()).collect();
+//! assert_eq!(ops.len(), 8);
+//! assert_eq!(ops[0].class, OpClass::Load);
+//! ```
+
+use crate::op::{Op, OpClass, Reg, VAddr};
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Ops per channel message. Large enough to amortize channel overhead,
+/// small enough to bound memory (4 chunks in flight per stream).
+const CHUNK_OPS: usize = 8192;
+/// Chunks buffered in the channel before the generator blocks.
+const CHANNEL_CHUNKS: usize = 4;
+
+/// First register handed out by the rotating allocator; registers below
+/// this are reserved for kernel-managed dependence chains.
+const ROTATE_FIRST: u8 = 8;
+
+/// The emit side of a thread's op stream, handed to workload kernels.
+#[derive(Debug)]
+pub struct Sink {
+    tx: Option<SyncSender<Vec<Op>>>,
+    buf: Vec<Op>,
+    live: bool,
+    rotate: u8,
+    next_barrier: u32,
+    emitted: u64,
+}
+
+impl Sink {
+    fn new(tx: SyncSender<Vec<Op>>) -> Sink {
+        Sink {
+            tx: Some(tx),
+            buf: Vec::with_capacity(CHUNK_OPS),
+            live: true,
+            rotate: ROTATE_FIRST,
+            next_barrier: 0,
+            emitted: 0,
+        }
+    }
+
+    /// True while the consumer is still attached. Kernels may poll this in
+    /// outer loops to cut generation short after the consumer goes away;
+    /// emitting into a dead sink is harmless (ops are discarded).
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Total ops emitted so far (including any discarded after the
+    /// consumer detached).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Emits a raw [`Op`]. Prefer the typed helpers below.
+    pub fn push(&mut self, op: Op) {
+        self.emitted += 1;
+        if !self.live {
+            return;
+        }
+        self.buf.push(op);
+        if self.buf.len() >= CHUNK_OPS {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK_OPS));
+        if let Some(tx) = &self.tx {
+            if tx.send(chunk).is_err() {
+                self.live = false;
+                self.tx = None;
+            }
+        }
+    }
+
+    /// Hands out the next rotating result register. Consecutive results get
+    /// distinct registers, so independent work is visible as ILP to
+    /// out-of-order models.
+    pub fn next_reg(&mut self) -> Reg {
+        let r = Reg(self.rotate);
+        self.rotate += 1;
+        if self.rotate as usize >= Reg::COUNT {
+            self.rotate = ROTATE_FIRST;
+        }
+        r
+    }
+
+    /// Emits a load of `addr`; returns the destination register.
+    pub fn load(&mut self, addr: VAddr) -> Reg {
+        let dst = self.next_reg();
+        self.push(Op::load(addr, dst, Reg::ZERO));
+        dst
+    }
+
+    /// Emits a load whose *address* depends on `base` (pointer chasing,
+    /// indexed accesses); returns the destination register.
+    pub fn load_dep(&mut self, addr: VAddr, base: Reg) -> Reg {
+        let dst = self.next_reg();
+        self.push(Op::load(addr, dst, base));
+        dst
+    }
+
+    /// Emits a store to `addr` of freshly produced data.
+    pub fn store(&mut self, addr: VAddr) {
+        self.push(Op::store(addr, Reg::ZERO, Reg::ZERO));
+    }
+
+    /// Emits a store of the value in `data` to `addr`, with the address
+    /// depending on `base`.
+    pub fn store_dep(&mut self, addr: VAddr, base: Reg, data: Reg) {
+        self.push(Op::store(addr, base, data));
+    }
+
+    /// Emits a non-binding prefetch of `addr`.
+    pub fn prefetch(&mut self, addr: VAddr) {
+        self.push(Op::prefetch(addr));
+    }
+
+    /// Emits `n` mutually independent ops of `class` on rotating registers.
+    pub fn work(&mut self, class: OpClass, n: u64) {
+        for _ in 0..n {
+            let dst = self.next_reg();
+            self.push(Op::compute(class, dst, Reg::ZERO, Reg::ZERO));
+        }
+    }
+
+    /// Emits a *dependent chain* of `n` ops of `class` starting from `seed`;
+    /// returns the register holding the final result. In-order models see no
+    /// difference from [`work`](Sink::work); out-of-order models serialize it.
+    pub fn chain(&mut self, class: OpClass, n: u64, seed: Reg) -> Reg {
+        let mut cur = seed;
+        for _ in 0..n {
+            let dst = self.next_reg();
+            self.push(Op::compute(class, dst, cur, Reg::ZERO));
+            cur = dst;
+        }
+        cur
+    }
+
+    /// Emits `n` independent integer-ALU ops.
+    pub fn alu(&mut self, n: u64) {
+        self.work(OpClass::IntAlu, n);
+    }
+
+    /// Emits one integer multiply consuming `a` and `b`.
+    pub fn mul(&mut self, a: Reg, b: Reg) -> Reg {
+        let dst = self.next_reg();
+        self.push(Op::compute(OpClass::IntMul, dst, a, b));
+        dst
+    }
+
+    /// Emits one integer divide consuming `a` and `b`.
+    pub fn div(&mut self, a: Reg, b: Reg) -> Reg {
+        let dst = self.next_reg();
+        self.push(Op::compute(OpClass::IntDiv, dst, a, b));
+        dst
+    }
+
+    /// Emits a loop-closing branch at static site `site` (taken, and thus
+    /// highly predictable by a 2-bit predictor).
+    pub fn loop_branch(&mut self, site: u32) {
+        self.push(Op::branch(site, true, Reg::ZERO));
+    }
+
+    /// Emits a data-dependent branch at site `site` with outcome `taken`,
+    /// whose condition depends on register `cond`.
+    pub fn data_branch(&mut self, site: u32, taken: bool, cond: Reg) {
+        self.push(Op::branch(site, taken, cond));
+    }
+
+    /// Emits the next global barrier. Every thread of a program must call
+    /// `barrier()` the same number of times in the same order; the internal
+    /// counter then assigns matching ids on every thread.
+    pub fn barrier(&mut self) {
+        let id = self.next_barrier;
+        self.next_barrier += 1;
+        self.push(Op::barrier(id));
+    }
+
+    /// Emits a lock acquire on lock `id` at `addr`.
+    pub fn lock(&mut self, id: u32, addr: VAddr) {
+        self.push(Op::lock_acquire(id, addr));
+    }
+
+    /// Emits a lock release on lock `id` at `addr`.
+    pub fn unlock(&mut self, id: u32, addr: VAddr) {
+        self.push(Op::lock_release(id, addr));
+    }
+}
+
+/// The consume side of a thread's op stream.
+///
+/// Produced by [`spawn_stream`]; the machine layer pulls one op at a time
+/// with [`next_op`](ThreadStream::next_op).
+#[derive(Debug)]
+pub struct ThreadStream {
+    rx: Option<Receiver<Vec<Op>>>,
+    current: VecDeque<Op>,
+    handle: Option<JoinHandle<()>>,
+    consumed: u64,
+}
+
+impl ThreadStream {
+    /// Pulls the next op, or `None` when the kernel has finished.
+    pub fn next_op(&mut self) -> Option<Op> {
+        loop {
+            if let Some(op) = self.current.pop_front() {
+                self.consumed += 1;
+                return Some(op);
+            }
+            let rx = self.rx.as_ref()?;
+            match rx.recv() {
+                Ok(chunk) => self.current = VecDeque::from(chunk),
+                Err(_) => {
+                    self.rx = None;
+                    self.join_generator();
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Ops consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    fn join_generator(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // The generator has already flushed everything (channel closed),
+            // so this join is immediate. A panic in the kernel is re-thrown
+            // here so tests fail loudly instead of truncating the stream.
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Iterator for ThreadStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        self.next_op()
+    }
+}
+
+impl Drop for ThreadStream {
+    fn drop(&mut self) {
+        // Detach the channel first so a still-running generator unblocks,
+        // notices the dead sink, and finishes quickly.
+        self.rx = None;
+        self.current.clear();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs `kernel` on a fresh generator thread and returns the stream of ops
+/// it emits.
+///
+/// The kernel receives a [`Sink`]; any ops left in the sink's buffer are
+/// flushed automatically when the kernel returns.
+pub fn spawn_stream<F>(kernel: F) -> ThreadStream
+where
+    F: FnOnce(&mut Sink) + Send + 'static,
+{
+    let (tx, rx) = sync_channel(CHANNEL_CHUNKS);
+    let handle = std::thread::Builder::new()
+        .name("flashsim-opgen".to_owned())
+        .spawn(move || {
+            let mut sink = Sink::new(tx);
+            kernel(&mut sink);
+            sink.flush();
+        })
+        .expect("spawning an op-generator thread");
+    ThreadStream {
+        rx: Some(rx),
+        current: VecDeque::new(),
+        handle: Some(handle),
+        consumed: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_delivers_all_ops_in_order() {
+        let mut s = spawn_stream(|sink| {
+            for i in 0..20_000u64 {
+                sink.load(VAddr(i * 8));
+            }
+        });
+        let mut n = 0u64;
+        while let Some(op) = s.next_op() {
+            assert_eq!(op.addr, VAddr(n * 8));
+            n += 1;
+        }
+        assert_eq!(n, 20_000);
+        assert_eq!(s.consumed(), 20_000);
+    }
+
+    #[test]
+    fn rotating_registers_differ_consecutively() {
+        let s = spawn_stream(|sink| {
+            sink.alu(3);
+        });
+        let ops: Vec<_> = s.collect();
+        assert_eq!(ops.len(), 3);
+        assert_ne!(ops[0].dst, ops[1].dst);
+        assert_ne!(ops[1].dst, ops[2].dst);
+    }
+
+    #[test]
+    fn chain_links_dependences() {
+        let s = spawn_stream(|sink| {
+            let r = sink.load(VAddr(0));
+            sink.chain(OpClass::IntAlu, 3, r);
+        });
+        let ops: Vec<_> = s.collect();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[1].src_a, ops[0].dst);
+        assert_eq!(ops[2].src_a, ops[1].dst);
+        assert_eq!(ops[3].src_a, ops[2].dst);
+    }
+
+    #[test]
+    fn barrier_ids_count_up() {
+        let s = spawn_stream(|sink| {
+            sink.barrier();
+            sink.barrier();
+            sink.barrier();
+        });
+        let ids: Vec<_> = s.map(|op| op.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dropping_stream_early_does_not_hang() {
+        let mut s = spawn_stream(|sink| {
+            // Much more than the channel can buffer.
+            for i in 0..1_000_000u64 {
+                sink.load(VAddr(i));
+            }
+        });
+        let _ = s.next_op();
+        drop(s); // must return promptly
+    }
+
+    #[test]
+    fn sink_tracks_emitted_count() {
+        let mut s = spawn_stream(|sink| {
+            sink.alu(5);
+            assert_eq!(sink.emitted(), 5);
+            assert!(sink.is_live());
+        });
+        assert_eq!(s.by_ref().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel boom")]
+    fn kernel_panic_propagates_to_consumer() {
+        let mut s = spawn_stream(|sink| {
+            sink.alu(1);
+            panic!("kernel boom");
+        });
+        while s.next_op().is_some() {}
+    }
+
+    #[test]
+    fn rotating_allocator_skips_reserved_regs() {
+        let s = spawn_stream(|sink| {
+            sink.alu(200);
+        });
+        for op in s {
+            assert!(op.dst.0 >= 8, "rotating reg {} dipped into reserved range", op.dst);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! `flashsim-machine` — full-machine composition: N processors, their
+//! cache hierarchies and TLBs, an OS model, and a memory system, executing
+//! a program's op streams.
+//!
+//! Every platform in the paper's study is a [`config::MachineConfig`]:
+//! the gold-standard hardware (R10000 cores + IRIX model + FlashLite with
+//! true parameters) and all the simulators under validation (Mipsy/MXS ×
+//! Solo/SimOS × FlashLite/NUMA) run through the *same* driver, differing
+//! only in configuration — which is precisely what lets the validation
+//! harness in `flashsim-core` compare them meaningfully.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_machine::config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind};
+//! use flashsim_machine::machine::run_program;
+//! use flashsim_flashlite::FlashLiteParams;
+//! use flashsim_os::OsModel;
+//! use flashsim_isa::{Placement, Program, Segment, Sink, VAddr};
+//!
+//! struct Touch;
+//! impl Program for Touch {
+//!     fn name(&self) -> String { "touch".into() }
+//!     fn num_threads(&self) -> usize { 1 }
+//!     fn segments(&self) -> Vec<Segment> {
+//!         vec![Segment::new("a", VAddr(0x10000), 0x10000, Placement::Blocked)]
+//!     }
+//!     fn thread_body(&self, _tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+//!         Box::new(|sink| {
+//!             for i in 0..64u64 { sink.load(VAddr(0x10000 + i * 8)); }
+//!         })
+//!     }
+//! }
+//!
+//! let cfg = MachineConfig::new(
+//!     1,
+//!     CpuModel::Mipsy { mhz: 150, model_int_latencies: false, l2_iface: None },
+//!     OsModel::solo(),
+//!     MemSysKind::FlashLite(FlashLiteParams::hardware()),
+//!     MachineGeometry::scaled(),
+//! );
+//! let result = run_program(cfg, &Touch).unwrap();
+//! assert_eq!(result.total_ops(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod machine;
+
+pub use config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind};
+pub use machine::{run_program, Machine, MachineError, RunResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim_flashlite::FlashLiteParams;
+    use flashsim_isa::{OpClass, Placement, Program, Segment, Sink, VAddr};
+    use flashsim_numa::NumaParams;
+    use flashsim_os::OsModel;
+
+    /// A parallel program: each thread walks its own block of a shared
+    /// array, then all barrier, then thread 0 reads everyone's data
+    /// (communication), then all barrier again.
+    struct BlockWalk {
+        threads: usize,
+        bytes_per_thread: u64,
+        use_lock: bool,
+    }
+
+    const BASE: u64 = 0x100000;
+
+    impl Program for BlockWalk {
+        fn name(&self) -> String {
+            "block-walk".into()
+        }
+
+        fn num_threads(&self) -> usize {
+            self.threads
+        }
+
+        fn segments(&self) -> Vec<Segment> {
+            vec![
+                Segment::new(
+                    "data",
+                    VAddr(BASE),
+                    self.bytes_per_thread * self.threads as u64,
+                    Placement::Blocked,
+                ),
+                Segment::new("locks", VAddr(0x10000), 4096, Placement::Node(0)),
+            ]
+        }
+
+        fn thread_body(&self, tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+            let bytes = self.bytes_per_thread;
+            let threads = self.threads as u64;
+            let use_lock = self.use_lock;
+            Box::new(move |sink| {
+                let my_base = BASE + tid as u64 * bytes;
+                // Init: write my block.
+                for i in (0..bytes).step_by(64) {
+                    sink.store(VAddr(my_base + i));
+                    sink.alu(2);
+                }
+                sink.barrier();
+                // Parallel phase: read my block with some compute.
+                for i in (0..bytes).step_by(8) {
+                    let v = sink.load(VAddr(my_base + i));
+                    sink.chain(OpClass::IntAlu, 1, v);
+                }
+                if use_lock {
+                    sink.lock(1, VAddr(0x10000));
+                    sink.store(VAddr(0x10040));
+                    sink.unlock(1, VAddr(0x10000));
+                }
+                sink.barrier();
+                // Thread 0 reads everyone's blocks (coherence traffic).
+                if tid == 0 {
+                    for t in 0..threads {
+                        let base = BASE + t * bytes;
+                        for i in (0..bytes).step_by(64) {
+                            sink.load(VAddr(base + i));
+                        }
+                    }
+                }
+                sink.barrier();
+            })
+        }
+
+        fn timing_barrier(&self) -> Option<u32> {
+            Some(0)
+        }
+    }
+
+    fn cfg(
+        nodes: u32,
+        cpu: CpuModel,
+        os: OsModel,
+        memsys: MemSysKind,
+    ) -> MachineConfig {
+        MachineConfig::new(nodes, cpu, os, memsys, MachineGeometry::scaled())
+    }
+
+    fn mipsy(mhz: u32) -> CpuModel {
+        CpuModel::Mipsy {
+            mhz,
+            model_int_latencies: false,
+            l2_iface: None,
+        }
+    }
+
+    fn fl() -> MemSysKind {
+        MemSysKind::FlashLite(FlashLiteParams::hardware())
+    }
+
+    fn small_prog(threads: usize) -> BlockWalk {
+        BlockWalk {
+            threads,
+            bytes_per_thread: 64 * 1024,
+            use_lock: false,
+        }
+    }
+
+    #[test]
+    fn uniprocessor_run_completes() {
+        let r = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &small_prog(1)).unwrap();
+        assert!(r.total_time.as_ns() > 0);
+        assert!(r.parallel_time <= r.total_time);
+        assert_eq!(r.barrier_releases.len(), 3);
+        assert!(r.stats.get_or_zero("l2.misses") > 0.0);
+    }
+
+    #[test]
+    fn same_binary_on_every_platform() {
+        let prog = small_prog(2);
+        let configs = vec![
+            cfg(2, mipsy(150), OsModel::solo(), fl()),
+            cfg(2, mipsy(300), OsModel::simos_mipsy(), fl()),
+            cfg(2, CpuModel::Mxs, OsModel::simos_mxs(), fl()),
+            cfg(2, CpuModel::R10000, OsModel::irix_hardware(), fl()),
+            cfg(2, mipsy(225), OsModel::simos_tuned(), MemSysKind::Numa(NumaParams::matched())),
+        ];
+        let counts: Vec<Vec<u64>> = configs
+            .into_iter()
+            .map(|c| run_program(c, &prog).unwrap().ops_per_node)
+            .collect();
+        for c in &counts[1..] {
+            assert_eq!(c, &counts[0], "op streams must be platform-independent");
+        }
+    }
+
+    #[test]
+    fn barriers_synchronize_all_nodes() {
+        let r = run_program(cfg(4, mipsy(150), OsModel::solo(), fl()), &small_prog(4)).unwrap();
+        assert_eq!(r.barrier_releases.len(), 3);
+        let times: Vec<_> = r.barrier_releases.iter().map(|(_, t)| *t).collect();
+        assert!(times[0] < times[1] && times[1] < times[2]);
+    }
+
+    #[test]
+    fn locks_serialize_and_hand_off() {
+        let prog = BlockWalk {
+            threads: 4,
+            bytes_per_thread: 16 * 1024,
+            use_lock: true,
+        };
+        let r = run_program(cfg(4, mipsy(150), OsModel::solo(), fl()), &prog).unwrap();
+        assert!(r.total_time.as_ns() > 0);
+        // The lock hand-offs move the lock line between nodes' caches:
+        // some dirty-transfer or ownership traffic must exist.
+        let coherence_traffic = r.stats.get_or_zero("proto.upgrade.count")
+            + r.stats.get_or_zero("proto.remote_clean.count")
+            + r.stats.get_or_zero("proto.remote_dirty_home.count")
+            + r.stats.get_or_zero("proto.remote_dirty_remote.count")
+            + r.stats.get_or_zero("proto.local_dirty_remote.count");
+        assert!(coherence_traffic > 0.0, "lock line never moved: {}", r.stats);
+    }
+
+    #[test]
+    fn faster_mipsy_clock_shortens_runs() {
+        let prog = small_prog(1);
+        let slow = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &prog).unwrap();
+        let fast = run_program(cfg(1, mipsy(300), OsModel::solo(), fl()), &prog).unwrap();
+        assert!(fast.parallel_time < slow.parallel_time);
+    }
+
+    #[test]
+    fn simos_models_tlb_solo_does_not() {
+        let prog = small_prog(1);
+        let solo = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &prog).unwrap();
+        let simos =
+            run_program(cfg(1, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
+        assert_eq!(solo.stats.get_or_zero("os.tlb_refills"), 0.0);
+        assert!(simos.stats.get_or_zero("os.tlb_refills") > 0.0);
+    }
+
+    #[test]
+    fn remote_reads_generate_protocol_traffic() {
+        let r = run_program(
+            cfg(4, mipsy(150), OsModel::simos_tuned(), fl()),
+            &small_prog(4),
+        )
+        .unwrap();
+        // Thread 0's sweep over other nodes' dirty blocks must produce
+        // dirty-remote protocol cases.
+        let dirty = r.stats.get_or_zero("proto.remote_dirty_remote.count")
+            + r.stats.get_or_zero("proto.local_dirty_remote.count")
+            + r.stats.get_or_zero("proto.remote_dirty_home.count");
+        assert!(dirty > 0.0, "expected dirty-remote traffic: {}", r.stats);
+    }
+
+    #[test]
+    fn thread_mismatch_is_an_error() {
+        let err = Machine::new(cfg(2, mipsy(150), OsModel::solo(), fl()), &small_prog(4));
+        assert!(matches!(
+            err,
+            Err(MachineError::ThreadMismatch { program: 4, nodes: 2 })
+        ));
+        let msg = format!("{}", err.err().unwrap());
+        assert!(msg.contains('4') && msg.contains('2'));
+    }
+
+    #[test]
+    fn numa_and_flashlite_agree_on_protocol_counts() {
+        let prog = small_prog(2);
+        let a = run_program(cfg(2, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
+        let b = run_program(
+            cfg(2, mipsy(150), OsModel::simos_tuned(), MemSysKind::Numa(NumaParams::matched())),
+            &prog,
+        )
+        .unwrap();
+        // Same protocol, same streams => same transaction counts.
+        for key in [
+            "proto.local_clean.count",
+            "proto.remote_clean.count",
+        ] {
+            assert_eq!(
+                a.stats.get_or_zero(key),
+                b.stats.get_or_zero(key),
+                "{key} differs between flashlite and numa"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_section_excludes_init() {
+        let r = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &small_prog(1)).unwrap();
+        assert!(r.parallel_time < r.total_time);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let prog = small_prog(4);
+        let c = || cfg(4, CpuModel::R10000, OsModel::irix_hardware(), fl());
+        let a = run_program(c(), &prog).unwrap();
+        let b = run_program(c(), &prog).unwrap();
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.stats, b.stats);
+    }
+}

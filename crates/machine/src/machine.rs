@@ -1,0 +1,634 @@
+//! The full-machine simulation driver.
+//!
+//! A [`Machine`] wires N processor cores (any model) to per-node cache
+//! hierarchies and TLBs, a shared page table with an OS-policy frame
+//! allocator, and one memory-system model, then executes a
+//! [`Program`]'s op streams to completion. Scheduling is laggard-first:
+//! the node with the smallest local clock executes next, which keeps the
+//! shared occupancy timelines (MAGIC, banks, links) causally consistent
+//! across nodes.
+//!
+//! Synchronization is handled here, not in the cores: barriers collect all
+//! nodes and release them together (with a size-dependent overhead), and
+//! locks serialize holders, with every hand-off performing a *real*
+//! read-exclusive coherence transaction on the lock's cache line — so lock
+//! and barrier costs scale with the memory system being simulated, as on
+//! the real machine.
+
+use crate::config::MachineConfig;
+use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
+use flashsim_engine::{Clock, StatSet, Time, TimeDelta};
+use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
+use flashsim_mem::{
+    AccessKind, CacheHierarchy, FrameAllocator, HierProbe, LineAddr, MemRequest, MemorySystem,
+    PageTable, Tlb,
+};
+use flashsim_os::TlbModel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Ops executed per scheduling quantum before re-evaluating which node is
+/// the laggard. One op per quantum keeps the nodes' local clocks as close
+/// as the model allows, which matters: shared occupancy timelines (MAGIC,
+/// links) amplify clock skew into phantom queueing if a node is allowed
+/// to run far ahead between scheduling decisions.
+const QUANTUM_OPS: usize = 1;
+
+/// Error constructing or running a machine.
+#[derive(Debug)]
+pub enum MachineError {
+    /// Program thread count does not match the node count.
+    ThreadMismatch {
+        /// Threads the program wants.
+        program: usize,
+        /// Nodes the machine has.
+        nodes: u32,
+    },
+    /// The program's segment declaration is invalid.
+    BadSegments(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::ThreadMismatch { program, nodes } => write!(
+                f,
+                "program has {program} threads but the machine has {nodes} nodes"
+            ),
+            MachineError::BadSegments(msg) => write!(f, "invalid segments: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Per-node memory-side state.
+#[derive(Debug)]
+struct NodeMem {
+    hier: CacheHierarchy,
+    tlb: Option<Tlb>,
+    /// In-flight line fills: probes to these lines wait for arrival.
+    pending: HashMap<LineAddr, Time>,
+    page_faults: u64,
+    tlb_refills: u64,
+    next_tick: Time,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeStatus {
+    Running,
+    AtBarrier(u32),
+    WaitingLock(u32),
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<usize>,
+    queue: Vec<usize>,
+}
+
+/// The environment one node's core executes against (see
+/// [`flashsim_cpu::env::MemEnv`]).
+struct MachineEnv<'a> {
+    node: usize,
+    mems: &'a mut [NodeMem],
+    memsys: &'a mut dyn MemorySystem,
+    pt: &'a mut PageTable,
+    alloc: &'a mut FrameAllocator,
+    segments: &'a [Segment],
+    cfg: &'a MachineConfig,
+    clock: Clock,
+}
+
+impl MachineEnv<'_> {
+    /// The node whose memory should back `addr`, per the containing
+    /// segment's placement request.
+    fn placement_node(&self, addr: VAddr) -> u32 {
+        let seg = self
+            .segments
+            .iter()
+            .find(|s| s.contains(addr))
+            .unwrap_or_else(|| panic!("access to unmapped address {addr}"));
+        let nodes = u64::from(self.cfg.nodes);
+        match seg.placement {
+            Placement::Node(n) => n.min(self.cfg.nodes - 1),
+            Placement::Blocked => {
+                let off = addr.get() - seg.base.get();
+                ((off * nodes / seg.bytes) as u32).min(self.cfg.nodes - 1)
+            }
+            Placement::Interleaved => {
+                (addr.vpn(self.cfg.geometry.page_bytes) % nodes) as u32
+            }
+        }
+    }
+
+    /// Translates `addr`, handling TLB misses and first-touch page faults.
+    /// Returns the physical address, the TLB-refill time charged, and the
+    /// page-fault time charged.
+    fn translate(&mut self, addr: VAddr) -> (flashsim_mem::PAddr, TimeDelta, TimeDelta) {
+        let page_bytes = self.cfg.geometry.page_bytes;
+        let vpn = addr.vpn(page_bytes);
+
+        let mut fault_cost = TimeDelta::ZERO;
+        let pfn = match self.pt.lookup(vpn) {
+            Some(pfn) => pfn,
+            None => {
+                let home = self.placement_node(addr);
+                let pfn = self
+                    .alloc
+                    .alloc(home, vpn)
+                    .unwrap_or_else(|| panic!("node {home} out of physical memory"));
+                self.pt.map(vpn, pfn);
+                self.mems[self.node].page_faults += 1;
+                fault_cost = self.cfg.os.page_fault_cost;
+                pfn
+            }
+        };
+
+        let mut refill = TimeDelta::ZERO;
+        if let TlbModel::Modeled {
+            refill_cycles, ..
+        } = self.cfg.os.tlb
+        {
+            let tlb = self.mems[self.node]
+                .tlb
+                .as_mut()
+                .expect("TLB modelled but absent");
+            if tlb.translate(addr).is_none() {
+                tlb.insert(vpn, pfn);
+                refill = self.clock.cycles(refill_cycles);
+                self.mems[self.node].tlb_refills += 1;
+            }
+        }
+        (
+            flashsim_mem::addr::translate(addr, pfn, page_bytes),
+            refill,
+            fault_cost,
+        )
+    }
+
+    /// Applies directory-mandated coherence actions to the *other* nodes.
+    fn apply_actions(&mut self, line: LineAddr, actions: &flashsim_mem::CoherenceActions) {
+        for &v in &actions.invalidate {
+            if v as usize != self.node {
+                self.mems[v as usize].hier.invalidate_line(line);
+                self.mems[v as usize].pending.remove(&line);
+            }
+        }
+        if let Some(v) = actions.downgrade {
+            if v as usize != self.node {
+                self.mems[v as usize].hier.downgrade_line(line);
+            }
+        }
+    }
+
+    /// Issues a full memory-system transaction and installs the line.
+    fn miss_transaction(
+        &mut self,
+        paddr: flashsim_mem::PAddr,
+        write: bool,
+        t: Time,
+    ) -> (Time, AccessLevel) {
+        let line = self.mems[self.node].hier.l2_line(paddr);
+        let kind = if write {
+            AccessKind::ReadExclusive
+        } else {
+            AccessKind::ReadShared
+        };
+        let out = self.memsys.access(MemRequest {
+            node: self.node as u32,
+            line,
+            kind,
+            now: t,
+        });
+        self.apply_actions(line, &out.actions);
+        let victim = self.mems[self.node]
+            .hier
+            .fill_from_memory(paddr, write, out.exclusive);
+        if let Some(v) = victim {
+            if v.dirty {
+                // Background writeback of the displaced dirty line.
+                let _ = self.memsys.access(MemRequest {
+                    node: self.node as u32,
+                    line: v.line,
+                    kind: AccessKind::Writeback,
+                    now: out.done_at,
+                });
+            }
+            self.mems[self.node].pending.remove(&v.line);
+        }
+        self.mems[self.node].pending.insert(line, out.done_at);
+        (out.done_at, AccessLevel::Memory(out.case))
+    }
+}
+
+impl MemEnv for MachineEnv<'_> {
+    fn resolve(&mut self, addr: VAddr, kind: MemAccessKind, at: Time) -> Resolution {
+        let (paddr, refill, fault) = self.translate(addr);
+        let t = at + refill + fault;
+        let write = kind == MemAccessKind::Write;
+
+        let line = self.mems[self.node].hier.l2_line(paddr);
+        let probe = self.mems[self.node].hier.probe(paddr, write);
+
+        let (mut done_at, level) = match probe {
+            HierProbe::L1Hit => (t, AccessLevel::L1),
+            HierProbe::L2Hit => {
+                self.mems[self.node].hier.fill_l1_from_l2(paddr, write);
+                (t + self.cfg.l2_hit, AccessLevel::L2)
+            }
+            HierProbe::L2Upgrade => {
+                let out = self.memsys.access(MemRequest {
+                    node: self.node as u32,
+                    line,
+                    kind: AccessKind::Upgrade,
+                    now: t,
+                });
+                self.apply_actions(line, &out.actions);
+                self.mems[self.node].hier.complete_upgrade(paddr);
+                (out.done_at, AccessLevel::Memory(out.case))
+            }
+            HierProbe::L2Miss => self.miss_transaction(paddr, write, t),
+        };
+
+        // A hit on a line whose fill is still in flight (e.g. behind a
+        // prefetch) waits for the data to arrive.
+        if matches!(probe, HierProbe::L1Hit | HierProbe::L2Hit) {
+            if let Some(&arrives) = self.mems[self.node].pending.get(&line) {
+                if arrives > done_at {
+                    done_at = arrives;
+                } else {
+                    self.mems[self.node].pending.remove(&line);
+                }
+            }
+        }
+
+        Resolution {
+            done_at,
+            level,
+            tlb_refill: refill,
+        }
+    }
+}
+
+/// The result of one program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock time of the whole run (all nodes done).
+    pub total_time: TimeDelta,
+    /// Time of the measured section: from the release of the program's
+    /// timing barrier (or 0 if none) to completion.
+    pub parallel_time: TimeDelta,
+    /// Ops executed per node — identical across platforms for the same
+    /// program ("same binaries").
+    pub ops_per_node: Vec<u64>,
+    /// Release time of every barrier, in id order.
+    pub barrier_releases: Vec<(u32, Time)>,
+    /// Merged statistics from cores, hierarchies, TLBs, and the memory
+    /// system.
+    pub stats: StatSet,
+}
+
+impl RunResult {
+    /// Total ops across all nodes.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_node.iter().sum()
+    }
+}
+
+/// A configured machine ready to run one program.
+pub struct Machine {
+    cfg: MachineConfig,
+    cores: Vec<Box<dyn Core>>,
+    mems: Vec<NodeMem>,
+    memsys: Box<dyn MemorySystem>,
+    pt: PageTable,
+    alloc: FrameAllocator,
+    segments: Vec<Segment>,
+    streams: Vec<ThreadStream>,
+    status: Vec<NodeStatus>,
+    barrier_arrivals: HashMap<u32, Vec<(usize, Time)>>,
+    barrier_releases: Vec<(u32, Time)>,
+    locks: HashMap<u32, LockState>,
+    lock_addr: HashMap<u32, VAddr>,
+    timing_start: Option<u32>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Machine({} x{})", self.cfg.label(), self.cfg.nodes)
+    }
+}
+
+impl Machine {
+    /// Builds a machine for `program` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the program's thread count does not
+    /// match `cfg.nodes` or its segments are malformed.
+    pub fn new(cfg: MachineConfig, program: &dyn Program) -> Result<Machine, MachineError> {
+        if program.num_threads() != cfg.nodes as usize {
+            return Err(MachineError::ThreadMismatch {
+                program: program.num_threads(),
+                nodes: cfg.nodes,
+            });
+        }
+        let segments = check_segments(program, cfg.geometry.page_bytes)
+            .map_err(MachineError::BadSegments)?;
+
+        let tlb_entries = match cfg.os.tlb {
+            TlbModel::Modeled { entries, .. } => Some(entries),
+            TlbModel::None => None,
+        };
+        let mems = (0..cfg.nodes)
+            .map(|_| NodeMem {
+                hier: CacheHierarchy::new(cfg.geometry.l1, cfg.geometry.l2),
+                tlb: tlb_entries.map(|e| Tlb::new(e, cfg.geometry.page_bytes)),
+                pending: HashMap::new(),
+                page_faults: 0,
+                tlb_refills: 0,
+                next_tick: Time::ZERO + cfg.os.timer_interval.unwrap_or(TimeDelta::ZERO),
+            })
+            .collect();
+
+        let alloc = FrameAllocator::new(
+            cfg.os.alloc_policy,
+            cfg.nodes,
+            cfg.geometry.frames_per_node(),
+            cfg.geometry.page_bytes,
+            cfg.geometry.colors(),
+        );
+        let memsys = cfg.memsys.build(cfg.nodes, cfg.geometry.node_mem_bytes);
+        let cores = (0..cfg.nodes).map(|_| cfg.cpu.build()).collect();
+        let streams = (0..cfg.nodes as usize).map(|t| program.stream(t)).collect();
+
+        Ok(Machine {
+            cfg,
+            cores,
+            mems,
+            memsys,
+            pt: PageTable::new(),
+            alloc,
+            segments,
+            streams,
+            status: vec![NodeStatus::Running; 0],
+            barrier_arrivals: HashMap::new(),
+            barrier_releases: Vec::new(),
+            locks: HashMap::new(),
+            lock_addr: HashMap::new(),
+            timing_start: program.timing_barrier(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Charges pending OS timer ticks to node `n` up to its current time.
+    fn charge_ticks(&mut self, n: usize) {
+        let Some(interval) = self.cfg.os.timer_interval else {
+            return;
+        };
+        let now = self.cores[n].now();
+        while self.mems[n].next_tick <= now {
+            self.mems[n].next_tick += interval;
+            let t = self.cores[n].now() + self.cfg.os.timer_cost;
+            self.cores[n].set_time(t);
+        }
+    }
+
+    fn barrier_overhead(&self) -> TimeDelta {
+        self.cfg.barrier_base + self.cfg.barrier_per_node * u64::from(self.cfg.nodes)
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on programs that deadlock (barrier some threads never
+    /// reach, lock never released) or touch undeclared memory.
+    pub fn run(&mut self) -> RunResult {
+        let nodes = self.cfg.nodes as usize;
+        self.status = vec![NodeStatus::Running; nodes];
+
+        loop {
+            // Laggard-first: the running node with the smallest clock.
+            let next = (0..nodes)
+                .filter(|n| self.status[*n] == NodeStatus::Running)
+                .min_by_key(|n| self.cores[*n].now());
+            let Some(n) = next else {
+                if self.status.iter().all(|s| *s == NodeStatus::Done) {
+                    break;
+                }
+                panic!(
+                    "deadlock: no runnable node (status {:?})",
+                    self.status
+                        .iter()
+                        .map(|s| format!("{s:?}"))
+                        .collect::<Vec<_>>()
+                );
+            };
+            self.step_node(n);
+        }
+
+        self.collect_result()
+    }
+
+    fn step_node(&mut self, n: usize) {
+        for _ in 0..QUANTUM_OPS {
+            let Some(op) = self.streams[n].next_op() else {
+                let t = self.cores[n].drain();
+                self.cores[n].set_time(t);
+                self.status[n] = NodeStatus::Done;
+                return;
+            };
+
+            if op.class.is_sync() {
+                self.handle_sync(n, &op);
+                if self.status[n] != NodeStatus::Running {
+                    return;
+                }
+                continue;
+            }
+
+            // Split borrows: the core is disjoint from the memory state.
+            let Machine {
+                cores,
+                mems,
+                memsys,
+                pt,
+                alloc,
+                segments,
+                cfg,
+                ..
+            } = self;
+            let mut env = MachineEnv {
+                node: n,
+                mems,
+                memsys: &mut **memsys,
+                pt,
+                alloc,
+                segments,
+                cfg,
+                clock: cfg.cpu.clock(),
+            };
+            cores[n].execute(&op, &mut env);
+            self.charge_ticks(n);
+        }
+    }
+
+    fn handle_sync(&mut self, n: usize, op: &flashsim_isa::Op) {
+        match op.class {
+            OpClass::Barrier => {
+                let t = self.cores[n].drain();
+                let overhead = self.barrier_overhead();
+                self.status[n] = NodeStatus::AtBarrier(op.id);
+                let arrivals = self.barrier_arrivals.entry(op.id).or_default();
+                arrivals.push((n, t));
+                if arrivals.len() == self.cfg.nodes as usize {
+                    let release = arrivals
+                        .iter()
+                        .map(|(_, t)| *t)
+                        .fold(Time::ZERO, Time::max)
+                        + overhead;
+                    let woken: Vec<usize> = arrivals.iter().map(|(m, _)| *m).collect();
+                    self.barrier_arrivals.remove(&op.id);
+                    self.barrier_releases.push((op.id, release));
+                    for m in woken {
+                        self.cores[m].set_time(release);
+                        self.status[m] = NodeStatus::Running;
+                    }
+                }
+            }
+            OpClass::LockAcquire => {
+                let t = self.cores[n].drain();
+                self.lock_addr.insert(op.id, op.addr);
+                let acquired = {
+                    let lock = self.locks.entry(op.id).or_default();
+                    if lock.held_by.is_none() {
+                        lock.held_by = Some(n);
+                        true
+                    } else {
+                        lock.queue.push(n);
+                        false
+                    }
+                };
+                if acquired {
+                    self.acquire_lock_line(n, op.addr, t);
+                } else {
+                    self.status[n] = NodeStatus::WaitingLock(op.id);
+                }
+            }
+            OpClass::LockRelease => {
+                let t = self.cores[n].drain();
+                let next = {
+                    let lock = self
+                        .locks
+                        .get_mut(&op.id)
+                        .unwrap_or_else(|| panic!("release of unheld lock {}", op.id));
+                    assert_eq!(lock.held_by, Some(n), "lock {} released by non-holder", op.id);
+                    lock.held_by = None;
+                    if lock.queue.is_empty() {
+                        None
+                    } else {
+                        let nx = lock.queue.remove(0);
+                        lock.held_by = Some(nx);
+                        Some(nx)
+                    }
+                };
+                if let Some(next) = next {
+                    self.status[next] = NodeStatus::Running;
+                    let at = self.cores[next].now().max(t);
+                    self.cores[next].set_time(at);
+                    let addr = self.lock_addr[&op.id];
+                    self.acquire_lock_line(next, addr, at);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// The coherence transaction behind a lock hand-off: the new holder
+    /// takes the lock line exclusive.
+    fn acquire_lock_line(&mut self, n: usize, addr: VAddr, t: Time) {
+        let Machine {
+            mems,
+            memsys,
+            pt,
+            alloc,
+            segments,
+            cfg,
+            cores,
+            ..
+        } = self;
+        let mut env = MachineEnv {
+            node: n,
+            mems,
+            memsys: &mut **memsys,
+            pt,
+            alloc,
+            segments,
+            cfg,
+            clock: cfg.cpu.clock(),
+        };
+        let res = env.resolve(addr, MemAccessKind::Write, t);
+        cores[n].set_time(res.done_at);
+    }
+
+    fn collect_result(&mut self) -> RunResult {
+        let end = self
+            .cores
+            .iter()
+            .map(|c| c.now())
+            .fold(Time::ZERO, Time::max);
+        self.barrier_releases.sort_by_key(|(id, _)| *id);
+
+        let start = match self.timing_start {
+            None => Time::ZERO,
+            Some(id) => self
+                .barrier_releases
+                .iter()
+                .find(|(b, _)| *b == id)
+                .map(|(_, t)| *t)
+                .unwrap_or(Time::ZERO),
+        };
+
+        let mut stats = StatSet::new();
+        for (n, core) in self.cores.iter().enumerate() {
+            stats.absorb_flat(&core.stats());
+            let mem = &self.mems[n];
+            stats.add("l1.hits", mem.hier.l1().hits() as f64);
+            stats.add("l1.misses", mem.hier.l1().misses() as f64);
+            stats.add("l2.hits", mem.hier.l2().hits() as f64);
+            stats.add("l2.misses", mem.hier.l2().misses() as f64);
+            stats.add("l2.evictions", mem.hier.l2().evictions() as f64);
+            stats.add("os.page_faults", mem.page_faults as f64);
+            stats.add("os.tlb_refills", mem.tlb_refills as f64);
+            if let Some(tlb) = &mem.tlb {
+                stats.add("tlb.misses", tlb.misses() as f64);
+                stats.add("tlb.hits", tlb.hits() as f64);
+            }
+        }
+        stats.absorb_flat(&self.memsys.stats());
+
+        RunResult {
+            total_time: end - Time::ZERO,
+            parallel_time: end - start,
+            ops_per_node: self.streams.iter().map(|s| s.consumed()).collect(),
+            barrier_releases: self.barrier_releases.clone(),
+            stats,
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from [`Machine::new`].
+pub fn run_program(cfg: MachineConfig, program: &dyn Program) -> Result<RunResult, MachineError> {
+    Ok(Machine::new(cfg, program)?.run())
+}

@@ -1,0 +1,380 @@
+//! The per-node two-level cache hierarchy (R10000-style).
+//!
+//! Each node has an on-chip primary data cache (32 KB, 32 B lines on the
+//! real machine) and a unified off-chip secondary cache (2 MB, 128 B lines)
+//! managed by the processor, with **inclusion**: every L1 line is contained
+//! in an L2 line, and evicting or invalidating an L2 line removes its L1
+//! sublines. Coherence (MESI) state is authoritative in the L2; the L1
+//! tracks writability mirrored from the L2 at fill time.
+//!
+//! This is a *state* model: the processor models charge their own hit/miss
+//! latencies, and the memory-system models decide what an L2 miss costs.
+
+use crate::addr::{LineAddr, PAddr};
+use crate::cache::{Cache, CacheGeometry, LineState, Probe, Victim};
+
+/// Where an access was satisfied, as seen by the processor's timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierProbe {
+    /// Hit in the primary cache.
+    L1Hit,
+    /// Missed L1 but hit a usable line in the secondary cache.
+    L2Hit,
+    /// The L2 holds the line but only Shared, and the access is a write:
+    /// the directory must grant ownership (an *upgrade* transaction).
+    L2Upgrade,
+    /// The line is absent from the L2: a full memory-system transaction.
+    L2Miss,
+}
+
+/// A node's L1D + L2 pair with inclusion.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L1 line size exceeds the L2 line size or does not
+    /// divide it.
+    pub fn new(l1: CacheGeometry, l2: CacheGeometry) -> CacheHierarchy {
+        assert!(
+            l1.line_bytes <= l2.line_bytes && l2.line_bytes.is_multiple_of(l1.line_bytes),
+            "L1 lines must evenly divide L2 lines"
+        );
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+        }
+    }
+
+    /// The primary cache (for statistics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The secondary cache (for statistics).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The L2 line containing `paddr` — the unit of coherence.
+    pub fn l2_line(&self, paddr: PAddr) -> LineAddr {
+        paddr.line(self.l2.geometry().line_bytes)
+    }
+
+    /// Probes both levels for an access at `paddr`.
+    ///
+    /// State changes performed: LRU updates at probed levels; on an L1 hit
+    /// (or an L2 hit with a writable line) a write marks the line Modified.
+    /// On `L2Hit` the caller must invoke [`fill_l1_from_l2`]; on `L2Miss` /
+    /// `L2Upgrade` the caller resolves the transaction with the memory
+    /// system and then calls [`fill_from_memory`] or [`complete_upgrade`].
+    ///
+    /// [`fill_l1_from_l2`]: CacheHierarchy::fill_l1_from_l2
+    /// [`fill_from_memory`]: CacheHierarchy::fill_from_memory
+    /// [`complete_upgrade`]: CacheHierarchy::complete_upgrade
+    pub fn probe(&mut self, paddr: PAddr, write: bool) -> HierProbe {
+        let l1_line = self.l1.line_of(paddr);
+        match self.l1.probe(l1_line, write) {
+            Probe::Hit(_) => {
+                if write {
+                    // Keep the authoritative L2 state in sync: an L1 write
+                    // hit implies the L2 line was already writable.
+                    let l2_line = self.l2_line(paddr);
+                    debug_assert!(self.l2.peek(l2_line).is_some(), "inclusion violated");
+                    self.l2.grant_ownership(l2_line);
+                }
+                return HierProbe::L1Hit;
+            }
+            Probe::UpgradeNeeded => {
+                // L1 has the line but not writable; defer to the L2 state.
+            }
+            Probe::Miss => {}
+        }
+        let l2_line = self.l2_line(paddr);
+        match self.l2.probe(l2_line, write) {
+            Probe::Hit(_) => HierProbe::L2Hit,
+            Probe::UpgradeNeeded => HierProbe::L2Upgrade,
+            Probe::Miss => HierProbe::L2Miss,
+        }
+    }
+
+    /// After an `L2Hit`: brings the L1 subline in from the L2 (and for a
+    /// write, marks both levels Modified). An L1 victim's dirty data folds
+    /// into its L2 line.
+    pub fn fill_l1_from_l2(&mut self, paddr: PAddr, write: bool) {
+        let l2_line = self.l2_line(paddr);
+        let l2_state = self.l2.peek(l2_line).expect("L2 hit line vanished");
+        let l1_line = self.l1.line_of(paddr);
+        let l1_state = if write {
+            debug_assert!(l2_state.writable(), "write fill from non-writable L2 line");
+            self.l2.grant_ownership(l2_line);
+            if self.l1.peek(l1_line).is_some() {
+                // The L1 subline is present but non-writable (e.g. filled
+                // Shared before a sibling subline's write upgraded the L2
+                // line): grant it ownership in place.
+                self.l1.grant_ownership(l1_line);
+                return;
+            }
+            LineState::Modified
+        } else if self.l1.peek(l1_line).is_some() {
+            // Present but reported UpgradeNeeded: resolved by L2 path.
+            self.l1.grant_ownership(l1_line);
+            return;
+        } else if l2_state.writable() {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        if let Some(victim) = self.l1.fill(l1_line, l1_state) {
+            if victim.dirty {
+                // Write the dirty subline back into the (inclusive) L2 copy.
+                let vline = victim.line.paddr().line(self.l2.geometry().line_bytes);
+                if self.l2.peek(vline).is_some() {
+                    self.l2.grant_ownership(vline);
+                }
+            }
+        }
+    }
+
+    /// After the memory system resolved an `L2Miss`: installs the line in
+    /// both levels with `granted` state (Exclusive/Shared from the
+    /// directory; Modified for a write). Returns the dirty L2 victim that
+    /// must be written back, if any.
+    pub fn fill_from_memory(&mut self, paddr: PAddr, write: bool, exclusive: bool) -> Option<Victim> {
+        let l2_line = self.l2_line(paddr);
+        let l2_state = if write {
+            LineState::Modified
+        } else if exclusive {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        let victim = self.l2.fill(l2_line, l2_state);
+        if let Some(v) = victim {
+            // Inclusion: remove the victim's L1 sublines; fold dirty data.
+            let mut dirty = v.dirty;
+            dirty |= self.invalidate_l1_sublines(v.line);
+            self.fill_l1_from_l2(paddr, write);
+            return Some(Victim {
+                line: v.line,
+                dirty,
+            });
+        }
+        self.fill_l1_from_l2(paddr, write);
+        None
+    }
+
+    /// After the directory granted an upgrade for an `L2Upgrade` probe.
+    pub fn complete_upgrade(&mut self, paddr: PAddr) {
+        let l2_line = self.l2_line(paddr);
+        self.l2.grant_ownership(l2_line);
+        let l1_line = self.l1.line_of(paddr);
+        if self.l1.peek(l1_line).is_some() {
+            self.l1.grant_ownership(l1_line);
+        } else {
+            self.fill_l1_from_l2(paddr, true);
+        }
+    }
+
+    fn invalidate_l1_sublines(&mut self, l2_line: LineAddr) -> bool {
+        let l1_bytes = self.l1.geometry().line_bytes;
+        let sublines = self.l2.geometry().line_bytes / l1_bytes;
+        let mut dirty = false;
+        for i in 0..sublines {
+            if let Some(state) = self.l1.invalidate(LineAddr(l2_line.get() + i * l1_bytes)) {
+                dirty |= state.is_dirty();
+            }
+        }
+        dirty
+    }
+
+    /// Directory-initiated invalidation of an L2 line (and its L1
+    /// sublines). Returns true if any level held dirty data (the protocol
+    /// then carries the data, not just the ack).
+    pub fn invalidate_line(&mut self, l2_line: LineAddr) -> bool {
+        let l1_dirty = self.invalidate_l1_sublines(l2_line);
+        let l2_dirty = self
+            .l2
+            .invalidate(l2_line)
+            .map(|s| s.is_dirty())
+            .unwrap_or(false);
+        l1_dirty || l2_dirty
+    }
+
+    /// Directory-initiated downgrade to Shared of a dirty L2 line (a
+    /// *dirty intervention*). Returns true if dirty data was supplied.
+    pub fn downgrade_line(&mut self, l2_line: LineAddr) -> bool {
+        let l1_bytes = self.l1.geometry().line_bytes;
+        let sublines = self.l2.geometry().line_bytes / l1_bytes;
+        let mut dirty = false;
+        for i in 0..sublines {
+            let l1_line = LineAddr(l2_line.get() + i * l1_bytes);
+            dirty |= self.l1.downgrade(l1_line);
+        }
+        dirty |= self.l2.downgrade(l2_line);
+        dirty
+    }
+
+    /// True if the L2 currently holds `l2_line` (any state).
+    pub fn holds(&self, l2_line: LineAddr) -> bool {
+        self.l2.peek(l2_line).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> CacheHierarchy {
+        // L1: 512B, 32B lines, 2-way. L2: 4KB, 128B lines, 2-way.
+        CacheHierarchy::new(
+            CacheGeometry::new(512, 32, 2),
+            CacheGeometry::new(4096, 128, 2),
+        )
+    }
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let mut h = hier();
+        let p = PAddr(0x1000);
+        assert_eq!(h.probe(p, false), HierProbe::L2Miss);
+        assert!(h.fill_from_memory(p, false, true).is_none());
+        assert_eq!(h.probe(p, false), HierProbe::L1Hit);
+    }
+
+    #[test]
+    fn l1_miss_l2_hit_within_l2_line() {
+        let mut h = hier();
+        let p = PAddr(0x1000);
+        h.probe(p, false);
+        h.fill_from_memory(p, false, true);
+        // Another L1 line inside the same 128B L2 line.
+        let q = PAddr(0x1000 + 64);
+        assert_eq!(h.probe(q, false), HierProbe::L2Hit);
+        h.fill_l1_from_l2(q, false);
+        assert_eq!(h.probe(q, false), HierProbe::L1Hit);
+    }
+
+    #[test]
+    fn write_to_shared_line_needs_upgrade() {
+        let mut h = hier();
+        let p = PAddr(0x2000);
+        h.probe(p, true);
+        h.fill_from_memory(p, true, false); // granted as write => Modified
+        assert_eq!(h.probe(p, true), HierProbe::L1Hit);
+
+        let q = PAddr(0x4000);
+        h.probe(q, false);
+        h.fill_from_memory(q, false, false); // Shared
+        assert_eq!(h.probe(q, true), HierProbe::L2Upgrade);
+        h.complete_upgrade(q);
+        assert_eq!(h.probe(q, true), HierProbe::L1Hit);
+    }
+
+    #[test]
+    fn exclusive_grant_allows_silent_write() {
+        let mut h = hier();
+        let p = PAddr(0x3000);
+        h.probe(p, false);
+        h.fill_from_memory(p, false, true); // Exclusive
+        // First write after an exclusive read fill: no directory traffic.
+        assert_eq!(h.probe(p, true), HierProbe::L1Hit);
+        assert!(h.l2().peek(h.l2_line(p)).unwrap().is_dirty());
+    }
+
+    #[test]
+    fn l2_eviction_enforces_inclusion() {
+        let mut h = hier();
+        // L2: 16 sets of 128B lines; stride between same-set lines is
+        // 16*128 = 2048 bytes.
+        let a = PAddr(0);
+        let b = PAddr(2048);
+        let c = PAddr(4096);
+        for p in [a, b] {
+            h.probe(p, false);
+            h.fill_from_memory(p, false, true);
+        }
+        // `a` hits in L1 — which does NOT refresh the L2 LRU (L1 hits never
+        // reach the L2 in the real machine either), so `a` is still the L2
+        // LRU way and is the one evicted by `c`.
+        assert_eq!(h.probe(a.offset(0), false), HierProbe::L1Hit);
+        h.probe(c, false);
+        let victim = h.fill_from_memory(c, false, true);
+        assert!(victim.is_some());
+        assert_eq!(victim.unwrap().line, LineAddr(0));
+        // Inclusion: a's L1 subline must be gone too, despite being hot.
+        assert_eq!(h.probe(a, false), HierProbe::L2Miss);
+    }
+
+    #[test]
+    fn dirty_l1_data_folds_into_l2_victim() {
+        let mut h = hier();
+        let a = PAddr(0);
+        h.probe(a, true);
+        h.fill_from_memory(a, true, false); // dirty in L1+L2
+        let b = PAddr(2048);
+        h.probe(b, false);
+        h.fill_from_memory(b, false, true);
+        let c = PAddr(4096);
+        h.probe(c, false);
+        let victim = h.fill_from_memory(c, false, true).expect("eviction");
+        assert_eq!(victim.line, LineAddr(0));
+        assert!(victim.dirty, "dirty line writeback lost");
+    }
+
+    #[test]
+    fn invalidate_line_reports_dirtiness() {
+        let mut h = hier();
+        let p = PAddr(0x5000);
+        h.probe(p, true);
+        h.fill_from_memory(p, true, false);
+        assert!(h.invalidate_line(h.l2_line(p)));
+        assert_eq!(h.probe(p, false), HierProbe::L2Miss);
+        // Invalidating an absent line is harmless and clean.
+        assert!(!h.invalidate_line(LineAddr(0x7f00)));
+    }
+
+    #[test]
+    fn downgrade_line_supplies_dirty_data_once() {
+        let mut h = hier();
+        let p = PAddr(0x6000);
+        h.probe(p, true);
+        h.fill_from_memory(p, true, false);
+        assert!(h.downgrade_line(h.l2_line(p)));
+        assert!(!h.downgrade_line(h.l2_line(p)));
+        // Still readable afterwards.
+        assert_eq!(h.probe(p, false), HierProbe::L1Hit);
+    }
+
+    #[test]
+    fn write_to_shared_subline_of_owned_l2_line() {
+        // Regression: fill subline A Shared, upgrade via subline B's
+        // write, then write subline A — the L1 copy must be granted
+        // ownership in place, not double-filled.
+        let mut h = hier();
+        let a = PAddr(0x1000);
+        let b = PAddr(0x1000 + 32); // different L1 line, same L2 line
+        h.probe(a, false);
+        h.fill_from_memory(a, false, false); // Shared in L1+L2
+        assert_eq!(h.probe(b, true), HierProbe::L2Upgrade);
+        h.complete_upgrade(b); // L2 line now Modified; a's L1 copy Shared
+        assert_eq!(h.probe(a, true), HierProbe::L2Hit);
+        h.fill_l1_from_l2(a, true); // must not panic
+        assert_eq!(h.probe(a, true), HierProbe::L1Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn mismatched_line_sizes_panic() {
+        CacheHierarchy::new(
+            CacheGeometry::new(512, 64, 2),
+            CacheGeometry::new(4096, 32, 2),
+        );
+    }
+}

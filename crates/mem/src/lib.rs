@@ -1,0 +1,51 @@
+//! `flashsim-mem` — memory-hierarchy state models for the FLASH
+//! reproduction: caches, TLB, page allocation, and the [`MemorySystem`]
+//! seam between processor models and memory-system models.
+//!
+//! Everything in this crate is a *state* model. Timing is deliberately kept
+//! out: the paper's simulators differ precisely in how much timing they
+//! attach to the same architectural state (Mipsy charges nothing for a TLB
+//! refill the R10000 spends 65 cycles on; NUMA charges latency but no
+//! occupancy for the same directory lookup FlashLite queues), so the state
+//! lives here once and each model prices it differently.
+//!
+//! - [`addr`]: physical address newtypes,
+//! - [`cache`]: set-associative MESI caches,
+//! - [`hier`]: the per-node inclusive L1/L2 pair,
+//! - [`tlb`]: the R10000-style TLB,
+//! - [`page`]: page table plus the Solo and IRIX-like frame allocators
+//!   behind the paper's page-colouring findings,
+//! - [`system`]: the [`MemorySystem`] trait, protocol-case taxonomy
+//!   (Table 3), and coherence-action plumbing.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_mem::cache::{Cache, CacheGeometry, LineState, Probe};
+//! use flashsim_mem::addr::PAddr;
+//!
+//! let mut l2 = Cache::new(CacheGeometry::new(2 * 1024 * 1024, 128, 2));
+//! let line = l2.line_of(PAddr(0x1234));
+//! assert_eq!(l2.probe(line, false), Probe::Miss);
+//! l2.fill(line, LineState::Exclusive);
+//! assert_eq!(l2.probe(line, false), Probe::Hit(LineState::Exclusive));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod hier;
+pub mod page;
+pub mod system;
+pub mod tlb;
+
+pub use addr::{LineAddr, PAddr};
+pub use cache::{Cache, CacheGeometry, LineState, Probe, Victim};
+pub use hier::{CacheHierarchy, HierProbe};
+pub use page::{AllocPolicy, FrameAllocator, PageTable};
+pub use system::{
+    AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
+};
+pub use tlb::Tlb;

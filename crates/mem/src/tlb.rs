@@ -1,0 +1,204 @@
+//! Translation lookaside buffer.
+//!
+//! The paper's single biggest "omission" finding is the TLB: the R10000's
+//! 64-entry TLB is small enough that tuned SPLASH-2 kernels whose working
+//! sets fit the primary cache still thrash it, and a simulator that either
+//! omits the TLB (Solo) or models its refill too cheaply (SimOS before
+//! tuning: 25/35 cycles instead of the measured 65) misses a first-order
+//! effect. This module models the reach structure; refill *cost* is owned
+//! by the environment model in `flashsim-os`.
+
+use flashsim_isa::VAddr;
+use std::collections::HashMap;
+
+/// A fully-associative, LRU-replacement TLB mapping virtual page numbers to
+/// physical frame numbers.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: usize,
+    page_bytes: u64,
+    map: HashMap<u64, (u64, u64)>, // vpn -> (pfn, last_used)
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `entries` slots over `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    pub fn new(entries: usize, page_bytes: u64) -> Tlb {
+        assert!(entries > 0, "TLB needs at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries,
+            page_bytes,
+            map: HashMap::with_capacity(entries),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Reach in bytes (entries × page size).
+    pub fn reach_bytes(&self) -> u64 {
+        self.entries as u64 * self.page_bytes
+    }
+
+    /// Looks up `vaddr`; on a hit returns the frame number and refreshes
+    /// LRU, on a miss records the miss and returns `None` (the caller runs
+    /// the refill handler and then calls [`insert`](Tlb::insert)).
+    pub fn translate(&mut self, vaddr: VAddr) -> Option<u64> {
+        self.tick += 1;
+        let vpn = vaddr.vpn(self.page_bytes);
+        match self.map.get_mut(&vpn) {
+            Some((pfn, last)) => {
+                *last = self.tick;
+                self.hits += 1;
+                Some(*pfn)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a translation after a refill, evicting the LRU entry if
+    /// full. Re-inserting an existing vpn updates its frame.
+    pub fn insert(&mut self, vpn: u64, pfn: u64) {
+        self.tick += 1;
+        if self.map.len() >= self.entries && !self.map.contains_key(&vpn) {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| *k)
+                .expect("full TLB is non-empty");
+            self.map.remove(&lru);
+        }
+        self.map.insert(vpn, (pfn, self.tick));
+    }
+
+    /// Drops every entry (context switch / flush).
+    pub fn flush(&mut self) {
+        self.map.clear();
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all lookups, or 0 if none.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(4, 4096);
+        assert_eq!(t.translate(VAddr(0x1234)), None);
+        t.insert(1, 99);
+        assert_eq!(t.translate(VAddr(0x1234)), Some(99));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2, 4096);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        // Touch vpn 1 so vpn 2 is LRU.
+        assert!(t.translate(VAddr(4096)).is_some());
+        t.insert(3, 30);
+        assert!(t.translate(VAddr(4096)).is_some()); // vpn 1 kept
+        assert!(t.translate(VAddr(3 * 4096)).is_some()); // vpn 3 present
+        assert_eq!(t.translate(VAddr(2 * 4096)), None); // vpn 2 evicted
+    }
+
+    #[test]
+    fn reinsert_updates_not_evicts() {
+        let mut t = Tlb::new(2, 4096);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.insert(1, 11); // update in place, no eviction
+        assert_eq!(t.translate(VAddr(4096)), Some(11));
+        assert_eq!(t.translate(VAddr(2 * 4096)), Some(20));
+    }
+
+    #[test]
+    fn reach_and_flush() {
+        let mut t = Tlb::new(64, 4096);
+        assert_eq!(t.reach_bytes(), 64 * 4096);
+        t.insert(0, 0);
+        t.flush();
+        assert_eq!(t.translate(VAddr(0)), None);
+    }
+
+    #[test]
+    fn sequential_walk_larger_than_reach_thrashes() {
+        // The paper's FFT-transpose pathology in miniature: walk more pages
+        // than the TLB holds, twice; the second pass misses on every page.
+        let mut t = Tlb::new(8, 4096);
+        for pass in 0..2 {
+            for vpn in 0..16u64 {
+                if t.translate(VAddr(vpn * 4096)).is_none() {
+                    t.insert(vpn, vpn);
+                }
+            }
+            if pass == 0 {
+                assert_eq!(t.misses(), 16);
+            }
+        }
+        assert_eq!(t.misses(), 32);
+    }
+
+    #[test]
+    fn working_set_within_reach_stops_missing() {
+        let mut t = Tlb::new(8, 4096);
+        for _ in 0..4 {
+            for vpn in 0..8u64 {
+                if t.translate(VAddr(vpn * 4096)).is_none() {
+                    t.insert(vpn, vpn);
+                }
+            }
+        }
+        assert_eq!(t.misses(), 8); // only cold misses
+        assert!(t.miss_ratio() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        Tlb::new(0, 4096);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the cache hierarchy: inclusion, coherence-state
+//! sanity, and no-panic under arbitrary interleavings of accesses,
+//! fills, invalidations and downgrades.
+
+use flashsim_mem::addr::{LineAddr, PAddr};
+use flashsim_mem::cache::{Cache, CacheGeometry, LineState, Probe};
+use flashsim_mem::hier::{CacheHierarchy, HierProbe};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Access { addr: u64, write: bool },
+    Invalidate { line: u64 },
+    Downgrade { line: u64 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        8 => (0u64..0x4000, any::<bool>()).prop_map(|(a, write)| Action::Access {
+            addr: a & !0x7,
+            write,
+        }),
+        1 => (0u64..0x4000).prop_map(|l| Action::Invalidate { line: l & !0x7F }),
+        1 => (0u64..0x4000).prop_map(|l| Action::Downgrade { line: l & !0x7F }),
+    ]
+}
+
+fn small_hier() -> CacheHierarchy {
+    CacheHierarchy::new(
+        CacheGeometry::new(512, 32, 2),
+        CacheGeometry::new(2048, 128, 2),
+    )
+}
+
+/// Walks every L1 line and checks its L2 parent exists (inclusion) and is
+/// at least as privileged (an L1-writable line needs a writable L2 line).
+fn check_inclusion(h: &CacheHierarchy) {
+    for l1_addr in (0u64..0x4000).step_by(32) {
+        let l1_line = LineAddr(l1_addr);
+        if let Some(l1_state) = h.l1().peek(l1_line) {
+            let l2_line = h.l2_line(PAddr(l1_addr));
+            let l2_state = h
+                .l2()
+                .peek(l2_line)
+                .unwrap_or_else(|| panic!("inclusion violated at {l1_line}"));
+            if l1_state.writable() {
+                assert!(
+                    l2_state.writable(),
+                    "L1 {l1_line} writable but L2 {l2_line} is {l2_state:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The hierarchy never panics and never violates inclusion, whatever
+    /// the interleaving of demand accesses and directory actions.
+    #[test]
+    fn inclusion_holds_under_arbitrary_traffic(actions in proptest::collection::vec(action_strategy(), 1..300)) {
+        let mut h = small_hier();
+        for action in &actions {
+            match *action {
+                Action::Access { addr, write } => {
+                    let p = PAddr(addr);
+                    match h.probe(p, write) {
+                        HierProbe::L1Hit => {}
+                        HierProbe::L2Hit => h.fill_l1_from_l2(p, write),
+                        HierProbe::L2Upgrade => h.complete_upgrade(p),
+                        HierProbe::L2Miss => {
+                            // The directory grants exclusivity for writes.
+                            let _ = h.fill_from_memory(p, write, write);
+                        }
+                    }
+                    // After resolution the access must hit.
+                    prop_assert_eq!(h.probe(p, write), HierProbe::L1Hit);
+                }
+                Action::Invalidate { line } => {
+                    h.invalidate_line(LineAddr(line));
+                }
+                Action::Downgrade { line } => {
+                    h.downgrade_line(LineAddr(line));
+                }
+            }
+            check_inclusion(&h);
+        }
+    }
+
+    /// A plain cache never reports more lines per set than its ways, and
+    /// hits+misses always equals the probe count.
+    #[test]
+    fn cache_accounting_is_exact(addrs in proptest::collection::vec(0u64..0x8000, 1..500)) {
+        let mut c = Cache::new(CacheGeometry::new(1024, 64, 2));
+        let mut probes = 0u64;
+        for a in &addrs {
+            let line = c.line_of(PAddr(*a));
+            probes += 1;
+            if c.probe(line, false) == Probe::Miss {
+                c.fill(line, LineState::Shared);
+            }
+        }
+        prop_assert_eq!(c.hits() + c.misses(), probes);
+        // Re-probing everything immediately can at most miss on evicted
+        // lines; counters keep adding up.
+        for a in &addrs {
+            let line = c.line_of(PAddr(*a));
+            probes += 1;
+            if c.probe(line, false) == Probe::Miss {
+                c.fill(line, LineState::Shared);
+            }
+        }
+        prop_assert_eq!(c.hits() + c.misses(), probes);
+    }
+
+    /// LRU within a working set no larger than a set's ways never misses
+    /// after the cold pass.
+    #[test]
+    fn small_working_set_never_misses_after_warmup(start in 0u64..0x1000) {
+        let mut c = Cache::new(CacheGeometry::new(1024, 64, 2));
+        let base = start & !0x3F;
+        // Two lines in the same set (stride = sets * line = 8 * 64).
+        let lines = [LineAddr(base), LineAddr(base + 512)];
+        for line in lines {
+            if c.probe(line, false) == Probe::Miss {
+                c.fill(line, LineState::Shared);
+            }
+        }
+        for _ in 0..20 {
+            for line in lines {
+                prop_assert_ne!(c.probe(line, false), Probe::Miss);
+            }
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! The FLASH directory: dynamic pointer allocation.
+//!
+//! FLASH's cache-coherence protocol (run in software on MAGIC's protocol
+//! processor) keeps, per memory line, a *directory header* holding the line
+//! state and the first sharer inline, with further sharers chained through
+//! a per-node *pointer/link store* — Heinrich's "dynamic pointer
+//! allocation" scheme (Table 1 of the paper). This module implements that
+//! structure and its state machine exactly at transaction granularity:
+//! reads, read-exclusives, upgrades, and writebacks, including pointer-pool
+//! exhaustion (which reclaims a pointer by invalidating an existing
+//! sharer, as the real protocol does).
+//!
+//! Timing is *not* here — FlashLite and NUMA price these transitions
+//! differently; both call into the same directory so their protocol
+//! behaviour is identical, mirroring the paper's "the same protocol is
+//! used in FlashLite and on the real hardware".
+
+use flashsim_mem::addr::LineAddr;
+use flashsim_mem::system::NodeId;
+use std::collections::HashMap;
+
+/// Directory-visible state of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// Cached (possibly) by a set of sharers, memory current.
+    Shared,
+    /// Owned by one node (Exclusive or Modified there); memory may be stale.
+    Owned,
+}
+
+/// A directory header: state + inline first sharer + chained extras.
+#[derive(Debug, Clone)]
+struct Header {
+    state: DirState,
+    /// Owner when `Owned`; the inline head sharer when `Shared`.
+    head: NodeId,
+    /// Index into the pointer store of the rest of the sharer list.
+    list: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PoolSlot {
+    node: NodeId,
+    next: Option<u32>,
+}
+
+/// Where the data for a read comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Home memory is current.
+    Memory,
+    /// A remote cache owns the line dirty-exclusive; it supplies the data.
+    Owner(NodeId),
+}
+
+/// The directory's answer to a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirResponse {
+    /// Where the requester's data comes from (`None` for upgrades that
+    /// needed no data).
+    pub source: DataSource,
+    /// Whether the requester now holds the only cached copy.
+    pub exclusive: bool,
+    /// Nodes whose copies must be invalidated (includes pointer-pool
+    /// reclamation victims).
+    pub invalidate: Vec<NodeId>,
+    /// Node whose dirty copy is downgraded to Shared (kept, not dropped).
+    pub downgrade: Option<NodeId>,
+}
+
+/// One node's directory: headers for lines homed at this node plus the
+/// node's pointer/link store.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    headers: HashMap<LineAddr, Header>,
+    pool: Vec<PoolSlot>,
+    free: Option<u32>,
+    pool_capacity: u32,
+    pool_used: u32,
+    reclaims: u64,
+}
+
+impl Directory {
+    /// Creates a directory with a pointer store of `pool_capacity` slots.
+    pub fn new(pool_capacity: u32) -> Directory {
+        Directory {
+            headers: HashMap::new(),
+            pool: Vec::new(),
+            free: None,
+            pool_capacity,
+            pool_used: 0,
+            reclaims: 0,
+        }
+    }
+
+    /// Times the protocol reclaimed a pointer by invalidating a sharer.
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims
+    }
+
+    /// Pointer-store slots currently in use.
+    pub fn pool_used(&self) -> u32 {
+        self.pool_used
+    }
+
+    fn alloc_slot(&mut self, node: NodeId, next: Option<u32>) -> Option<u32> {
+        if let Some(idx) = self.free {
+            self.free = self.pool[idx as usize].next;
+            self.pool[idx as usize] = PoolSlot { node, next };
+            self.pool_used += 1;
+            return Some(idx);
+        }
+        if (self.pool.len() as u32) < self.pool_capacity {
+            self.pool.push(PoolSlot { node, next });
+            self.pool_used += 1;
+            return Some((self.pool.len() - 1) as u32);
+        }
+        None
+    }
+
+    fn free_slot(&mut self, idx: u32) {
+        self.pool[idx as usize].next = self.free;
+        self.free = Some(idx);
+        self.pool_used -= 1;
+    }
+
+    fn free_list(&mut self, mut head: Option<u32>) {
+        while let Some(idx) = head {
+            head = self.pool[idx as usize].next;
+            self.free_slot(idx);
+        }
+    }
+
+    fn collect_sharers(&self, header: &Header) -> Vec<NodeId> {
+        let mut nodes = vec![header.head];
+        let mut cur = header.list;
+        while let Some(idx) = cur {
+            let slot = self.pool[idx as usize];
+            nodes.push(slot.node);
+            cur = slot.next;
+        }
+        nodes
+    }
+
+    fn sharer_listed(&self, header: &Header, node: NodeId) -> bool {
+        self.collect_sharers(header).contains(&node)
+    }
+
+    /// Adds `node` to a Shared line's list. If the pointer pool is
+    /// exhausted, an existing chained sharer is invalidated to reclaim its
+    /// pointer; the victim is returned so the caller can send the
+    /// invalidation.
+    fn add_sharer(&mut self, line: LineAddr, node: NodeId) -> Option<NodeId> {
+        // Take the header out to sidestep aliasing with the pool.
+        let mut header = self.headers.remove(&line).expect("header exists");
+        debug_assert_eq!(header.state, DirState::Shared);
+        if self.sharer_listed(&header, node) {
+            self.headers.insert(line, header);
+            return None;
+        }
+        let mut victim = None;
+        match self.alloc_slot(node, header.list) {
+            Some(idx) => header.list = Some(idx),
+            None => {
+                // Pool exhausted: reclaim the first chained pointer by
+                // invalidating its node, then reuse the slot.
+                match header.list {
+                    Some(idx) => {
+                        victim = Some(self.pool[idx as usize].node);
+                        self.reclaims += 1;
+                        self.pool[idx as usize].node = node;
+                    }
+                    None => {
+                        // No chained pointers anywhere to steal: replace the
+                        // inline head.
+                        victim = Some(header.head);
+                        self.reclaims += 1;
+                        header.head = node;
+                    }
+                }
+            }
+        }
+        self.headers.insert(line, header);
+        victim.filter(|v| *v != node)
+    }
+
+    /// A read-shared request from `requester` for a line homed here.
+    pub fn read(&mut self, line: LineAddr, requester: NodeId) -> DirResponse {
+        match self.headers.get(&line).cloned() {
+            None => {
+                // Uncached: grant exclusive-clean (MESI E), track as owned.
+                self.headers.insert(
+                    line,
+                    Header {
+                        state: DirState::Owned,
+                        head: requester,
+                        list: None,
+                    },
+                );
+                DirResponse {
+                    source: DataSource::Memory,
+                    exclusive: true,
+                    invalidate: Vec::new(),
+                    downgrade: None,
+                }
+            }
+            Some(h) if h.state == DirState::Owned => {
+                let owner = h.head;
+                if owner == requester {
+                    // Owner silently dropped a clean-exclusive line and is
+                    // re-reading: memory is current, stay owned.
+                    return DirResponse {
+                        source: DataSource::Memory,
+                        exclusive: true,
+                        invalidate: Vec::new(),
+                        downgrade: None,
+                    };
+                }
+                // Dirty intervention: owner supplies data and is downgraded;
+                // line becomes shared by {owner, requester}.
+                let mut header = Header {
+                    state: DirState::Shared,
+                    head: owner,
+                    list: None,
+                };
+                let mut invalidate = Vec::new();
+                let mut downgrade = Some(owner);
+                match self.alloc_slot(requester, None) {
+                    Some(idx) => header.list = Some(idx),
+                    None => {
+                        // Pool exhausted: cannot chain the requester; the
+                        // protocol falls back to invalidating the old owner
+                        // after it supplies data, leaving only the requester.
+                        invalidate.push(owner);
+                        downgrade = None;
+                        self.reclaims += 1;
+                        header.head = requester;
+                    }
+                }
+                self.headers.insert(line, header);
+                DirResponse {
+                    source: DataSource::Owner(owner),
+                    exclusive: false,
+                    invalidate,
+                    downgrade,
+                }
+            }
+            Some(_) => {
+                let victim = self.add_sharer(line, requester);
+                DirResponse {
+                    source: DataSource::Memory,
+                    exclusive: false,
+                    invalidate: victim.into_iter().collect(),
+                    downgrade: None,
+                }
+            }
+        }
+    }
+
+    /// A read-exclusive request from `requester`.
+    pub fn read_exclusive(&mut self, line: LineAddr, requester: NodeId) -> DirResponse {
+        match self.headers.get(&line).cloned() {
+            None => {
+                self.headers.insert(
+                    line,
+                    Header {
+                        state: DirState::Owned,
+                        head: requester,
+                        list: None,
+                    },
+                );
+                DirResponse {
+                    source: DataSource::Memory,
+                    exclusive: true,
+                    invalidate: Vec::new(),
+                    downgrade: None,
+                }
+            }
+            Some(h) if h.state == DirState::Owned => {
+                let owner = h.head;
+                self.headers.insert(
+                    line,
+                    Header {
+                        state: DirState::Owned,
+                        head: requester,
+                        list: None,
+                    },
+                );
+                if owner == requester {
+                    DirResponse {
+                        source: DataSource::Memory,
+                        exclusive: true,
+                        invalidate: Vec::new(),
+                        downgrade: None,
+                    }
+                } else {
+                    DirResponse {
+                        source: DataSource::Owner(owner),
+                        exclusive: true,
+                        invalidate: vec![owner],
+                        downgrade: None,
+                    }
+                }
+            }
+            Some(h) => {
+                let sharers = self.collect_sharers(&h);
+                self.free_list(h.list);
+                self.headers.insert(
+                    line,
+                    Header {
+                        state: DirState::Owned,
+                        head: requester,
+                        list: None,
+                    },
+                );
+                DirResponse {
+                    source: DataSource::Memory,
+                    exclusive: true,
+                    invalidate: sharers.into_iter().filter(|n| *n != requester).collect(),
+                    downgrade: None,
+                }
+            }
+        }
+    }
+
+    /// An ownership upgrade from `requester`, which believes it holds the
+    /// line Shared. If the directory no longer lists the requester (its
+    /// copy was reclaimed), this degenerates to a read-exclusive and
+    /// `source` indicates the data transfer that must happen.
+    pub fn upgrade(&mut self, line: LineAddr, requester: NodeId) -> DirResponse {
+        match self.headers.get(&line).cloned() {
+            Some(h) if h.state == DirState::Shared && self.sharer_listed(&h, requester) => {
+                let sharers = self.collect_sharers(&h);
+                self.free_list(h.list);
+                self.headers.insert(
+                    line,
+                    Header {
+                        state: DirState::Owned,
+                        head: requester,
+                        list: None,
+                    },
+                );
+                DirResponse {
+                    source: DataSource::Memory, // no data actually moves
+                    exclusive: true,
+                    invalidate: sharers.into_iter().filter(|n| *n != requester).collect(),
+                    downgrade: None,
+                }
+            }
+            _ => self.read_exclusive(line, requester),
+        }
+    }
+
+    /// A writeback of a dirty line by `owner`. Stale writebacks (the
+    /// directory has already reassigned the line) are ignored, as in the
+    /// real protocol where the races are resolved at the home.
+    pub fn writeback(&mut self, line: LineAddr, owner: NodeId) {
+        if let Some(h) = self.headers.get(&line) {
+            if h.state == DirState::Owned && h.head == owner {
+                self.headers.remove(&line);
+            }
+        }
+    }
+
+    /// The sharer set the directory currently lists for `line` (owner only
+    /// if owned). Empty if uncached. For tests and invariant checks.
+    pub fn sharers(&self, line: LineAddr) -> Vec<NodeId> {
+        match self.headers.get(&line) {
+            None => Vec::new(),
+            Some(h) => {
+                let mut v = self.collect_sharers(h);
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+
+    /// True if `line` is owned dirty-exclusive by some node.
+    pub fn is_owned(&self, line: LineAddr) -> bool {
+        matches!(
+            self.headers.get(&line),
+            Some(Header {
+                state: DirState::Owned,
+                ..
+            })
+        )
+    }
+
+    /// The owner of `line`, if owned.
+    pub fn owner(&self, line: LineAddr) -> Option<NodeId> {
+        match self.headers.get(&line) {
+            Some(h) if h.state == DirState::Owned => Some(h.head),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LineAddr = LineAddr(0x1000);
+
+    #[test]
+    fn first_read_grants_exclusive_clean() {
+        let mut d = Directory::new(16);
+        let r = d.read(L, 3);
+        assert_eq!(r.source, DataSource::Memory);
+        assert!(r.exclusive);
+        assert!(r.invalidate.is_empty());
+        assert_eq!(d.owner(L), Some(3));
+    }
+
+    #[test]
+    fn second_read_triggers_intervention_and_shares() {
+        let mut d = Directory::new(16);
+        d.read(L, 1);
+        let r = d.read(L, 2);
+        assert_eq!(r.source, DataSource::Owner(1));
+        assert!(!r.exclusive);
+        assert_eq!(r.downgrade, Some(1));
+        assert!(!d.is_owned(L));
+        assert_eq!(d.sharers(L), vec![1, 2]);
+    }
+
+    #[test]
+    fn owner_rereading_after_silent_drop_stays_owner() {
+        let mut d = Directory::new(16);
+        d.read(L, 1);
+        let r = d.read(L, 1);
+        assert_eq!(r.source, DataSource::Memory);
+        assert!(r.exclusive);
+        assert_eq!(d.owner(L), Some(1));
+    }
+
+    #[test]
+    fn read_exclusive_invalidates_all_sharers() {
+        let mut d = Directory::new(16);
+        d.read(L, 0);
+        d.read(L, 1);
+        d.read(L, 2);
+        let r = d.read_exclusive(L, 3);
+        assert!(r.exclusive);
+        let mut inv = r.invalidate.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![0, 1, 2]);
+        assert_eq!(d.owner(L), Some(3));
+    }
+
+    #[test]
+    fn read_exclusive_fetches_dirty_from_owner() {
+        let mut d = Directory::new(16);
+        d.read_exclusive(L, 5);
+        let r = d.read_exclusive(L, 6);
+        assert_eq!(r.source, DataSource::Owner(5));
+        assert_eq!(r.invalidate, vec![5]);
+        assert_eq!(d.owner(L), Some(6));
+    }
+
+    #[test]
+    fn upgrade_from_listed_sharer_moves_no_data() {
+        let mut d = Directory::new(16);
+        d.read(L, 0);
+        d.read(L, 1); // now shared by {0,1}
+        let r = d.upgrade(L, 0);
+        assert!(r.exclusive);
+        assert_eq!(r.invalidate, vec![1]);
+        assert_eq!(d.owner(L), Some(0));
+    }
+
+    #[test]
+    fn upgrade_from_unlisted_sharer_degenerates_to_read_exclusive() {
+        let mut d = Directory::new(16);
+        d.read(L, 0); // node 0 owns
+        // Node 1 thinks it has a shared copy, but the directory never saw
+        // it (e.g. reclaimed). The upgrade falls back to read-exclusive.
+        let r = d.upgrade(L, 1);
+        assert!(r.exclusive);
+        assert_eq!(r.source, DataSource::Owner(0));
+        assert_eq!(d.owner(L), Some(1));
+    }
+
+    #[test]
+    fn writeback_uncaches_the_line() {
+        let mut d = Directory::new(16);
+        d.read_exclusive(L, 2);
+        d.writeback(L, 2);
+        assert!(d.sharers(L).is_empty());
+        // Next read behaves like a cold line.
+        let r = d.read(L, 4);
+        assert!(r.exclusive);
+    }
+
+    #[test]
+    fn stale_writeback_is_ignored() {
+        let mut d = Directory::new(16);
+        d.read_exclusive(L, 2);
+        d.read_exclusive(L, 3); // ownership moved to 3
+        d.writeback(L, 2); // stale
+        assert_eq!(d.owner(L), Some(3));
+    }
+
+    #[test]
+    fn pool_exhaustion_reclaims_a_sharer() {
+        // Pool of 2: up to 3 sharers (1 inline + 2 chained).
+        let mut d = Directory::new(2);
+        d.read(L, 0);
+        d.read(L, 1); // intervention: shared {0,1}, 1 chained
+        d.read(L, 2); // 2 chained
+        assert_eq!(d.sharers(L).len(), 3);
+        let before = d.reclaims();
+        let r = d.read(L, 3);
+        assert_eq!(d.reclaims(), before + 1);
+        assert_eq!(r.invalidate.len(), 1, "one sharer reclaimed");
+        let victim = r.invalidate[0];
+        assert!(!d.sharers(L).contains(&victim));
+        assert!(d.sharers(L).contains(&3));
+        assert_eq!(d.sharers(L).len(), 3, "pool bound respected");
+    }
+
+    #[test]
+    fn pool_slots_are_recycled_after_read_exclusive() {
+        let mut d = Directory::new(2);
+        d.read(L, 0);
+        d.read(L, 1);
+        d.read(L, 2);
+        assert_eq!(d.pool_used(), 2);
+        d.read_exclusive(L, 0);
+        assert_eq!(d.pool_used(), 0, "invalidation frees pointers");
+        // Another line can now use the pool without reclaims.
+        let l2 = LineAddr(0x2000);
+        d.read(l2, 0);
+        d.read(l2, 1);
+        d.read(l2, 2);
+        assert_eq!(d.sharers(l2).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_read_does_not_duplicate_sharer() {
+        let mut d = Directory::new(16);
+        d.read(L, 0);
+        d.read(L, 1);
+        d.read(L, 1);
+        d.read(L, 1);
+        assert_eq!(d.sharers(L), vec![0, 1]);
+        assert_eq!(d.pool_used(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! `flashsim-workloads` — the applications and microbenchmarks of the
+//! FLASH validation study, re-expressed as deterministic op-stream
+//! programs.
+//!
+//! - [`fft::Fft`], [`radix::Radix`], [`lu::Lu`], [`ocean::Ocean`]: the
+//!   four SPLASH-2 applications of Table 2, each with the tuning knobs the
+//!   paper turns (FFT transpose blocking, Radix-Sort radix and data
+//!   placement),
+//! - [`micro::Snbench`], [`micro::TlbTimer`], [`micro::RestartProbe`]:
+//!   the measurement instruments behind §3.1.2's simulator tuning,
+//! - [`layout`]: Table-2 problem sizes, the scaling policy, and address
+//!   arithmetic shared by the kernels.
+//!
+//! The same [`flashsim_isa::Program`] value is handed to every platform —
+//! the workspace's version of the paper's "the same application binaries
+//! are used for all platforms".
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_workloads::fft::{Fft, FftBlocking};
+//! use flashsim_workloads::layout::ProblemScale;
+//! use flashsim_isa::Program;
+//!
+//! let fft = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Tlb);
+//! assert_eq!(fft.num_threads(), 2);
+//! assert!(fft.stream(0).count() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod layout;
+pub mod lu;
+pub mod micro;
+pub mod ocean;
+pub mod radix;
+
+pub use fft::{Fft, FftBlocking};
+pub use layout::{table2, ProblemScale, Table2Row};
+pub use lu::Lu;
+pub use micro::{RestartProbe, SnCase, Snbench, TlbTimer};
+pub use ocean::Ocean;
+pub use radix::Radix;

@@ -1,0 +1,315 @@
+//! The SPLASH-2 Ocean kernel (multi-grid stencil sweeps).
+//!
+//! Ocean keeps many same-sized grids and sweeps 5-point stencils across
+//! them, reading several grids *at the same index* per pass. That access
+//! shape is what makes it the paper's page-colouring witness (§3.1.2):
+//! the grids are exactly cache-way-sized and start colour-aligned, so
+//! Solo's sequential physical allocation gives corresponding elements of
+//! different grids identical cache colours — more lines per set than the
+//! associativity, and a ~3× secondary-cache miss-rate over-prediction on
+//! a uniprocessor. Under IRIX's (hashed) page colouring the grids
+//! decorrelate and the conflicts vanish; on four processors each node's
+//! per-grid partitions are a fraction of a way, so even Solo's packing
+//! stops colliding — both paper observations emerge from allocation, not
+//! from special-cased code.
+//!
+//! Ocean is also the other high-latency-instruction workload: the
+//! relaxation pass divides, so Mipsy under-predicts it (§3.1.3).
+
+use crate::layout::{block_range, ProblemScale};
+use flashsim_isa::{OpClass, Placement, Program, Reg, Segment, Sink, VAddr};
+
+const F64: u64 = 8;
+/// Number of grids (the real Ocean has ~25; six suffice for the 3-grid
+/// working sets per pass that drive the conflict mechanism).
+const GRIDS: u64 = 6;
+
+/// The Ocean workload.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    n: u64,
+    iters: u32,
+    threads: usize,
+}
+
+impl Ocean {
+    /// Creates an Ocean over `n`×`n` grids for `iters` sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two ≥ 16 (way alignment is the
+    /// point of the experiment) and `threads > 0`.
+    pub fn new(n: u64, iters: u32, threads: usize) -> Ocean {
+        assert!(n.is_power_of_two() && n >= 16, "grid must be a power of two");
+        assert!(threads > 0);
+        Ocean { n, iters, threads }
+    }
+
+    /// Paper-equivalent (512², standing in for 514² — see EXPERIMENTS.md)
+    /// or scaled sizes.
+    pub fn sized(scale: ProblemScale, threads: usize) -> Ocean {
+        match scale {
+            // The per-pass working set must exceed the L2 (streaming
+            // misses dominate real Ocean): 256x256 grids are 512 KB each
+            // against the scaled 256 KB L2, matching the paper's 514^2
+            // against 2 MB. Grids stay way-aligned (512 KB = 4 ways).
+            ProblemScale::Full => Ocean::new(512, 4, threads),
+            ProblemScale::Scaled => Ocean::new(256, 2, threads),
+            ProblemScale::Tiny => Ocean::new(32, 2, threads),
+        }
+    }
+
+    /// Grid dimension.
+    pub fn dim(&self) -> u64 {
+        self.n
+    }
+
+    fn grid_bytes(&self) -> u64 {
+        self.n * self.n * F64
+    }
+
+    fn grid_base(&self, g: u64) -> VAddr {
+        VAddr(0x1000_0000 * (g + 1))
+    }
+
+    fn addr(&self, g: u64, i: u64, j: u64) -> VAddr {
+        self.grid_base(g).offset((i * self.n + j) * F64)
+    }
+
+    /// One stencil pass: `dst[i][j] = f(src[i±1][j], src[i][j±1],
+    /// aux[i][j])` over this thread's rows, with `divide` selecting the
+    /// relaxation variant.
+    #[allow(clippy::too_many_arguments)] // the pass IS its grid roles
+    fn stencil(
+        &self,
+        sink: &mut Sink,
+        tid: usize,
+        dst: u64,
+        src: u64,
+        aux: u64,
+        divide: bool,
+        site: u32,
+    ) {
+        let (r0, r1) = block_range(self.n, self.threads, tid);
+        let lo = r0.max(1);
+        let hi = r1.min(self.n - 1);
+        for i in lo..hi {
+            sink.prefetch(self.addr(src, i + 1, 0));
+            for j in 1..(self.n - 1) {
+                sink.alu(2); // induction/address arithmetic
+                // Hand-inserted prefetches (the paper's binaries hide read
+                // latency this way): stay two lines ahead on the source
+                // and destination rows.
+                if j % 4 == 0 && j + 10 < self.n {
+                    sink.prefetch(self.addr(src, i, j + 8));
+                    sink.prefetch(self.addr(dst, i, j + 8));
+                    if j % 8 == 0 {
+                        sink.prefetch(self.addr(src, i + 1, j + 8));
+                    }
+                }
+                let c = sink.load(self.addr(src, i, j));
+                let nort = sink.load(self.addr(src, i - 1, j));
+                let south = sink.load(self.addr(src, i + 1, j));
+                let west = sink.load(self.addr(src, i, j - 1));
+                let east = sink.load(self.addr(src, i, j + 1));
+                // Coefficient grids are sampled coarsely (interpolated in
+                // registers between samples), as Ocean's real multigrid
+                // coefficients are.
+                let a = if aux != src && j % 2 == 1 {
+                    sink.load(self.addr(aux, i, j))
+                } else {
+                    let r = sink.next_reg();
+                    sink.push(flashsim_isa::Op::compute(OpClass::FpAdd, r, c, c));
+                    r
+                };
+                let s1 = sink.next_reg();
+                sink.push(flashsim_isa::Op::compute(OpClass::FpAdd, s1, nort, south));
+                let s2 = sink.next_reg();
+                sink.push(flashsim_isa::Op::compute(OpClass::FpAdd, s2, west, east));
+                let s3 = sink.next_reg();
+                sink.push(flashsim_isa::Op::compute(OpClass::FpAdd, s3, s1, s2));
+                let m = sink.next_reg();
+                sink.push(flashsim_isa::Op::compute(OpClass::FpMul, m, s3, a));
+                let r = if divide {
+                    let d = sink.next_reg();
+                    sink.push(flashsim_isa::Op::compute(OpClass::FpDiv, d, m, c));
+                    d
+                } else {
+                    let d = sink.next_reg();
+                    sink.push(flashsim_isa::Op::compute(OpClass::FpAdd, d, m, c));
+                    d
+                };
+                sink.store_dep(self.addr(dst, i, j), Reg::ZERO, r);
+            }
+            sink.loop_branch(site);
+        }
+    }
+}
+
+impl Program for Ocean {
+    fn name(&self) -> String {
+        format!("ocean-{}x{}", self.n, self.n)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn segments(&self) -> Vec<Segment> {
+        (0..GRIDS)
+            .map(|g| {
+                Segment::new(
+                    match g {
+                        0 => "psi",
+                        1 => "psim",
+                        2 => "q",
+                        3 => "gamma",
+                        4 => "work1",
+                        _ => "work2",
+                    },
+                    self.grid_base(g),
+                    self.grid_bytes(),
+                    Placement::Blocked,
+                )
+            })
+            .collect()
+    }
+
+    fn thread_body(&self, tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+        let oc = self.clone();
+        Box::new(move |sink| {
+            // Init: first-touch my row block of every grid, grid by grid —
+            // this ordering is what hands Solo's sequential allocator its
+            // colour-aligned layout on a uniprocessor.
+            let (r0, r1) = block_range(oc.n, oc.threads, tid);
+            for g in 0..GRIDS {
+                for i in r0..r1 {
+                    for j in (0..oc.n).step_by(4) {
+                        sink.store(oc.addr(g, i, j));
+                    }
+                    sink.alu(2);
+                }
+            }
+            sink.barrier(); // barrier 0: timing starts
+
+            for _ in 0..oc.iters {
+                // Laplacian of psi into q: a two-grid pass (src == aux),
+                // which two-way caches tolerate even when the grids are
+                // colour-aligned.
+                oc.stencil(sink, tid, 2, 0, 0, false, 50);
+                sink.barrier();
+                // Gamma update from q and work1: the THREE-grid pass whose
+                // same-index accesses overflow a 2-way set when Solo's
+                // allocation colour-aligns the grids (the paper's Ocean
+                // conflict-miss mechanism).
+                oc.stencil(sink, tid, 3, 2, 4, false, 51);
+                sink.barrier();
+                // Relaxation back into psi: two grids, divide-heavy.
+                oc.stencil(sink, tid, 0, 3, 3, true, 52);
+                sink.barrier();
+            }
+        })
+    }
+
+    fn timing_barrier(&self) -> Option<u32> {
+        Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_way_aligned_powers_of_two() {
+        let scaled = Ocean::sized(ProblemScale::Scaled, 1);
+        assert_eq!(scaled.dim(), 256);
+        // 256x256 doubles = 512KB = exactly four ways of the scaled 256KB
+        // 2-way L2 — colour-aligned AND L2-streaming.
+        assert_eq!(scaled.grid_bytes(), 512 * 1024);
+        let full = Ocean::sized(ProblemScale::Full, 1);
+        assert_eq!(full.grid_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_grids_rejected() {
+        Ocean::new(130, 1, 1);
+    }
+
+    #[test]
+    fn grids_are_aligned_to_identical_page_colors() {
+        let oc = Ocean::sized(ProblemScale::Tiny, 1);
+        for g in 0..GRIDS {
+            assert_eq!(oc.grid_base(g).get() % (1 << 20), 0, "grid base alignment");
+        }
+    }
+
+    #[test]
+    fn three_grid_pass_reads_q_and_work1() {
+        let oc = Ocean::sized(ProblemScale::Tiny, 1);
+        // The second stencil pass (between barriers 2 and 3) is the
+        // three-grid pass: it must load both grid 2 (q) and grid 4
+        // (work1) while storing grid 3.
+        let mut barriers = 0;
+        let mut saw = [false; GRIDS as usize];
+        for op in oc.stream(0) {
+            match op.class {
+                OpClass::Barrier => {
+                    barriers += 1;
+                    if barriers == 3 {
+                        break;
+                    }
+                }
+                OpClass::Load if barriers == 2 => {
+                    let g = (op.addr.get() / 0x1000_0000 - 1) as usize;
+                    saw[g] = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw[2] && saw[4], "three-grid pass reads q and work1: {saw:?}");
+    }
+
+    #[test]
+    fn relaxation_pass_divides() {
+        let oc = Ocean::sized(ProblemScale::Tiny, 1);
+        let divs = oc
+            .stream(0)
+            .filter(|o| o.class == OpClass::FpDiv)
+            .count();
+        let interior = (oc.dim() - 2) * (oc.dim() - 2);
+        assert_eq!(divs as u64, interior * u64::from(oc.iters));
+    }
+
+    #[test]
+    fn threads_split_rows_and_share_barriers() {
+        let p = 4;
+        let oc = Ocean::sized(ProblemScale::Tiny, p);
+        let expect_barriers = 1 + 3 * oc.iters;
+        for t in 0..p {
+            let n = oc
+                .stream(t)
+                .filter(|o| o.class == OpClass::Barrier)
+                .count() as u32;
+            assert_eq!(n, expect_barriers);
+        }
+    }
+
+    #[test]
+    fn boundary_rows_are_untouched_by_stencils() {
+        let oc = Ocean::sized(ProblemScale::Tiny, 1);
+        let mut barriers = 0;
+        for op in oc.stream(0) {
+            if op.class == OpClass::Barrier {
+                barriers += 1;
+            } else if op.class == OpClass::Store && barriers >= 1 {
+                let off = op.addr.get() % 0x1000_0000;
+                let i = off / (oc.dim() * 8);
+                let j = (off / 8) % oc.dim();
+                assert!(i > 0 && i < oc.dim() - 1, "store to boundary row {i}");
+                assert!(j > 0 && j < oc.dim() - 1, "store to boundary col {j}");
+            }
+        }
+    }
+}

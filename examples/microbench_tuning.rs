@@ -1,0 +1,25 @@
+//! "Closing the simulation loop": run the paper's §3.1.2 calibration —
+//! snbench dependent loads and the TLB timer measure the gold standard,
+//! and the fit adjusts FlashLite/Mipsy until they agree (Table 3).
+//!
+//! ```sh
+//! cargo run --release --example microbench_tuning
+//! ```
+
+use flashsim::calibrate::calibrate;
+use flashsim::platform::Study;
+use flashsim::report::render_table3;
+
+fn main() {
+    let study = Study::scaled();
+    println!("Running the calibration loop (snbench x5 cases + TLB timer)...\n");
+    let cal = calibrate(&study);
+    print!("{}", render_table3(&cal));
+    println!(
+        "\nTuned parameters: TLB refill {} cycles, Mipsy L2-interface {:?}, \
+         proc_intervention {:.0}ns",
+        cal.tuning.tlb_refill_cycles,
+        cal.tuning.mipsy_l2_iface.map(|t| t.as_ns_f64()),
+        cal.tuning.flashlite.proc_intervention.as_ns_f64(),
+    );
+}

@@ -1,0 +1,31 @@
+//! The paper's trend question: do simulators that are wrong in absolute
+//! terms still predict *speedup*? Reproduces the Figure 5 FFT study:
+//! the over-clocked Mipsy-300 issues memory requests faster than the
+//! R10000 ever could, manufactures contention, and under-predicts
+//! speedup (the paper's §3.2.1 warning).
+//!
+//! ```sh
+//! cargo run --release --example speedup_study
+//! ```
+
+use flashsim::calibrate::calibrate;
+use flashsim::figures::fig5;
+use flashsim::platform::Study;
+use flashsim::report::render_speedup;
+use flashsim::workloads::ProblemScale;
+
+fn main() {
+    let study = Study::scaled();
+    let cal = calibrate(&study);
+    let fig = fig5(&study, ProblemScale::Scaled, &cal.tuning);
+    print!("{}", render_speedup(&fig));
+    let hw = fig.curve("FLASH 150MHz").and_then(|c| c.at(16)).unwrap_or(0.0);
+    let m300 = fig
+        .curve("SimOS-Mipsy 300MHz")
+        .and_then(|c| c.at(16))
+        .unwrap_or(0.0);
+    println!(
+        "\nAt 16 processors the 300MHz Mipsy predicts {m300:.1}x against the \
+         hardware's {hw:.1}x — the paper's misleading-speedup effect."
+    );
+}

@@ -1,0 +1,27 @@
+//! The full validation matrix in miniature: all seven simulator columns
+//! against the gold standard, before and after tuning (Figures 2 and 3),
+//! at a reduced problem size so the example finishes quickly.
+//!
+//! ```sh
+//! cargo run --release --example validate_suite
+//! ```
+
+use flashsim::calibrate::calibrate;
+use flashsim::figures::{fig2, fig3};
+use flashsim::platform::Study;
+use flashsim::report::render_relative;
+use flashsim::workloads::ProblemScale;
+
+fn main() {
+    let study = Study::scaled();
+    println!("Untuned simulators (Figure 2):\n");
+    print!("{}", render_relative(&fig2(&study, ProblemScale::Scaled)));
+
+    println!("\nCalibrating simulators against the gold standard...\n");
+    let cal = calibrate(&study);
+    println!("Tuned simulators (Figure 3):\n");
+    print!(
+        "{}",
+        render_relative(&fig3(&study, ProblemScale::Scaled, &cal.tuning))
+    );
+}

@@ -1,0 +1,3 @@
+//! Umbrella crate re-exporting the full `flashsim` workspace API.
+#![forbid(unsafe_code)]
+pub use flashsim_core::*;

@@ -1,0 +1,161 @@
+//! Shape tests for the paper's qualitative findings. Absolute numbers are
+//! not asserted (our substrate is a model, not the authors' testbed);
+//! what must hold is who wins, in which direction, as the paper reports.
+//! EXPERIMENTS.md records the quantitative comparison.
+
+use flashsim::machine::CpuModel;
+use flashsim::platform::{MemModel, Sim, Study};
+use flashsim::runner::{run_once, speedup};
+use flashsim::workloads::{Fft, FftBlocking, Ocean, ProblemScale, Radix};
+
+/// §3.1.2: running the FFT with cache blocking instead of TLB blocking
+/// hurts the *hardware* — the application fix the paper applies between
+/// Figures 1 and 2.
+#[test]
+fn fft_tlb_blocking_beats_cache_blocking_on_hardware() {
+    let study = Study::scaled();
+    // The pathology needs the real dataset:TLB-reach ratio, so this test
+    // runs at the scaled (not tiny) problem size.
+    let cache = run_once(
+        study.hardware(1),
+        &Fft::sized(ProblemScale::Scaled, 1, FftBlocking::Cache),
+    );
+    let tlb = run_once(
+        study.hardware(1),
+        &Fft::sized(ProblemScale::Scaled, 1, FftBlocking::Tlb),
+    );
+    assert!(
+        tlb.stats.get_or_zero("os.tlb_refills") < cache.stats.get_or_zero("os.tlb_refills"),
+        "TLB blocking must reduce TLB misses: {} vs {}",
+        tlb.stats.get_or_zero("os.tlb_refills"),
+        cache.stats.get_or_zero("os.tlb_refills")
+    );
+}
+
+/// §3.1.2: the traditional large radix causes pathological TLB misses;
+/// reducing it helps the hardware (31% at paper scale).
+#[test]
+fn radix_reduction_cuts_tlb_misses_on_hardware() {
+    let study = Study::scaled();
+    let big = run_once(study.hardware(1), &Radix::untuned(ProblemScale::Tiny, 1));
+    let small = run_once(study.hardware(1), &Radix::tuned(ProblemScale::Tiny, 1));
+    let big_misses = big.stats.get_or_zero("os.tlb_refills");
+    let small_misses = small.stats.get_or_zero("os.tlb_refills");
+    assert!(
+        small_misses * 2.0 < big_misses,
+        "radix fix must cut TLB misses: {small_misses} vs {big_misses}"
+    );
+    assert!(small.parallel_time < big.parallel_time);
+}
+
+/// §3.1.2/Figure 3: Solo's page allocation wrecks uniprocessor Ocean
+/// (conflict misses IRIX's page colouring avoids), so Solo *over*-predicts
+/// Ocean's execution time relative to SimOS at the same clock.
+#[test]
+fn solo_overpredicts_uniprocessor_ocean() {
+    let study = Study::scaled();
+    let ocean = Ocean::sized(ProblemScale::Scaled, 1);
+    let simos = run_once(study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite), &ocean);
+    let solo = run_once(study.sim(Sim::SoloMipsy(150), 1, MemModel::FlashLite), &ocean);
+    let ratio = solo.parallel_time.ratio(simos.parallel_time);
+    assert!(
+        ratio > 1.3,
+        "Solo-Ocean must suffer page-colouring conflicts (solo/simos = {ratio:.2})"
+    );
+    assert!(
+        solo.stats.get_or_zero("l2.misses") > simos.stats.get_or_zero("l2.misses") * 1.5,
+        "the damage must come from L2 conflict misses"
+    );
+}
+
+/// §3.1.3 / Figure 3: the generic out-of-order MXS exploits more ILP than
+/// the gold-standard R10000 on the same stream, predicting faster times.
+#[test]
+fn mxs_is_faster_than_the_gold_standard() {
+    let study = Study::scaled();
+    let radix = Radix::tuned(ProblemScale::Tiny, 1);
+    let gold = run_once(study.hardware(1), &radix);
+    let mut cfg = study.hardware(1);
+    cfg.cpu = CpuModel::Mxs;
+    let mxs = run_once(cfg, &radix);
+    let ratio = gold.parallel_time.ratio(mxs.parallel_time);
+    assert!(
+        ratio > 1.1,
+        "MXS must out-run the constrained R10000 (gold/mxs = {ratio:.2})"
+    );
+}
+
+/// §2.3: Mipsy's clock-scaling trick is monotone — a faster clock always
+/// shortens the simulated run, but by less than the clock ratio (memory
+/// does not scale).
+#[test]
+fn mipsy_clock_scaling_is_monotone_and_sublinear() {
+    let study = Study::scaled();
+    let fft = Fft::sized(ProblemScale::Tiny, 1, FftBlocking::Tlb);
+    let t150 = run_once(study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite), &fft)
+        .parallel_time;
+    let t225 = run_once(study.sim(Sim::SimosMipsy(225), 1, MemModel::FlashLite), &fft)
+        .parallel_time;
+    let t300 = run_once(study.sim(Sim::SimosMipsy(300), 1, MemModel::FlashLite), &fft)
+        .parallel_time;
+    assert!(t150 > t225 && t225 > t300, "faster clock, shorter run");
+    let ratio = t150.ratio(t300);
+    assert!(
+        ratio < 2.0,
+        "memory time must not scale with the clock (150/300 = {ratio:.2})"
+    );
+}
+
+/// §3.3 / Figure 7: on the unplaced-Radix hotspot, the latency-only NUMA
+/// model predicts much better speedup than FlashLite, whose controller
+/// occupancy captures the bottleneck.
+#[test]
+fn numa_misses_the_hotspot_flashlite_catches() {
+    let study = Study::scaled();
+    let p = 8u32;
+    let uni = Radix::unplaced(ProblemScale::Tiny, 1);
+    let par = Radix::unplaced(ProblemScale::Tiny, p as usize);
+
+    let sim = Sim::SimosMipsy(225);
+    let fl_1 = run_once(study.sim(sim, 1, MemModel::FlashLite), &uni).parallel_time;
+    let fl_p = run_once(study.sim(sim, p, MemModel::FlashLite), &par).parallel_time;
+    let numa_1 = run_once(study.sim(sim, 1, MemModel::Numa), &uni).parallel_time;
+    let numa_p = run_once(study.sim(sim, p, MemModel::Numa), &par).parallel_time;
+
+    let fl_speedup = speedup(fl_1, fl_p);
+    let numa_speedup = speedup(numa_1, numa_p);
+    assert!(
+        numa_speedup > fl_speedup * 1.5,
+        "NUMA must over-predict hotspot speedup (numa {numa_speedup:.2} vs flashlite {fl_speedup:.2})"
+    );
+}
+
+/// Figure 5's warning: over-clocking Mipsy to 300 MHz manufactures
+/// contention and under-predicts multiprocessor speedup relative to the
+/// 150 MHz model.
+#[test]
+fn overclocked_mipsy_underpredicts_speedup() {
+    let study = Study::scaled();
+    let p = 8u32;
+    let uni = Fft::sized(ProblemScale::Tiny, 1, FftBlocking::Tlb);
+    let par = Fft::sized(ProblemScale::Tiny, p as usize, FftBlocking::Tlb);
+
+    let s150 = {
+        let t1 = run_once(study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite), &uni)
+            .parallel_time;
+        let tp = run_once(study.sim(Sim::SimosMipsy(150), p, MemModel::FlashLite), &par)
+            .parallel_time;
+        speedup(t1, tp)
+    };
+    let s300 = {
+        let t1 = run_once(study.sim(Sim::SimosMipsy(300), 1, MemModel::FlashLite), &uni)
+            .parallel_time;
+        let tp = run_once(study.sim(Sim::SimosMipsy(300), p, MemModel::FlashLite), &par)
+            .parallel_time;
+        speedup(t1, tp)
+    };
+    assert!(
+        s300 < s150,
+        "300MHz Mipsy must under-predict speedup (s300={s300:.2} vs s150={s150:.2})"
+    );
+}

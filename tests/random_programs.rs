@@ -1,0 +1,133 @@
+//! Machine-level property tests: randomly generated parallel programs
+//! (random segments, access patterns, barrier structure) must run to
+//! completion on every platform with identical op streams, no deadlock,
+//! and deterministic results.
+
+use flashsim::platform::{MemModel, Sim, Study};
+use flashsim::runner::run_once;
+use flashsim_isa::{OpClass, Placement, Program, Segment, Sink, VAddr};
+use proptest::prelude::*;
+
+/// A randomly shaped but well-formed parallel program.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    threads: usize,
+    /// Per phase: (ops per thread, stride, shared: everyone reads thread
+    /// 0's region instead of their own).
+    phases: Vec<(u16, u8, bool)>,
+    use_lock: bool,
+    placement: Placement,
+}
+
+const SEG_BYTES: u64 = 64 * 1024;
+const BASE: u64 = 0x100000;
+
+impl Program for RandomProgram {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn segments(&self) -> Vec<Segment> {
+        vec![
+            Segment::new(
+                "data",
+                VAddr(BASE),
+                SEG_BYTES * self.threads as u64,
+                self.placement,
+            ),
+            Segment::new("lock", VAddr(0x10000), 4096, Placement::Node(0)),
+        ]
+    }
+
+    fn thread_body(&self, tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+        let prog = self.clone();
+        Box::new(move |sink| {
+            let my_base = BASE + tid as u64 * SEG_BYTES;
+            // Touch my region so placement happens.
+            for i in (0..SEG_BYTES).step_by(4096) {
+                sink.store(VAddr(my_base + i));
+            }
+            sink.barrier();
+            for &(ops, stride, shared) in &prog.phases {
+                let base = if shared { BASE } else { my_base };
+                let stride = u64::from(stride.max(1)) * 8;
+                for k in 0..u64::from(ops) {
+                    let addr = base + (k * stride) % SEG_BYTES;
+                    match k % 5 {
+                        0 | 1 => {
+                            sink.load(VAddr(addr));
+                        }
+                        2 => sink.store(VAddr(addr)),
+                        3 => sink.work(OpClass::FpMul, 2),
+                        _ => sink.alu(3),
+                    }
+                }
+                if prog.use_lock {
+                    sink.lock(7, VAddr(0x10000));
+                    sink.store(VAddr(0x10080));
+                    sink.unlock(7, VAddr(0x10000));
+                }
+                sink.barrier();
+            }
+        })
+    }
+
+    fn timing_barrier(&self) -> Option<u32> {
+        Some(0)
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    (
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        proptest::collection::vec((1u16..400, 1u8..32, any::<bool>()), 1..4),
+        any::<bool>(),
+        prop_oneof![
+            Just(Placement::Blocked),
+            Just(Placement::Node(0)),
+            Just(Placement::Interleaved)
+        ],
+    )
+        .prop_map(|(threads, phases, use_lock, placement)| RandomProgram {
+            threads,
+            phases,
+            use_lock,
+            placement,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed program completes on every platform with the same
+    /// op stream, and repeated runs are bit-identical.
+    #[test]
+    fn random_programs_run_everywhere(prog in program_strategy()) {
+        let study = Study::scaled();
+        let nodes = prog.threads as u32;
+
+        let hw = run_once(study.hardware(nodes), &prog);
+        prop_assert!(hw.total_time.as_ns() > 0);
+        prop_assert!(hw.parallel_time <= hw.total_time);
+
+        let solo = run_once(study.sim(Sim::SoloMipsy(300), nodes, MemModel::FlashLite), &prog);
+        prop_assert_eq!(&solo.ops_per_node, &hw.ops_per_node, "same binary violated");
+
+        let numa = run_once(study.sim(Sim::SimosMxs, nodes, MemModel::Numa), &prog);
+        prop_assert_eq!(&numa.ops_per_node, &hw.ops_per_node);
+
+        // Every barrier released exactly once, in id order.
+        let ids: Vec<u32> = hw.barrier_releases.iter().map(|(id, _)| *id).collect();
+        let expect: Vec<u32> = (0..ids.len() as u32).collect();
+        prop_assert_eq!(ids, expect);
+
+        // Determinism.
+        let again = run_once(study.hardware(nodes), &prog);
+        prop_assert_eq!(again.total_time, hw.total_time);
+        prop_assert_eq!(again.stats, hw.stats);
+    }
+}

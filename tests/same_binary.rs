@@ -1,0 +1,72 @@
+//! The paper's methodological bedrock: "the same application binaries are
+//! used for all platforms". In this workspace that means a program's op
+//! stream must be bit-identical no matter which platform consumes it —
+//! these tests run every workload on radically different platforms and
+//! assert identical per-node op counts.
+
+use flashsim::platform::{MemModel, Sim, Study};
+use flashsim::runner::run_once;
+use flashsim::workloads::{Fft, FftBlocking, Lu, Ocean, ProblemScale, Radix, Snbench, SnCase};
+use flashsim_isa::Program;
+
+fn op_counts(study: &Study, prog: &dyn Program, nodes: u32) -> Vec<Vec<u64>> {
+    let mut all = Vec::new();
+    all.push(run_once(study.hardware(nodes), prog).ops_per_node);
+    for sim in [Sim::SimosMipsy(300), Sim::SimosMxs, Sim::SoloMipsy(150)] {
+        all.push(run_once(study.sim(sim, nodes, MemModel::FlashLite), prog).ops_per_node);
+    }
+    all.push(run_once(study.sim(Sim::SimosMipsy(225), nodes, MemModel::Numa), prog).ops_per_node);
+    all
+}
+
+fn assert_same_binary(prog: &dyn Program, nodes: u32) {
+    let study = Study::scaled();
+    let counts = op_counts(&study, prog, nodes);
+    for c in &counts[1..] {
+        assert_eq!(
+            c, &counts[0],
+            "{}: op streams differ across platforms",
+            prog.name()
+        );
+    }
+    assert!(counts[0].iter().all(|n| *n > 0), "empty node stream");
+}
+
+#[test]
+fn fft_is_the_same_binary_everywhere() {
+    assert_same_binary(&Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Tlb), 2);
+}
+
+#[test]
+fn radix_is_the_same_binary_everywhere() {
+    assert_same_binary(&Radix::tuned(ProblemScale::Tiny, 2), 2);
+}
+
+#[test]
+fn lu_is_the_same_binary_everywhere() {
+    assert_same_binary(&Lu::sized(ProblemScale::Tiny, 2), 2);
+}
+
+#[test]
+fn ocean_is_the_same_binary_everywhere() {
+    assert_same_binary(&Ocean::sized(ProblemScale::Tiny, 2), 2);
+}
+
+#[test]
+fn snbench_is_the_same_binary_everywhere() {
+    for case in SnCase::all() {
+        assert_same_binary(&Snbench::new(case, 64 * 1024), Snbench::NODES as u32);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let study = Study::scaled();
+    let prog = Radix::tuned(ProblemScale::Tiny, 4);
+    let a = run_once(study.hardware(4), &prog);
+    let b = run_once(study.hardware(4), &prog);
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.parallel_time, b.parallel_time);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.barrier_releases, b.barrier_releases);
+}
