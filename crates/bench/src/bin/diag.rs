@@ -1,16 +1,23 @@
 //! Diagnostic: dump run statistics for one app on chosen platforms.
 use flashsim_core::platform::{MemModel, Sim, Study};
 use flashsim_core::runner::run_once;
-use flashsim_workloads::*;
 use flashsim_isa::Program;
+use flashsim_workloads::*;
 
 fn main() {
     let app = std::env::args().nth(1).unwrap_or_else(|| "fft".into());
-    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let study = Study::scaled();
     let prog: Box<dyn Program> = match app.as_str() {
         "fft" => Box::new(Fft::sized(ProblemScale::Scaled, threads, FftBlocking::Tlb)),
-        "fftc" => Box::new(Fft::sized(ProblemScale::Scaled, threads, FftBlocking::Cache)),
+        "fftc" => Box::new(Fft::sized(
+            ProblemScale::Scaled,
+            threads,
+            FftBlocking::Cache,
+        )),
         "radix" => Box::new(Radix::tuned(ProblemScale::Scaled, threads)),
         "radix256" => Box::new(Radix::untuned(ProblemScale::Scaled, threads)),
         "lu" => Box::new(Lu::sized(ProblemScale::Scaled, threads)),
@@ -19,8 +26,14 @@ fn main() {
     };
     let n = threads as u32;
     let hw = run_once(study.hardware(n), prog.as_ref());
-    let sim = run_once(study.sim(Sim::SimosMipsy(150), n, MemModel::FlashLite), prog.as_ref());
-    let solo = run_once(study.sim(Sim::SoloMipsy(150), n, MemModel::FlashLite), prog.as_ref());
+    let sim = run_once(
+        study.sim(Sim::SimosMipsy(150), n, MemModel::FlashLite),
+        prog.as_ref(),
+    );
+    let solo = run_once(
+        study.sim(Sim::SoloMipsy(150), n, MemModel::FlashLite),
+        prog.as_ref(),
+    );
     // Phase durations from barrier releases (hardware run).
     let mut prev = 0.0;
     for (id, t) in &hw.barrier_releases {
@@ -28,14 +41,35 @@ fn main() {
         println!("  hw barrier {id}: at {ms:.2}ms (+{:.2}ms)", ms - prev);
         prev = ms;
     }
-    println!("app={app}  parallel: hw={:.0}us mipsy150={:.0}us solo150={:.0}us  rel={:.2}/{:.2}",
-        hw.parallel_time.as_ns_f64()/1e3, sim.parallel_time.as_ns_f64()/1e3,
-        solo.parallel_time.as_ns_f64()/1e3,
-        sim.parallel_time.ratio(hw.parallel_time), solo.parallel_time.ratio(hw.parallel_time));
-    for key in ["cpu.ops","cpu.loads","cpu.load_misses","cpu.mem_stall_ns","cpu.tlb_stall_ns",
-                "cpu.interlock_stalls","cpu.exceptions","l1.misses","l2.misses","l2.hits",
-                "tlb.misses","os.tlb_refills","proto.local_clean.count","proto.local_clean.mean_ns",
-                "magic.pp_wait_ns"] {
-        println!("{key:<28} hw={:<14.0} mipsy={:<14.0}", hw.stats.get_or_zero(key), sim.stats.get_or_zero(key));
+    println!(
+        "app={app}  parallel: hw={:.0}us mipsy150={:.0}us solo150={:.0}us  rel={:.2}/{:.2}",
+        hw.parallel_time.as_ns_f64() / 1e3,
+        sim.parallel_time.as_ns_f64() / 1e3,
+        solo.parallel_time.as_ns_f64() / 1e3,
+        sim.parallel_time.ratio(hw.parallel_time),
+        solo.parallel_time.ratio(hw.parallel_time)
+    );
+    for key in [
+        "cpu.ops",
+        "cpu.loads",
+        "cpu.load_misses",
+        "cpu.mem_stall_ns",
+        "cpu.tlb_stall_ns",
+        "cpu.interlock_stalls",
+        "cpu.exceptions",
+        "l1.misses",
+        "l2.misses",
+        "l2.hits",
+        "tlb.misses",
+        "os.tlb_refills",
+        "proto.local_clean.count",
+        "proto.local_clean.mean_ns",
+        "magic.pp_wait_ns",
+    ] {
+        println!(
+            "{key:<28} hw={:<14.0} mipsy={:<14.0}",
+            hw.stats.get_or_zero(key),
+            sim.stats.get_or_zero(key)
+        );
     }
 }

@@ -1,0 +1,118 @@
+//! Divergence diff: run the gold-standard hardware and a simulator over
+//! the *same* microbenchmark (identical op streams and seeds), record
+//! both platforms' flight-recorder streams, and report the first event
+//! where they disagree plus per-category event-count deltas.
+//!
+//! Usage:
+//!
+//! ```text
+//! diverge [SIM] [--mem numa] [--case KEY] [--capacity N] [--json PREFIX] [--full]
+//! ```
+//!
+//! `SIM` is one of `simos-mipsy` (default), `solo-mipsy`, `simos-mxs`.
+//! `--case` picks the snbench protocol case (default `remote_clean`).
+//! `--json PREFIX` additionally writes `PREFIX-a.json` / `PREFIX-b.json`
+//! Chrome trace files for chrome://tracing or Perfetto.
+
+use flashsim_bench::{header, setup_from_args};
+use flashsim_core::diverge::diff_traces;
+use flashsim_core::platform::{MemModel, Sim};
+use flashsim_engine::{CategoryMask, Trace, Tracer};
+use flashsim_isa::Program;
+use flashsim_machine::{Machine, MachineConfig, RunManifest};
+use flashsim_workloads::micro::{SnCase, Snbench};
+
+fn traced_run(
+    cfg: MachineConfig,
+    prog: &dyn Program,
+    capacity: usize,
+) -> (Trace, RunManifest, String) {
+    let label = cfg.label();
+    let tracer = Tracer::new(capacity, CategoryMask::ALL);
+    let mut machine = Machine::new(cfg, prog).expect("valid microbenchmark configuration");
+    machine.attach_tracer(tracer.clone());
+    let result = machine.run();
+    (tracer.snapshot(), result.manifest, label)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let setup = setup_from_args();
+    header(
+        "divergence diff (gold-standard hardware vs simulator)",
+        &setup,
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // The positional SIM argument: the first token that is neither a
+    // flag nor a value consumed by a value-taking flag.
+    let value_flags = ["--mem", "--case", "--capacity", "--json"];
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        if value_flags.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            positional = Some(args[i].as_str());
+            break;
+        }
+    }
+    let sim = match positional {
+        None | Some("simos-mipsy") => Sim::SimosMipsy(150),
+        Some("solo-mipsy") => Sim::SoloMipsy(150),
+        Some("simos-mxs") => Sim::SimosMxs,
+        Some(other) => panic!("unknown simulator {other} (simos-mipsy|solo-mipsy|simos-mxs)"),
+    };
+    let mem = match flag_value(&args, "--mem").as_deref() {
+        None | Some("flashlite") => MemModel::FlashLite,
+        Some("numa") => MemModel::Numa,
+        Some(other) => panic!("unknown memory model {other} (flashlite|numa)"),
+    };
+    let case_key = flag_value(&args, "--case").unwrap_or_else(|| "remote_clean".into());
+    let case = SnCase::all()
+        .into_iter()
+        .find(|c| c.case().key() == case_key)
+        .unwrap_or_else(|| {
+            let keys: Vec<&str> = SnCase::all().iter().map(|c| c.case().key()).collect();
+            panic!("unknown snbench case {case_key} ({})", keys.join("|"))
+        });
+    let capacity: usize = flag_value(&args, "--capacity")
+        .map(|s| s.parse().expect("--capacity takes a number"))
+        .unwrap_or(1 << 20);
+
+    let bench = Snbench::new(case, setup.study.geometry.l2.bytes);
+    let nodes = Snbench::NODES as u32;
+    println!(
+        "workload: {} over {} nodes, ring capacity {capacity} events/platform",
+        bench.name(),
+        nodes
+    );
+    println!();
+
+    let (trace_a, manifest_a, label_a) = traced_run(setup.study.hardware(nodes), &bench, capacity);
+    let (trace_b, manifest_b, label_b) =
+        traced_run(setup.study.sim(sim, nodes, mem), &bench, capacity);
+
+    println!("A manifest: {}", manifest_a.to_json());
+    println!("B manifest: {}", manifest_b.to_json());
+    println!();
+
+    let report = diff_traces(&trace_a, &trace_b);
+    print!("{}", report.render(&label_a, &label_b));
+
+    if let Some(prefix) = flag_value(&args, "--json") {
+        for (suffix, trace) in [("a", &trace_a), ("b", &trace_b)] {
+            let path = format!("{prefix}-{suffix}.json");
+            std::fs::write(&path, trace.to_chrome_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+}

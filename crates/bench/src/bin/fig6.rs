@@ -7,6 +7,8 @@ fn main() {
     let cal = flashsim_core::calibrate::calibrate(&setup.study);
     let fig = flashsim_core::figures::fig6(&setup.study, setup.scale, &cal.tuning);
     print!("{}", flashsim_core::report::render_speedup(&fig));
-    println!("(paper: hardware Radix speedup at P=16 is {:.1})",
-        flashsim_core::report::paper::RADIX_SPEEDUP_16);
+    println!(
+        "(paper: hardware Radix speedup at P=16 is {:.1})",
+        flashsim_core::report::paper::RADIX_SPEEDUP_16
+    );
 }

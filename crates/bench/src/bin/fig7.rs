@@ -10,8 +10,10 @@ fn main() {
     let hw = fig.curve("FLASH 150MHz").and_then(|c| c.at(16));
     let numa = fig.curve("NUMA").and_then(|c| c.at(16));
     if let (Some(hw), Some(numa)) = (hw, numa) {
-        println!("NUMA error at P=16: {:.0}% (paper: {:.0}%)",
+        println!(
+            "NUMA error at P=16: {:.0}% (paper: {:.0}%)",
             ((numa - hw) / hw * 100.0).abs(),
-            flashsim_core::report::paper::NUMA_HOTSPOT_ERROR_16 * 100.0);
+            flashsim_core::report::paper::NUMA_HOTSPOT_ERROR_16 * 100.0
+        );
     }
 }

@@ -1,0 +1,140 @@
+//! Simulator-speed timing harness (replaces the old external-framework
+//! benches; runs fully offline with no dependencies): measures host
+//! throughput — events per second and simulated MIPS — for each platform
+//! on a fixed microbenchmark, plus the cost of flight-recorder tracing.
+//!
+//! Usage:
+//!
+//! ```text
+//! simspeed [--app snbench|fft|radix|lu|ocean] [--threads N] [--iters N] [--full]
+//! ```
+//!
+//! Each platform runs `N` times (default 3) and the best run is reported,
+//! the usual protocol for wall-clock microbenchmarks. The default
+//! `snbench` workload is memory-bound and times the memory-system
+//! models; the paper's §2.3 "Mipsy runs 4–5× faster than MXS" claim is
+//! about instruction processing, so check it with a compute kernel,
+//! e.g. `--app fft`.
+
+use flashsim_bench::{header, setup_from_args};
+use flashsim_core::platform::{MemModel, Sim, Study};
+use flashsim_engine::{CategoryMask, Tracer};
+use flashsim_isa::Program;
+use flashsim_machine::{Machine, MachineConfig, RunManifest};
+use flashsim_workloads::micro::{SnCase, Snbench};
+use flashsim_workloads::{Fft, FftBlocking, Lu, Ocean, Radix};
+
+/// A platform selector: builds a fresh config for each timed run.
+type ConfigFn<'a> = Box<dyn Fn() -> MachineConfig + 'a>;
+
+/// Best-of-`iters` manifest (highest events/sec).
+fn best_run(
+    cfg: &dyn Fn() -> MachineConfig,
+    prog: &dyn Program,
+    iters: usize,
+    tracer: Option<&Tracer>,
+) -> RunManifest {
+    (0..iters)
+        .map(|_| {
+            let mut machine = Machine::new(cfg(), prog).expect("valid configuration");
+            if let Some(t) = tracer {
+                machine.attach_tracer(t.clone());
+            }
+            machine.run().manifest
+        })
+        .max_by(|a, b| {
+            a.events_per_sec
+                .partial_cmp(&b.events_per_sec)
+                .expect("throughput is finite")
+        })
+        .expect("at least one iteration")
+}
+
+fn report(name: &str, m: &RunManifest) {
+    println!(
+        "{name:<28} {:>12.0} events/s {:>9.3} simulated MIPS   wall {:>8.4}s",
+        m.events_per_sec, m.sim_mips, m.wall_seconds
+    );
+}
+
+fn main() {
+    let setup = setup_from_args();
+    header("simulator speed (events/sec, simulated MIPS)", &setup);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let iters: usize = flag("--iters")
+        .map(|s| s.parse().expect("--iters takes a number"))
+        .unwrap_or(3);
+    let threads: usize = flag("--threads")
+        .map(|s| s.parse().expect("--threads takes a number"))
+        .unwrap_or(Snbench::NODES);
+    let app = flag("--app").unwrap_or_else(|| "snbench".into());
+    let bench: Box<dyn Program> = match app.as_str() {
+        "snbench" => Box::new(Snbench::new(
+            SnCase::all()[2],
+            setup.study.geometry.l2.bytes,
+        )),
+        "fft" => Box::new(Fft::sized(setup.scale, threads, FftBlocking::Tlb)),
+        "radix" => Box::new(Radix::tuned(setup.scale, threads)),
+        "lu" => Box::new(Lu::sized(setup.scale, threads)),
+        "ocean" => Box::new(Ocean::sized(setup.scale, threads)),
+        other => panic!("unknown app {other} (snbench|fft|radix|lu|ocean)"),
+    };
+    let bench = bench.as_ref();
+    let nodes = if app == "snbench" {
+        Snbench::NODES as u32
+    } else {
+        threads as u32
+    };
+    println!(
+        "workload: {} over {nodes} nodes, best of {iters} runs",
+        bench.name()
+    );
+    println!();
+
+    let study: &Study = &setup.study;
+    let platforms: Vec<(&str, ConfigFn<'_>)> = vec![
+        (
+            "hardware (r10000/irix)",
+            Box::new(move || study.hardware(nodes)),
+        ),
+        (
+            "simos-mipsy-150/flashlite",
+            Box::new(move || study.sim(Sim::SimosMipsy(150), nodes, MemModel::FlashLite)),
+        ),
+        (
+            "solo-mipsy-300/flashlite",
+            Box::new(move || study.sim(Sim::SoloMipsy(300), nodes, MemModel::FlashLite)),
+        ),
+        (
+            "simos-mxs/flashlite",
+            Box::new(move || study.sim(Sim::SimosMxs, nodes, MemModel::FlashLite)),
+        ),
+        (
+            "simos-mipsy-150/numa",
+            Box::new(move || study.sim(Sim::SimosMipsy(150), nodes, MemModel::Numa)),
+        ),
+    ];
+    for (name, cfg) in &platforms {
+        report(name, &best_run(cfg, bench, iters, None));
+    }
+
+    println!();
+    println!("tracing overhead (hardware platform):");
+    let hw: ConfigFn<'_> = Box::new(move || study.hardware(nodes));
+    report("  tracer detached", &best_run(&hw, bench, iters, None));
+    let disabled = Tracer::disabled();
+    report(
+        "  tracer disabled",
+        &best_run(&hw, bench, iters, Some(&disabled)),
+    );
+    let recording = Tracer::new(1 << 20, CategoryMask::ALL);
+    report(
+        "  tracer recording",
+        &best_run(&hw, bench, iters, Some(&recording)),
+    );
+}

@@ -2,7 +2,10 @@
 fn main() {
     let setup = flashsim_bench::setup_from_args();
     flashsim_bench::header("Table 2", &setup);
-    println!("{:<12}{:<28}Scaled equivalent", "Application", "Paper problem size");
+    println!(
+        "{:<12}{:<28}Scaled equivalent",
+        "Application", "Paper problem size"
+    );
     for row in flashsim_core::workloads::table2() {
         println!("{:<12}{:<28}{}", row.app, row.paper, row.scaled);
     }

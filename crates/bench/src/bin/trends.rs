@@ -16,8 +16,14 @@ fn main() {
     print!("{}", render_scorecards(&scorecards(&grid)));
 
     for (name, fig) in [
-        ("FFT (Figure 5)", fig5(&setup.study, setup.scale, &cal.tuning)),
-        ("Radix (Figure 6)", fig6(&setup.study, setup.scale, &cal.tuning)),
+        (
+            "FFT (Figure 5)",
+            fig5(&setup.study, setup.scale, &cal.tuning),
+        ),
+        (
+            "Radix (Figure 6)",
+            fig6(&setup.study, setup.scale, &cal.tuning),
+        ),
     ] {
         println!("\nSpeedup-trend fidelity, {name}:");
         let hw = fig.curve("FLASH 150MHz").expect("hardware curve");

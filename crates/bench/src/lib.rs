@@ -1,6 +1,6 @@
 //! `flashsim-bench` — the experiment harness: one binary per table and
-//! figure of the paper, plus Criterion benches for the simulators
-//! themselves.
+//! figure of the paper, plus observability tools (divergence diffing,
+//! simulator-speed timing).
 //!
 //! Every binary accepts `--full` to run at the paper's Table-1/Table-2
 //! sizes instead of the default proportionally scaled configuration (see
@@ -15,6 +15,8 @@
 //! | `table3` | Table 3 (snbench latencies, calibration loop) |
 //! | `fig1`..`fig7` | Figures 1–7 |
 //! | `ablate_latency` | the §3.1.3 instruction-latency experiment |
+//! | `diverge` | flight-recorder divergence diff: hardware vs a simulator |
+//! | `simspeed` | simulator throughput (events/sec, simulated MIPS) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -310,7 +310,11 @@ pub fn calibrate_mipsy_iface(study: &Study, flashlite: FlashLiteParams) -> Optio
     let hw = run_once(study.hardware(Snbench::NODES as u32), &bench);
     let hw_per = hw.parallel_time.as_ns_f64() / loads;
 
-    let mut cfg = study.sim(Sim::SimosMipsy(150), Snbench::NODES as u32, MemModel::FlashLite);
+    let mut cfg = study.sim(
+        Sim::SimosMipsy(150),
+        Snbench::NODES as u32,
+        MemModel::FlashLite,
+    );
     cfg.memsys = flashsim_machine::MemSysKind::FlashLite(flashlite);
     let sim = run_once(cfg, &bench);
     let sim_per = sim.parallel_time.as_ns_f64() / loads;
@@ -397,8 +401,16 @@ mod tests {
         // on Remote-dirty-remote.
         let lc = &table3[0];
         let rdr = &table3[4];
-        assert!(lc.untuned_relative() < 1.0, "LC untuned {}", lc.untuned_relative());
-        assert!(rdr.untuned_relative() > 1.0, "RDR untuned {}", rdr.untuned_relative());
+        assert!(
+            lc.untuned_relative() < 1.0,
+            "LC untuned {}",
+            lc.untuned_relative()
+        );
+        assert!(
+            rdr.untuned_relative() > 1.0,
+            "RDR untuned {}",
+            rdr.untuned_relative()
+        );
     }
 
     #[test]
@@ -406,12 +418,12 @@ mod tests {
         let study = Study::scaled();
         let (flashlite, _, _) = calibrate_flashlite(&study);
         let iface = calibrate_mipsy_iface(&study, flashlite);
-        let ns = iface.expect("gold standard has interface occupancy").as_ns_f64();
+        let ns = iface
+            .expect("gold standard has interface occupancy")
+            .as_ns_f64();
         assert!(
             (60.0..=400.0).contains(&ns),
             "calibrated interface occupancy {ns}ns implausible (true value 160ns)"
         );
     }
 }
-
-

@@ -1,0 +1,303 @@
+//! Cross-platform divergence diffing over flight-recorder traces.
+//!
+//! The validation loop's sharpest tool is not an aggregate error figure
+//! but the *first point* where two platforms disagree on the same
+//! workload: run the gold-standard hardware and a simulator over one
+//! program with identical seeds, record both event streams with a
+//! [`Tracer`](flashsim_engine::Tracer), and replay them side by side.
+//! Aggregate per-category counts then show *where* the models part ways
+//! (e.g. identical `proto` transaction counts but wildly different `cpu`
+//! stall events points the finger at the processor model, not the memory
+//! system).
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_core::diverge::diff_traces;
+//! use flashsim_engine::Trace;
+//!
+//! let report = diff_traces(&Trace::default(), &Trace::default());
+//! assert!(report.first.is_none());
+//! assert!(report.identical());
+//! ```
+
+use flashsim_engine::{Trace, TraceCategory, TraceEvent};
+use std::fmt::Write as _;
+
+/// The first index at which two event streams disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into both streams (events before it are identical).
+    pub index: usize,
+    /// The left stream's event there, if the stream is that long.
+    pub left: Option<TraceEvent>,
+    /// The right stream's event there, if the stream is that long.
+    pub right: Option<TraceEvent>,
+}
+
+/// Event-count comparison for one category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryDelta {
+    /// The category.
+    pub category: TraceCategory,
+    /// Events of this category in the left stream.
+    pub left: u64,
+    /// Events of this category in the right stream.
+    pub right: u64,
+}
+
+impl CategoryDelta {
+    /// Signed difference `right - left` (saturating at the i64 range).
+    pub fn delta(&self) -> i64 {
+        let l = i64::try_from(self.left).unwrap_or(i64::MAX);
+        let r = i64::try_from(self.right).unwrap_or(i64::MAX);
+        r.saturating_sub(l)
+    }
+}
+
+/// The full result of replaying two trace streams against each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// First disagreement, or `None` if one stream is a prefix of the
+    /// other (or they are identical).
+    pub first: Option<Divergence>,
+    /// Per-category event counts and deltas, in [`TraceCategory::ALL`]
+    /// order.
+    pub deltas: [CategoryDelta; 5],
+    /// Events recorded in the left stream.
+    pub left_len: usize,
+    /// Events recorded in the right stream.
+    pub right_len: usize,
+    /// Events the left ring dropped (oldest-first eviction).
+    pub left_dropped: u64,
+    /// Events the right ring dropped.
+    pub right_dropped: u64,
+}
+
+impl DivergenceReport {
+    /// True if the streams are event-for-event identical and complete
+    /// (same length, nothing dropped on either side).
+    pub fn identical(&self) -> bool {
+        self.first.is_none()
+            && self.left_len == self.right_len
+            && self.left_dropped == 0
+            && self.right_dropped == 0
+    }
+
+    /// Renders the report for humans, labelling the streams.
+    pub fn render(&self, left_label: &str, right_label: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "divergence diff: A = {left_label}, B = {right_label}");
+        let _ = writeln!(
+            out,
+            "  events: A recorded {} (dropped {}), B recorded {} (dropped {})",
+            self.left_len, self.left_dropped, self.right_len, self.right_dropped
+        );
+        match &self.first {
+            None if self.left_len == self.right_len => {
+                let _ = writeln!(out, "  streams are identical");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  no event-level disagreement, but stream lengths differ \
+                     (shorter stream is a prefix of the longer)"
+                );
+            }
+            Some(d) => {
+                let _ = writeln!(out, "  first divergence at event index {}:", d.index);
+                let _ = writeln!(out, "    A: {}", render_event(d.left.as_ref()));
+                let _ = writeln!(out, "    B: {}", render_event(d.right.as_ref()));
+            }
+        }
+        let _ = writeln!(out, "  per-category event counts (A / B / B-A):");
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "    {:<8} {:>10} / {:>10} / {:>+8}",
+                d.category.name(),
+                d.left,
+                d.right,
+                d.delta()
+            );
+        }
+        out
+    }
+}
+
+fn render_event(e: Option<&TraceEvent>) -> String {
+    match e {
+        None => "<stream ended>".to_owned(),
+        Some(e) => {
+            let ps = e.at.as_ps();
+            format!(
+                "t={}.{:03}ns {} {} node={} a={} b={}",
+                ps / 1000,
+                ps % 1000,
+                e.category.name(),
+                e.kind,
+                e.node,
+                e.a,
+                e.b
+            )
+        }
+    }
+}
+
+/// Replays two trace streams side by side: finds the first event where
+/// they disagree (comparing time, category, kind, node, and both
+/// payloads) and tallies per-category counts for both.
+pub fn diff_traces(left: &Trace, right: &Trace) -> DivergenceReport {
+    let first = left
+        .events
+        .iter()
+        .zip(right.events.iter())
+        .position(|(a, b)| a != b)
+        .map(|index| Divergence {
+            index,
+            left: Some(left.events[index]),
+            right: Some(right.events[index]),
+        })
+        .or_else(|| {
+            // One stream is a strict prefix of the other: the divergence
+            // is the first event the shorter stream is missing.
+            let (short, long) = (
+                left.events.len().min(right.events.len()),
+                left.events.len().max(right.events.len()),
+            );
+            (short < long).then(|| Divergence {
+                index: short,
+                left: left.events.get(short).copied(),
+                right: right.events.get(short).copied(),
+            })
+        });
+
+    let lc = left.counts_by_category();
+    let rc = right.counts_by_category();
+    let deltas = std::array::from_fn(|i| CategoryDelta {
+        category: lc[i].0,
+        left: lc[i].1,
+        right: rc[i].1,
+    });
+
+    DivergenceReport {
+        first,
+        deltas,
+        left_len: left.events.len(),
+        right_len: right.events.len(),
+        left_dropped: left.dropped,
+        right_dropped: right.dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim_engine::Time;
+
+    fn ev(ns: u64, cat: TraceCategory, kind: &'static str, node: u32, a: u64) -> TraceEvent {
+        TraceEvent {
+            at: Time::from_ns(ns),
+            category: cat,
+            kind,
+            node,
+            a,
+            b: 0,
+        }
+    }
+
+    fn trace(events: Vec<TraceEvent>) -> Trace {
+        Trace { events, dropped: 0 }
+    }
+
+    #[test]
+    fn identical_streams_report_no_divergence() {
+        let t = trace(vec![
+            ev(1, TraceCategory::Cpu, "instr", 0, 1),
+            ev(2, TraceCategory::Mem, "l1_hit", 0, 0x100),
+        ]);
+        let r = diff_traces(&t, &t.clone());
+        assert!(r.identical());
+        assert!(r.first.is_none());
+        assert!(r.deltas.iter().all(|d| d.delta() == 0));
+    }
+
+    #[test]
+    fn first_mismatch_is_located() {
+        let a = trace(vec![
+            ev(1, TraceCategory::Cpu, "instr", 0, 1),
+            ev(2, TraceCategory::Cpu, "instr", 0, 2),
+            ev(3, TraceCategory::Cpu, "instr", 0, 3),
+        ]);
+        let mut b = a.clone();
+        b.events[1].at = Time::from_ns(5); // timing divergence
+        let r = diff_traces(&a, &b);
+        let d = r.first.expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.unwrap().at, Time::from_ns(2));
+        assert_eq!(d.right.unwrap().at, Time::from_ns(5));
+        assert!(!r.identical());
+    }
+
+    #[test]
+    fn prefix_streams_diverge_at_the_missing_event() {
+        let a = trace(vec![ev(1, TraceCategory::Net, "link", 0, 0)]);
+        let b = trace(vec![
+            ev(1, TraceCategory::Net, "link", 0, 0),
+            ev(2, TraceCategory::Net, "link", 1, 0),
+        ]);
+        let r = diff_traces(&a, &b);
+        let d = r.first.expect("length mismatch is a divergence");
+        assert_eq!(d.index, 1);
+        assert!(d.left.is_none());
+        assert_eq!(d.right.unwrap().node, 1);
+        assert_eq!(r.deltas[3].category, TraceCategory::Net);
+        assert_eq!(r.deltas[3].delta(), 1);
+    }
+
+    #[test]
+    fn category_deltas_count_both_sides() {
+        let a = trace(vec![
+            ev(1, TraceCategory::Cpu, "instr", 0, 1),
+            ev(2, TraceCategory::Proto, "remote_clean", 0, 9),
+        ]);
+        let b = trace(vec![ev(1, TraceCategory::Cpu, "instr", 0, 1)]);
+        let r = diff_traces(&a, &b);
+        let cpu = r
+            .deltas
+            .iter()
+            .find(|d| d.category == TraceCategory::Cpu)
+            .unwrap();
+        assert_eq!((cpu.left, cpu.right, cpu.delta()), (1, 1, 0));
+        let proto = r
+            .deltas
+            .iter()
+            .find(|d| d.category == TraceCategory::Proto)
+            .unwrap();
+        assert_eq!((proto.left, proto.right, proto.delta()), (1, 0, -1));
+    }
+
+    #[test]
+    fn render_names_streams_and_counts() {
+        let a = trace(vec![ev(1, TraceCategory::Cpu, "instr", 0, 1)]);
+        let b = trace(vec![ev(2, TraceCategory::Cpu, "instr", 0, 1)]);
+        let text = diff_traces(&a, &b).render("hardware", "simos-mipsy");
+        assert!(text.contains("A = hardware"));
+        assert!(text.contains("B = simos-mipsy"));
+        assert!(text.contains("first divergence at event index 0"));
+        assert!(text.contains("t=1.000ns cpu instr"));
+        assert!(text.contains("cpu"));
+    }
+
+    #[test]
+    fn dropped_events_disqualify_identity() {
+        let a = Trace {
+            events: vec![],
+            dropped: 3,
+        };
+        let r = diff_traces(&a, &Trace::default());
+        assert!(r.first.is_none());
+        assert!(!r.identical());
+        assert_eq!(r.left_dropped, 3);
+    }
+}

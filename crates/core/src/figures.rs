@@ -28,7 +28,10 @@ use std::sync::Arc;
 /// `apps_tuned` applies the Figure-2 TLB-blocking fixes.
 pub fn apps_untuned(scale: ProblemScale, threads: usize) -> Vec<(&'static str, Arc<dyn Program>)> {
     vec![
-        ("FFT", Arc::new(Fft::sized(scale, threads, FftBlocking::Cache)) as Arc<dyn Program>),
+        (
+            "FFT",
+            Arc::new(Fft::sized(scale, threads, FftBlocking::Cache)) as Arc<dyn Program>,
+        ),
         ("Radix-Sort", Arc::new(Radix::untuned(scale, threads))),
         ("LU", Arc::new(Lu::sized(scale, threads))),
         ("Ocean", Arc::new(Ocean::sized(scale, threads))),
@@ -39,7 +42,10 @@ pub fn apps_untuned(scale: ProblemScale, threads: usize) -> Vec<(&'static str, A
 /// the TLB; Radix-Sort with the reduced radix).
 pub fn apps_tuned(scale: ProblemScale, threads: usize) -> Vec<(&'static str, Arc<dyn Program>)> {
     vec![
-        ("FFT", Arc::new(Fft::sized(scale, threads, FftBlocking::Tlb)) as Arc<dyn Program>),
+        (
+            "FFT",
+            Arc::new(Fft::sized(scale, threads, FftBlocking::Tlb)) as Arc<dyn Program>,
+        ),
         ("Radix-Sort", Arc::new(Radix::tuned(scale, threads))),
         ("LU", Arc::new(Lu::sized(scale, threads))),
         ("Ocean", Arc::new(Ocean::sized(scale, threads))),
@@ -198,12 +204,7 @@ impl SpeedupFigure {
 }
 
 /// Builds one speedup curve for a platform given a program factory.
-fn speedup_curve<F, G>(
-    label: &str,
-    counts: &[u32],
-    make_prog: &F,
-    make_cfg: &G,
-) -> SpeedupCurve
+fn speedup_curve<F, G>(label: &str, counts: &[u32], make_prog: &F, make_cfg: &G) -> SpeedupCurve
 where
     F: Fn(u32) -> Arc<dyn Program> + Sync,
     G: Fn(u32) -> Option<MachineConfig> + Sync,
@@ -226,7 +227,10 @@ where
         .1;
     SpeedupCurve {
         platform: label.to_owned(),
-        points: times.into_iter().map(|(p, t)| (p, speedup(t1, t))).collect(),
+        points: times
+            .into_iter()
+            .map(|(p, t)| (p, speedup(t1, t)))
+            .collect(),
     }
 }
 
@@ -241,7 +245,10 @@ where
     let t1 = times.iter().find(|(p, _)| *p == 1).expect("has 1p").1;
     SpeedupCurve {
         platform: "FLASH 150MHz".to_owned(),
-        points: times.into_iter().map(|(p, t)| (p, speedup(t1, t))).collect(),
+        points: times
+            .into_iter()
+            .map(|(p, t)| (p, speedup(t1, t)))
+            .collect(),
     }
 }
 

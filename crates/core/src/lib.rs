@@ -19,6 +19,9 @@
 //! 4. **Experiments** ([`figures`], [`report`]): the exact matrices
 //!    behind Figures 1–7, Tables 1–3, and the §3.1.3 instruction-latency
 //!    ablation, plus text rendering and the paper's published numbers.
+//! 5. **Divergence diffing** ([`diverge`]): replays two platforms'
+//!    flight-recorder event streams side by side, locating the first
+//!    event where the models disagree and the per-category count deltas.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod diverge;
 pub mod figures;
 pub mod metrics;
 pub mod platform;
@@ -44,6 +48,7 @@ pub mod report;
 pub mod runner;
 
 pub use calibrate::{calibrate, Calibration, Table3Row, TlbCalibration};
+pub use diverge::{diff_traces, CategoryDelta, Divergence, DivergenceReport};
 pub use figures::{
     apps_tuned, apps_untuned, fig1, fig2, fig3, fig4, fig5, fig6, fig7, latency_ablation,
     RelativeFigure, RelativePoint, SpeedupCurve, SpeedupFigure, SPEEDUP_COUNTS,
@@ -53,7 +58,9 @@ pub use metrics::{
     SimulatorScorecard, TrendFidelity,
 };
 pub use platform::{MemModel, Sim, Study, Tuning};
-pub use report::{relative_to_csv, render_relative, render_speedup, render_table1, render_table3, speedup_to_csv};
+pub use report::{
+    relative_to_csv, render_relative, render_speedup, render_table1, render_table3, speedup_to_csv,
+};
 pub use runner::{
     parallel_map, relative_time, run_hardware, run_once, speedup, HardwareMeasurement,
     HARDWARE_JITTER, HARDWARE_RUNS,

@@ -121,7 +121,10 @@ pub fn trend_fidelity(hardware: &SpeedupCurve, sim: &SpeedupCurve) -> Option<Tre
         .iter()
         .map(|(_, r)| (r - 1.0).abs())
         .fold(0.0, f64::max);
-    let mean_error = point_ratios.iter().map(|(_, r)| (r - 1.0).abs()).sum::<f64>()
+    let mean_error = point_ratios
+        .iter()
+        .map(|(_, r)| (r - 1.0).abs())
+        .sum::<f64>()
         / point_ratios.len() as f64;
     let tau = kendall_tau(&hw_series, &sim_series);
     Some(TrendFidelity {
@@ -278,10 +281,26 @@ mod tests {
             title: "t".into(),
             nodes: 1,
             points: vec![
-                RelativePoint { app: "FFT", sim: "good".into(), relative: 0.95 },
-                RelativePoint { app: "LU", sim: "good".into(), relative: 1.05 },
-                RelativePoint { app: "FFT", sim: "bad".into(), relative: 0.5 },
-                RelativePoint { app: "LU", sim: "bad".into(), relative: 1.6 },
+                RelativePoint {
+                    app: "FFT",
+                    sim: "good".into(),
+                    relative: 0.95,
+                },
+                RelativePoint {
+                    app: "LU",
+                    sim: "good".into(),
+                    relative: 1.05,
+                },
+                RelativePoint {
+                    app: "FFT",
+                    sim: "bad".into(),
+                    relative: 0.5,
+                },
+                RelativePoint {
+                    app: "LU",
+                    sim: "bad".into(),
+                    relative: 1.6,
+                },
             ],
         };
         let cards = scorecards(&fig);

@@ -11,7 +11,10 @@ pub fn render_relative(fig: &RelativeFigure) -> String {
     let apps = ["FFT", "Radix-Sort", "LU", "Ocean"];
     let mut out = String::new();
     let _ = writeln!(out, "{}", fig.title);
-    let _ = writeln!(out, "(relative execution time vs FLASH hardware; 1.0 = exact)");
+    let _ = writeln!(
+        out,
+        "(relative execution time vs FLASH hardware; 1.0 = exact)"
+    );
     let _ = write!(out, "{:<22}", "simulator");
     for app in apps {
         let _ = write!(out, "{app:>12}");
@@ -120,7 +123,10 @@ pub fn render_table1() -> String {
         ("Number of Processors", "1-16"),
         ("Processor Clock Speed", "150 MHz"),
         ("System Clock Speed", "75 MHz"),
-        ("Instruction Cache", "32 KB, 64 B line (modelled as hitting)"),
+        (
+            "Instruction Cache",
+            "32 KB, 64 B line (modelled as hitting)",
+        ),
         ("Primary Data Cache", "32 KB, 32 B line size"),
         ("Secondary Cache", "2 MB, 128 B line size"),
         ("Max. IPC", "4"),

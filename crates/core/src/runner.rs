@@ -93,7 +93,10 @@ where
             .into_iter()
             .map(|item| scope.spawn(|| f(item)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("job panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("job panicked"))
+            .collect()
     })
 }
 
@@ -104,7 +107,9 @@ mod tests {
 
     #[test]
     fn relative_time_math() {
-        assert!((relative_time(TimeDelta::from_ns(70), TimeDelta::from_ns(100)) - 0.7).abs() < 1e-12);
+        assert!(
+            (relative_time(TimeDelta::from_ns(70), TimeDelta::from_ns(100)) - 0.7).abs() < 1e-12
+        );
         assert!((speedup(TimeDelta::from_ns(100), TimeDelta::from_ns(25)) - 4.0).abs() < 1e-12);
     }
 

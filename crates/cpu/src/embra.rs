@@ -93,7 +93,10 @@ mod tests {
     fn drain_is_free_and_time_moves_forward() {
         let mut core = Embra::new(Clock::from_mhz(100));
         let mut env = FixedEnv::all_hits();
-        core.execute(&Op::compute(OpClass::IntDiv, Reg(8), Reg(9), Reg(9)), &mut env);
+        core.execute(
+            &Op::compute(OpClass::IntDiv, Reg(8), Reg(9), Reg(9)),
+            &mut env,
+        );
         let t = core.drain();
         assert_eq!(t, core.now());
         core.set_time(t + flashsim_engine::TimeDelta::from_ns(50));

@@ -9,7 +9,7 @@
 //! parameterized refill cost), FlashLite, or NUMA — exactly the
 //! plug-compatibility the paper's simulator family has.
 
-use flashsim_engine::{StatSet, Time, TimeDelta};
+use flashsim_engine::{StatSet, Time, TimeDelta, Tracer};
 use flashsim_isa::{Op, VAddr};
 use flashsim_mem::ProtocolCase;
 
@@ -91,6 +91,13 @@ pub trait Core: Send {
 
     /// Short model name (`"mipsy"`, `"mxs"`, `"r10000"`).
     fn model_name(&self) -> &'static str;
+
+    /// Attaches a flight-recorder handle; the core emits `cpu`-category
+    /// events (instructions, stalls, TLB refills) tagged with `node`.
+    /// Default: no instrumentation (e.g. Embra, test doubles).
+    fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
+        let _ = (tracer, node);
+    }
 }
 
 /// A trivial environment for core unit tests: everything hits, with fixed

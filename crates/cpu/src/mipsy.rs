@@ -14,7 +14,7 @@
 
 use crate::env::{Core, MemAccessKind, MemEnv};
 use crate::lat::LatencyTable;
-use flashsim_engine::{Clock, StatSet, Time, TimeDelta};
+use flashsim_engine::{Clock, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_isa::{Op, OpClass};
 use std::collections::VecDeque;
 
@@ -67,6 +67,8 @@ pub struct Mipsy {
     loads: u64,
     stores: u64,
     load_misses: u64,
+    tracer: Tracer,
+    node: u32,
 }
 
 impl Mipsy {
@@ -86,6 +88,8 @@ impl Mipsy {
             loads: 0,
             stores: 0,
             load_misses: 0,
+            tracer: Tracer::disabled(),
+            node: 0,
         }
     }
 
@@ -137,6 +141,7 @@ impl Mipsy {
 impl Core for Mipsy {
     fn execute(&mut self, op: &Op, env: &mut dyn MemEnv) {
         self.ops += 1;
+        let traced = self.tracer.enabled(TraceCategory::Cpu);
         match op.class {
             OpClass::IntAlu
             | OpClass::IntMul
@@ -158,10 +163,31 @@ impl Core for Mipsy {
                     self.load_misses += 1;
                 }
                 self.tlb_stall += res.tlb_refill;
+                if traced && !res.tlb_refill.is_zero() {
+                    self.tracer.emit(
+                        self.t,
+                        TraceCategory::Cpu,
+                        "tlb_refill",
+                        self.node,
+                        res.tlb_refill.as_ps(),
+                        0,
+                    );
+                }
                 let done = self.gate_l2_iface(self.t, &res);
                 if done > self.t {
                     // Blocking read: the whole stall is exposed.
-                    self.mem_stall += done - self.t;
+                    let stall = done - self.t;
+                    self.mem_stall += stall;
+                    if traced {
+                        self.tracer.emit(
+                            done,
+                            TraceCategory::Cpu,
+                            "stall",
+                            self.node,
+                            stall.as_ps(),
+                            0,
+                        );
+                    }
                     self.t = done;
                 }
             }
@@ -182,6 +208,16 @@ impl Core for Mipsy {
                 // TLB refills are exposed even on stores (the handler runs
                 // on the main pipeline).
                 if !res.tlb_refill.is_zero() {
+                    if traced {
+                        self.tracer.emit(
+                            self.t,
+                            TraceCategory::Cpu,
+                            "tlb_refill",
+                            self.node,
+                            res.tlb_refill.as_ps(),
+                            0,
+                        );
+                    }
                     self.t += res.tlb_refill;
                 }
                 let done = self.gate_l2_iface(self.t, &res);
@@ -204,6 +240,16 @@ impl Core for Mipsy {
             OpClass::Barrier | OpClass::LockAcquire | OpClass::LockRelease => {
                 unreachable!("sync ops are handled by the machine layer")
             }
+        }
+        if traced {
+            self.tracer.emit(
+                self.t,
+                TraceCategory::Cpu,
+                "instr",
+                self.node,
+                self.ops,
+                op.class as u64,
+            );
         }
     }
 
@@ -243,6 +289,11 @@ impl Core for Mipsy {
     fn model_name(&self) -> &'static str {
         "mipsy"
     }
+
+    fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.node = node;
+    }
 }
 
 #[cfg(test)]
@@ -269,8 +320,14 @@ mod tests {
     fn mul_and_div_cost_one_cycle_by_default() {
         let mut core = Mipsy::new(MipsyConfig::at_mhz(100));
         let mut env = FixedEnv::all_hits();
-        core.execute(&Op::compute(OpClass::IntDiv, Reg(8), Reg(9), Reg(10)), &mut env);
-        core.execute(&Op::compute(OpClass::IntMul, Reg(8), Reg(9), Reg(10)), &mut env);
+        core.execute(
+            &Op::compute(OpClass::IntDiv, Reg(8), Reg(9), Reg(10)),
+            &mut env,
+        );
+        core.execute(
+            &Op::compute(OpClass::IntMul, Reg(8), Reg(9), Reg(10)),
+            &mut env,
+        );
         assert_eq!(core.now().as_ns(), 20, "Mipsy omits instruction latencies");
     }
 
@@ -280,9 +337,15 @@ mod tests {
         cfg.model_int_latencies = true;
         let mut core = Mipsy::new(cfg);
         let mut env = FixedEnv::all_hits();
-        core.execute(&Op::compute(OpClass::IntDiv, Reg(8), Reg(9), Reg(10)), &mut env);
+        core.execute(
+            &Op::compute(OpClass::IntDiv, Reg(8), Reg(9), Reg(10)),
+            &mut env,
+        );
         assert_eq!(core.now().as_ns(), 190, "19-cycle divide");
-        core.execute(&Op::compute(OpClass::IntMul, Reg(8), Reg(9), Reg(10)), &mut env);
+        core.execute(
+            &Op::compute(OpClass::IntMul, Reg(8), Reg(9), Reg(10)),
+            &mut env,
+        );
         assert_eq!(core.now().as_ns(), 240, "5-cycle multiply");
     }
 
@@ -318,7 +381,7 @@ mod tests {
     fn write_buffer_hides_store_latency_until_full() {
         let mut core = Mipsy::new(MipsyConfig::at_mhz(100));
         let mut env = FixedEnv::new(0, TimeDelta::from_ns(1000)); // all stores miss
-        // Four stores fit the buffer: cost ~1 cycle each.
+                                                                  // Four stores fit the buffer: cost ~1 cycle each.
         for i in 0..4u64 {
             core.execute(&Op::store(VAddr(i * 0x100), Reg::ZERO, Reg(8)), &mut env);
         }

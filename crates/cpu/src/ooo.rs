@@ -31,7 +31,7 @@
 use crate::branch::BranchPredictor;
 use crate::env::{Core, MemAccessKind, MemEnv};
 use crate::lat::LatencyTable;
-use flashsim_engine::{Clock, StatSet, Time, TimeDelta};
+use flashsim_engine::{Clock, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_isa::{Op, OpClass, Reg};
 use std::collections::VecDeque;
 
@@ -164,6 +164,8 @@ pub struct OooCore {
     interlock_stalls: u64,
     exceptions: u64,
     tlb_stall: TimeDelta,
+    tracer: Tracer,
+    node: u32,
 }
 
 impl OooCore {
@@ -192,6 +194,8 @@ impl OooCore {
             interlock_stalls: 0,
             exceptions: 0,
             tlb_stall: TimeDelta::ZERO,
+            tracer: Tracer::disabled(),
+            node: 0,
         }
     }
 
@@ -269,6 +273,7 @@ impl OooCore {
 impl Core for OooCore {
     fn execute(&mut self, op: &Op, env: &mut dyn MemEnv) {
         self.ops += 1;
+        let traced = self.tracer.enabled(TraceCategory::Cpu);
         self.advance_fetch();
         let entry = self.window_entry();
         // Stores issue to the address/LS slot as soon as their ADDRESS is
@@ -319,8 +324,19 @@ impl Core for OooCore {
                     && !op.src_a.is_zero()
                     && self.reg_ready[op.src_a.index()] + self.cycles(4) > ready
                 {
-                    ready += self.cycles(self.cfg.address_interlock);
+                    let delay = self.cycles(self.cfg.address_interlock);
+                    ready += delay;
                     self.interlock_stalls += 1;
+                    if traced {
+                        self.tracer.emit(
+                            ready,
+                            TraceCategory::Cpu,
+                            "stall",
+                            self.node,
+                            delay.as_ps(),
+                            0,
+                        );
+                    }
                 }
                 let issue = self.unit_issue(UnitClass::Ls, ready);
                 let issue = self.mshr_gate(issue);
@@ -377,6 +393,16 @@ impl Core for OooCore {
 
                 if !res.tlb_refill.is_zero() {
                     self.exceptions += 1;
+                    if traced {
+                        self.tracer.emit(
+                            issue,
+                            TraceCategory::Cpu,
+                            "tlb_refill",
+                            self.node,
+                            res.tlb_refill.as_ps(),
+                            0,
+                        );
+                    }
                     if self.cfg.exception_serialize {
                         // The exception drains the pipeline: fetch resumes
                         // after the refill completes plus the flush cost.
@@ -390,6 +416,18 @@ impl Core for OooCore {
             OpClass::Barrier | OpClass::LockAcquire | OpClass::LockRelease => {
                 unreachable!("sync ops are handled by the machine layer")
             }
+        }
+        if traced {
+            // The op's completion time was just pushed by `complete`.
+            let at = self.window.back().copied().unwrap_or(self.fetch);
+            self.tracer.emit(
+                at,
+                TraceCategory::Cpu,
+                "instr",
+                self.node,
+                self.ops,
+                op.class as u64,
+            );
         }
     }
 
@@ -432,6 +470,11 @@ impl Core for OooCore {
     fn model_name(&self) -> &'static str {
         self.name
     }
+
+    fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.node = node;
+    }
 }
 
 /// Creates an MXS core (generic 4-issue OOO, no implementation
@@ -461,7 +504,14 @@ mod tests {
 
     fn indep_alu(n: usize) -> Vec<Op> {
         (0..n)
-            .map(|i| Op::compute(OpClass::IntAlu, Reg(8 + (i % 8) as u8), Reg::ZERO, Reg::ZERO))
+            .map(|i| {
+                Op::compute(
+                    OpClass::IntAlu,
+                    Reg(8 + (i % 8) as u8),
+                    Reg::ZERO,
+                    Reg::ZERO,
+                )
+            })
             .collect()
     }
 
@@ -506,7 +556,12 @@ mod tests {
         for i in 0..2000u64 {
             ops.push(Op::load(VAddr(i * 32), Reg(8), Reg(9)));
             ops.push(Op::compute(OpClass::IntAlu, Reg(9), Reg(8), Reg::ZERO));
-            ops.push(Op::compute(OpClass::IntAlu, Reg(10 + (i % 4) as u8), Reg::ZERO, Reg::ZERO));
+            ops.push(Op::compute(
+                OpClass::IntAlu,
+                Reg(10 + (i % 4) as u8),
+                Reg::ZERO,
+                Reg::ZERO,
+            ));
         }
         let mut env = FixedEnv::all_hits();
         let t_mxs = run_ops(&mut mxs(), &mut env, &ops);
@@ -600,7 +655,10 @@ mod tests {
         let mut env = FixedEnv::new(0, TimeDelta::from_ns(10_000));
         core.execute(&Op::load(VAddr(0x1000), Reg(8), Reg::ZERO), &mut env);
         for _ in 0..100 {
-            core.execute(&Op::compute(OpClass::IntAlu, Reg(9), Reg::ZERO, Reg::ZERO), &mut env);
+            core.execute(
+                &Op::compute(OpClass::IntAlu, Reg(9), Reg::ZERO, Reg::ZERO),
+                &mut env,
+            );
         }
         // Fetch cannot be more than ~window ops past the stalled head.
         assert!(

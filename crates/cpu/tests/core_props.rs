@@ -1,56 +1,34 @@
-//! Property tests for the processor timing models: time monotonicity,
-//! latency sensitivity, and cross-model op accounting.
+//! Property-style tests for the processor timing models: time
+//! monotonicity, latency sensitivity, and cross-model op accounting.
+//! Randomized cases come from seeded loops over the in-tree
+//! [`flashsim_engine::Rng`] (this workspace builds offline, so no
+//! external property-testing framework).
 
 use flashsim_cpu::env::{Core, FixedEnv};
 use flashsim_cpu::mipsy::{Mipsy, MipsyConfig};
 use flashsim_cpu::ooo::{mxs, r10000};
-use flashsim_engine::{Time, TimeDelta};
+use flashsim_engine::{Rng, Time, TimeDelta};
 use flashsim_isa::{Op, OpClass, Reg, VAddr};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone, Copy)]
-enum K {
-    Alu,
-    Mul,
-    Div,
-    Fp,
-    Load(u64),
-    Store(u64),
-    Prefetch(u64),
-    Branch(bool),
+/// One random op, with roughly the seed mix of a real stream: mostly ALU
+/// and loads, some stores and FP, a sprinkle of long-latency and control.
+fn random_op(rng: &mut Rng, i: usize) -> Op {
+    let r = Reg(8 + (i % 32) as u8);
+    match rng.gen_range(16) {
+        0..=3 => Op::compute(OpClass::IntAlu, r, Reg::ZERO, Reg::ZERO),
+        4 => Op::compute(OpClass::IntMul, r, Reg::ZERO, Reg::ZERO),
+        5 => Op::compute(OpClass::IntDiv, r, Reg::ZERO, Reg::ZERO),
+        6 | 7 => Op::compute(OpClass::FpAdd, r, Reg::ZERO, Reg::ZERO),
+        8..=11 => Op::load(VAddr(rng.gen_range(0x10000) & !7), r, Reg::ZERO),
+        12 | 13 => Op::store(VAddr(rng.gen_range(0x10000) & !7), Reg::ZERO, r),
+        14 => Op::prefetch(VAddr(rng.gen_range(0x10000) & !7)),
+        _ => Op::branch(3, rng.gen_range(2) == 0, Reg::ZERO),
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = K> {
-    prop_oneof![
-        4 => Just(K::Alu),
-        1 => Just(K::Mul),
-        1 => Just(K::Div),
-        2 => Just(K::Fp),
-        4 => (0u64..0x10000).prop_map(K::Load),
-        2 => (0u64..0x10000).prop_map(K::Store),
-        1 => (0u64..0x10000).prop_map(K::Prefetch),
-        1 => any::<bool>().prop_map(K::Branch),
-    ]
-}
-
-fn materialize(kinds: &[K]) -> Vec<Op> {
-    kinds
-        .iter()
-        .enumerate()
-        .map(|(i, k)| {
-            let r = Reg(8 + (i % 32) as u8);
-            match *k {
-                K::Alu => Op::compute(OpClass::IntAlu, r, Reg::ZERO, Reg::ZERO),
-                K::Mul => Op::compute(OpClass::IntMul, r, Reg::ZERO, Reg::ZERO),
-                K::Div => Op::compute(OpClass::IntDiv, r, Reg::ZERO, Reg::ZERO),
-                K::Fp => Op::compute(OpClass::FpAdd, r, Reg::ZERO, Reg::ZERO),
-                K::Load(a) => Op::load(VAddr(a & !7), r, Reg::ZERO),
-                K::Store(a) => Op::store(VAddr(a & !7), Reg::ZERO, r),
-                K::Prefetch(a) => Op::prefetch(VAddr(a & !7)),
-                K::Branch(taken) => Op::branch(3, taken, Reg::ZERO),
-            }
-        })
-        .collect()
+fn random_ops(rng: &mut Rng, min: u64, max: u64) -> Vec<Op> {
+    let n = min + rng.gen_range(max - min);
+    (0..n as usize).map(|i| random_op(rng, i)).collect()
 }
 
 fn run(core: &mut dyn Core, ops: &[Op], miss_from: u64, miss_ns: u64) -> Time {
@@ -61,13 +39,12 @@ fn run(core: &mut dyn Core, ops: &[Op], miss_from: u64, miss_ns: u64) -> Time {
     core.drain()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Time never decreases as ops execute, on every model.
-    #[test]
-    fn time_is_monotone(kinds in proptest::collection::vec(op_strategy(), 1..200)) {
-        let ops = materialize(&kinds);
+/// Time never decreases as ops execute, on every model.
+#[test]
+fn time_is_monotone() {
+    let mut rng = Rng::seeded(0x7107);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 1, 200);
         for core in [
             &mut Mipsy::new(MipsyConfig::at_mhz(150)) as &mut dyn Core,
             &mut mxs(),
@@ -77,58 +54,74 @@ proptest! {
             let mut last = core.now();
             for op in &ops {
                 core.execute(op, &mut env);
-                prop_assert!(core.now() >= last, "{} went backwards", core.model_name());
+                assert!(core.now() >= last, "{} went backwards", core.model_name());
                 last = core.now();
             }
             let drained = core.drain();
-            prop_assert!(drained >= last);
+            assert!(drained >= last);
         }
     }
+}
 
-    /// Raising the memory-miss latency never makes any model finish
-    /// earlier (timing monotonicity in the environment).
-    #[test]
-    fn slower_memory_never_helps(kinds in proptest::collection::vec(op_strategy(), 1..150)) {
-        let ops = materialize(&kinds);
+/// Raising the memory-miss latency never makes any model finish earlier
+/// (timing monotonicity in the environment).
+#[test]
+fn slower_memory_never_helps() {
+    let mut rng = Rng::seeded(0x510e);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 1, 150);
         let fast = run(&mut Mipsy::new(MipsyConfig::at_mhz(150)), &ops, 0x4000, 200);
-        let slow = run(&mut Mipsy::new(MipsyConfig::at_mhz(150)), &ops, 0x4000, 2000);
-        prop_assert!(slow >= fast, "mipsy: {slow:?} < {fast:?}");
+        let slow = run(
+            &mut Mipsy::new(MipsyConfig::at_mhz(150)),
+            &ops,
+            0x4000,
+            2000,
+        );
+        assert!(slow >= fast, "mipsy: {slow:?} < {fast:?}");
 
         let fast = run(&mut mxs(), &ops, 0x4000, 200);
         let slow = run(&mut mxs(), &ops, 0x4000, 2000);
-        prop_assert!(slow >= fast, "mxs: {slow:?} < {fast:?}");
+        assert!(slow >= fast, "mxs: {slow:?} < {fast:?}");
     }
+}
 
-    /// Mipsy is single-issue: it can never finish faster than one cycle
-    /// per op, and with everything hitting it finishes at exactly one
-    /// cycle per op.
-    #[test]
-    fn mipsy_is_exactly_single_issue_on_hits(kinds in proptest::collection::vec(op_strategy(), 1..200)) {
-        let ops = materialize(&kinds);
+/// Mipsy is single-issue: it can never finish faster than one cycle per
+/// op, and with everything hitting it finishes at exactly one cycle per op.
+#[test]
+fn mipsy_is_exactly_single_issue_on_hits() {
+    let mut rng = Rng::seeded(0x51e5);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 1, 200);
         let mut core = Mipsy::new(MipsyConfig::at_mhz(150));
         let t = run(&mut core, &ops, u64::MAX, 0);
         let period = flashsim_engine::Clock::from_mhz(150).period();
-        prop_assert_eq!(t - Time::ZERO, period * ops.len() as u64);
+        assert_eq!(t - Time::ZERO, period * ops.len() as u64);
     }
+}
 
-    /// The gold standard never beats MXS on the same stream (the paper's
-    /// implementation constraints only remove performance).
-    #[test]
-    fn r10000_never_beats_mxs(kinds in proptest::collection::vec(op_strategy(), 10..200)) {
-        let ops = materialize(&kinds);
+/// The gold standard never beats MXS on the same stream (the paper's
+/// implementation constraints only remove performance).
+#[test]
+fn r10000_never_beats_mxs() {
+    let mut rng = Rng::seeded(0x901d);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 10, 200);
         let t_mxs = run(&mut mxs(), &ops, 0x8000, 500);
         let t_gold = run(&mut r10000(), &ops, 0x8000, 500);
         // Allow a tiny tolerance for rounding in the fetch arithmetic.
-        prop_assert!(
+        assert!(
             t_gold + TimeDelta::from_ns(10) >= t_mxs,
             "gold {t_gold:?} beat mxs {t_mxs:?}"
         );
     }
+}
 
-    /// Op counts reported in stats match what was executed.
-    #[test]
-    fn stats_count_every_op(kinds in proptest::collection::vec(op_strategy(), 1..100)) {
-        let ops = materialize(&kinds);
+/// Op counts reported in stats match what was executed.
+#[test]
+fn stats_count_every_op() {
+    let mut rng = Rng::seeded(0xc047);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 1, 100);
         for core in [
             &mut Mipsy::new(MipsyConfig::at_mhz(225)) as &mut dyn Core,
             &mut mxs(),
@@ -138,7 +131,7 @@ proptest! {
             for op in &ops {
                 core.execute(op, &mut env);
             }
-            prop_assert_eq!(
+            assert_eq!(
                 core.stats().get_or_zero("cpu.ops") as usize,
                 ops.len(),
                 "{} miscounted",

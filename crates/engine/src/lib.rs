@@ -15,7 +15,10 @@
 //! - [`event`]: a deterministic time-ordered event queue,
 //! - [`rng`]: a pinned, reproducible PRNG for workload data and hardware
 //!   run-to-run jitter,
-//! - [`stats`]: counters, histograms, and labelled stat sets.
+//! - [`stats`]: counters, histograms, and labelled stat sets,
+//! - [`trace`]: a category-masked flight recorder every simulator layer
+//!   emits into, with a Chrome-trace-event exporter — the substrate for
+//!   event-level divergence diffing between platforms.
 //!
 //! # Examples
 //!
@@ -41,9 +44,11 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, StatSet};
 pub use time::{Clock, Time, TimeDelta};
+pub use trace::{CategoryMask, Trace, TraceCategory, TraceEvent, Tracer};

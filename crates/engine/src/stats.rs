@@ -145,7 +145,8 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile (0.0..=1.0) from the bucket boundaries:
-    /// returns the upper bound of the bucket containing the quantile.
+    /// returns the upper bound of the bucket containing the quantile,
+    /// capped at the largest observed sample.
     ///
     /// # Panics
     ///
@@ -160,7 +161,18 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return Some(if i == 0 { 0 } else { 1u64 << i });
+                // Bucket 64 holds [2^63, u64::MAX]: its upper bound does
+                // not fit in a u64 (`1u64 << 64` would overflow), so
+                // saturate; the cap at `self.max` keeps the answer a
+                // value that was actually observable.
+                let bound = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+                return Some(bound.min(self.max));
             }
         }
         Some(self.max)
@@ -180,12 +192,15 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0 mean=0.0 min=- max=-");
+        }
         write!(
             f,
             "n={} mean={:.1} min={} max={}",
             self.count,
             self.mean(),
-            self.min.min(self.max),
+            self.min,
             self.max
         )
     }
@@ -254,6 +269,32 @@ impl StatSet {
     /// True if no keys are present.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Serializes the set as a flat JSON object, keys in sorted order.
+    ///
+    /// Hand-rolled (the build is offline, no serde); non-finite values
+    /// are emitted as `null` since JSON has no NaN/Inf. Together with the
+    /// machine layer's `RunManifest` this makes `results/` artifacts
+    /// machine-readable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.values.len() * 32);
+        out.push('{');
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::trace::push_json_escaped(&mut out, k);
+            out.push_str("\":");
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -327,6 +368,33 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_top_bucket_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // lands in bucket 64
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_quantile_capped_at_observed_max() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket 3 has upper bound 8
+        assert_eq!(h.quantile(0.5), Some(5));
+        let mut big = Histogram::new();
+        big.record(1 << 62); // bucket 63 upper bound is 2^63
+        assert_eq!(big.quantile(0.9), Some(1 << 62));
+    }
+
+    #[test]
+    fn histogram_display_empty_shows_dashes() {
+        let h = Histogram::new();
+        assert_eq!(format!("{h}"), "n=0 mean=0.0 min=- max=-");
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(format!("{h}"), "n=1 mean=7.0 min=7 max=7");
+    }
+
+    #[test]
     fn histogram_merge_adds() {
         let mut a = Histogram::new();
         a.record(10);
@@ -367,6 +435,16 @@ mod tests {
         b.set("x", 2.0);
         a.absorb_flat(&b);
         assert_eq!(a.get("x"), Some(3.0));
+    }
+
+    #[test]
+    fn statset_json_snapshot() {
+        let mut s = StatSet::new();
+        assert_eq!(s.to_json(), "{}");
+        s.set("l2.misses", 12.0);
+        s.set("cpu.ops", 3.5);
+        s.set("bad", f64::NAN);
+        assert_eq!(s.to_json(), r#"{"bad":null,"cpu.ops":3.5,"l2.misses":12}"#);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! The flight recorder: a cycle-stamped, category-tagged event trace.
+//!
+//! The paper's methodology is *locating* divergence, not just measuring
+//! it: knowing that MipsySim runs 12 % fast is useless until you know the
+//! first component — TLB handler, cache interface, directory handler —
+//! where its timeline departs from the gold standard's. This module gives
+//! every simulator in the workspace a common event stream to make that
+//! comparison event-by-event:
+//!
+//! - [`TraceEvent`]: a `Copy`, allocation-free record (picosecond
+//!   timestamp, category, `&'static str` kind, node, two payload words),
+//! - [`Tracer`]: a cheaply-cloneable handle every component holds; a
+//!   single bit-test against the category mask makes a disabled tracer
+//!   near-free on the hot path,
+//! - a fixed-capacity ring buffer that drops the *oldest* events (a
+//!   flight recorder keeps the most recent history) and counts the drops,
+//! - [`Trace::to_chrome_json`]: a hand-rolled Chrome `trace_event`
+//!   exporter (load the output in `chrome://tracing` or Perfetto).
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_engine::trace::{CategoryMask, TraceCategory, Tracer};
+//! use flashsim_engine::Time;
+//!
+//! let tracer = Tracer::new(1024, CategoryMask::ALL);
+//! tracer.emit(Time::from_ns(10), TraceCategory::Mem, "l2_miss", 0, 0x80, 0);
+//! let trace = tracer.snapshot();
+//! assert_eq!(trace.events.len(), 1);
+//! assert!(trace.to_chrome_json().contains("l2_miss"));
+//! ```
+
+use crate::time::Time;
+use core::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The subsystem an event belongs to; each category can be enabled
+/// independently through a [`CategoryMask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceCategory {
+    /// Processor pipeline: instructions, stalls, TLB-refill exceptions.
+    Cpu,
+    /// Cache hierarchy: hits, misses, writebacks.
+    Mem,
+    /// Directory protocol: transaction-case transitions.
+    Proto,
+    /// Interconnect: per-hop link occupancy.
+    Net,
+    /// Run phases: barriers, lock hand-offs, node completion.
+    Machine,
+}
+
+impl TraceCategory {
+    /// Every category, in declaration order.
+    pub const ALL: [TraceCategory; 5] = [
+        TraceCategory::Cpu,
+        TraceCategory::Mem,
+        TraceCategory::Proto,
+        TraceCategory::Net,
+        TraceCategory::Machine,
+    ];
+
+    /// The category's bit in a [`CategoryMask`].
+    pub const fn bit(self) -> u64 {
+        1 << (self as u64)
+    }
+
+    /// Short lowercase name (`"cpu"`, `"mem"`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceCategory::Cpu => "cpu",
+            TraceCategory::Mem => "mem",
+            TraceCategory::Proto => "proto",
+            TraceCategory::Net => "net",
+            TraceCategory::Machine => "machine",
+        }
+    }
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bitmask of enabled [`TraceCategory`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CategoryMask(u64);
+
+impl CategoryMask {
+    /// Nothing enabled.
+    pub const NONE: CategoryMask = CategoryMask(0);
+    /// Every category enabled.
+    pub const ALL: CategoryMask = CategoryMask(
+        TraceCategory::Cpu.bit()
+            | TraceCategory::Mem.bit()
+            | TraceCategory::Proto.bit()
+            | TraceCategory::Net.bit()
+            | TraceCategory::Machine.bit(),
+    );
+
+    /// A mask with exactly `cat` enabled.
+    pub const fn only(cat: TraceCategory) -> CategoryMask {
+        CategoryMask(cat.bit())
+    }
+
+    /// This mask with `cat` additionally enabled.
+    pub const fn with(self, cat: TraceCategory) -> CategoryMask {
+        CategoryMask(self.0 | cat.bit())
+    }
+
+    /// This mask with `cat` disabled.
+    pub const fn without(self, cat: TraceCategory) -> CategoryMask {
+        CategoryMask(self.0 & !cat.bit())
+    }
+
+    /// True if `cat` is enabled.
+    pub const fn contains(self, cat: TraceCategory) -> bool {
+        self.0 & cat.bit() != 0
+    }
+
+    /// True if no category is enabled.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One recorded event. `Copy` and heap-free: the kind is a `&'static str`
+/// and the payload is two bare words, so emitting never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: Time,
+    /// Subsystem.
+    pub category: TraceCategory,
+    /// Static event name (`"instr"`, `"l2_miss"`, `"barrier_release"`...).
+    pub kind: &'static str,
+    /// Node the event happened on.
+    pub node: u32,
+    /// First payload word (meaning depends on `kind`).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Fixed-capacity ring: newest events win, drops are counted.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn snapshot(&self) -> Trace {
+        let mut events = Vec::with_capacity(self.buf.len());
+        events.extend_from_slice(&self.buf[self.head..]);
+        events.extend_from_slice(&self.buf[..self.head]);
+        Trace {
+            events,
+            dropped: self.dropped,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+/// A cheaply-cloneable recording handle.
+///
+/// Every instrumented component (core, memory system, network, machine)
+/// holds a clone. The enable mask is cached in the handle itself, so a
+/// disabled category — and in particular the fully [`disabled`] tracer —
+/// costs one branch per call site: no lock, no allocation, no event.
+///
+/// [`disabled`]: Tracer::disabled
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    mask: u64,
+    ring: Option<Arc<Mutex<Ring>>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing. This is the default every component
+    /// starts with; `emit` on it is a single always-false bit-test.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A recording tracer over a ring of `capacity` events (at least 1),
+    /// recording the categories in `mask`.
+    pub fn new(capacity: usize, mask: CategoryMask) -> Tracer {
+        Tracer {
+            mask: if capacity == 0 { 0 } else { mask.0 },
+            ring: if capacity == 0 {
+                None
+            } else {
+                Some(Arc::new(Mutex::new(Ring::new(capacity))))
+            },
+        }
+    }
+
+    /// True if at least one category is being recorded.
+    pub fn is_active(&self) -> bool {
+        self.mask != 0 && self.ring.is_some()
+    }
+
+    /// True if events of `cat` are being recorded.
+    #[inline]
+    pub fn enabled(&self, cat: TraceCategory) -> bool {
+        self.mask & cat.bit() != 0
+    }
+
+    /// Records one event if `cat` is enabled; otherwise a single branch.
+    #[inline]
+    pub fn emit(
+        &self,
+        at: Time,
+        cat: TraceCategory,
+        kind: &'static str,
+        node: u32,
+        a: u64,
+        b: u64,
+    ) {
+        if self.mask & cat.bit() == 0 {
+            return;
+        }
+        if let Some(ring) = &self.ring {
+            ring.lock().expect("trace ring poisoned").push(TraceEvent {
+                at,
+                category: cat,
+                kind,
+                node,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Copies the recorded events out, oldest first.
+    pub fn snapshot(&self) -> Trace {
+        match &self.ring {
+            Some(ring) => ring.lock().expect("trace ring poisoned").snapshot(),
+            None => Trace::default(),
+        }
+    }
+
+    /// Discards all recorded events (capacity and mask are kept).
+    pub fn clear(&self) {
+        if let Some(ring) = &self.ring {
+            ring.lock().expect("trace ring poisoned").clear();
+        }
+    }
+}
+
+/// A snapshot of a [`Tracer`]'s ring: events oldest-first, plus how many
+/// older events the ring evicted to make room.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Recorded events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by ring wraparound (the flight recorder keeps the
+    /// most recent `capacity` events).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Event count per category, in [`TraceCategory::ALL`] order.
+    pub fn counts_by_category(&self) -> [(TraceCategory, u64); 5] {
+        let mut out = TraceCategory::ALL.map(|c| (c, 0u64));
+        for e in &self.events {
+            out[e.category as usize].1 += 1;
+        }
+        out
+    }
+
+    /// Serializes to the Chrome `trace_event` JSON format (viewable in
+    /// `chrome://tracing` or Perfetto). Instant events; `ts` is
+    /// microseconds with picosecond precision; `tid` is the node.
+    ///
+    /// Hand-rolled on purpose: the build is fully offline, so no serde.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ps = e.at.as_ps();
+            out.push_str("{\"name\":\"");
+            push_json_escaped(&mut out, e.kind);
+            out.push_str("\",\"cat\":\"");
+            out.push_str(e.category.name());
+            // Integer-only formatting keeps the output byte-deterministic.
+            out.push_str(&format!(
+                "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}.{:06},\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                ps / 1_000_000,
+                ps % 1_000_000,
+                e.node,
+                e.a,
+                e.b
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and control characters).
+pub fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON-escapes `s` into a fresh string (without surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    push_json_escaped(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tracer: &Tracer, ns: u64, cat: TraceCategory, kind: &'static str, a: u64) {
+        tracer.emit(Time::from_ns(ns), cat, kind, 0, a, 0);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_and_counts_drops() {
+        let t = Tracer::new(4, CategoryMask::ALL);
+        for i in 0..10 {
+            ev(&t, i, TraceCategory::Cpu, "instr", i);
+        }
+        let trace = t.snapshot();
+        assert_eq!(trace.dropped, 6);
+        assert_eq!(
+            trace.events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest events are evicted, order preserved"
+        );
+    }
+
+    #[test]
+    fn category_masking_filters_at_emit() {
+        let t = Tracer::new(16, CategoryMask::only(TraceCategory::Cpu));
+        ev(&t, 1, TraceCategory::Cpu, "instr", 1);
+        ev(&t, 2, TraceCategory::Mem, "l2_miss", 2);
+        ev(&t, 3, TraceCategory::Net, "link", 3);
+        let trace = t.snapshot();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].category, TraceCategory::Cpu);
+        assert!(t.enabled(TraceCategory::Cpu));
+        assert!(!t.enabled(TraceCategory::Mem));
+    }
+
+    #[test]
+    fn mask_combinators() {
+        let m = CategoryMask::NONE
+            .with(TraceCategory::Proto)
+            .with(TraceCategory::Net)
+            .without(TraceCategory::Proto);
+        assert!(m.contains(TraceCategory::Net));
+        assert!(!m.contains(TraceCategory::Proto));
+        assert!(CategoryMask::NONE.is_empty());
+        assert!(!CategoryMask::ALL.is_empty());
+        for c in TraceCategory::ALL {
+            assert!(CategoryMask::ALL.contains(c));
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_without_a_ring() {
+        let t = Tracer::disabled();
+        assert!(!t.is_active());
+        for i in 0..1000 {
+            ev(&t, i, TraceCategory::Machine, "noise", i);
+        }
+        let trace = t.snapshot();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.dropped, 0);
+        // The zero-allocation claim is structural: a disabled tracer has
+        // no ring at all, events are Copy, and kinds are &'static str.
+        assert!(t.ring.is_none());
+        let cloned = t.clone();
+        assert!(cloned.ring.is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let t = Tracer::new(0, CategoryMask::ALL);
+        assert!(!t.is_active());
+        assert!(!t.enabled(TraceCategory::Cpu));
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_clear_resets() {
+        let t = Tracer::new(8, CategoryMask::ALL);
+        ev(&t, 5, TraceCategory::Mem, "l1_hit", 0);
+        assert_eq!(t.snapshot().events.len(), 1);
+        assert_eq!(t.snapshot().events.len(), 1);
+        t.clear();
+        assert!(t.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn counts_by_category_tallies() {
+        let t = Tracer::new(16, CategoryMask::ALL);
+        ev(&t, 1, TraceCategory::Cpu, "instr", 0);
+        ev(&t, 2, TraceCategory::Cpu, "instr", 0);
+        ev(&t, 3, TraceCategory::Proto, "remote_clean", 0);
+        let counts = t.snapshot().counts_by_category();
+        assert_eq!(counts[TraceCategory::Cpu as usize].1, 2);
+        assert_eq!(counts[TraceCategory::Proto as usize].1, 1);
+        assert_eq!(counts[TraceCategory::Net as usize].1, 0);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(json_escape("nl\ntab\t"), "nl\\ntab\\t");
+        assert_eq!(json_escape("ctl\u{1}"), "ctl\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = Tracer::new(8, CategoryMask::ALL);
+        t.emit(
+            Time::from_ns(1500),
+            TraceCategory::Mem,
+            "l2_miss",
+            3,
+            0x80,
+            1,
+        );
+        let json = t.snapshot().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // 1500 ns = 1.5 us, printed with ps precision.
+        assert!(json.contains("\"ts\":1.500000"));
+        assert!(json.contains("\"name\":\"l2_miss\""));
+        assert!(json.contains("\"cat\":\"mem\""));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"args\":{\"a\":128,\"b\":1}"));
+    }
+
+    #[test]
+    fn trace_events_are_small_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TraceEvent>();
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
+    }
+}

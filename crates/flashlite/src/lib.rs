@@ -44,7 +44,7 @@ pub mod params;
 
 pub use params::FlashLiteParams;
 
-use flashsim_engine::{Resource, ResourcePool, StatSet, Time, TimeDelta};
+use flashsim_engine::{Resource, ResourcePool, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
 };
@@ -66,6 +66,7 @@ pub struct FlashLite {
     mem: Vec<ResourcePool>,
     case_counts: BTreeMap<ProtocolCase, u64>,
     case_latency_ns: BTreeMap<ProtocolCase, f64>,
+    tracer: Tracer,
 }
 
 impl FlashLite {
@@ -96,6 +97,7 @@ impl FlashLite {
                 .collect(),
             case_counts: BTreeMap::new(),
             case_latency_ns: BTreeMap::new(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -110,6 +112,7 @@ impl FlashLite {
     pub fn set_params(&mut self, params: FlashLiteParams) {
         self.params = params;
         self.net = Network::new(self.net.topology(), params.net);
+        self.net.attach_tracer(self.tracer.clone());
     }
 
     /// Charges a protocol handler: the full cycle count contributes to the
@@ -132,8 +135,7 @@ impl FlashLite {
     /// everything.
     fn pi_acquire(&mut self, node: NodeId, t: Time) -> Time {
         let cycles = self.params.pp_pi_request;
-        let grant = self.pi[node as usize]
-            .acquire(t, self.params.pp(cycles.div_ceil(2)));
+        let grant = self.pi[node as usize].acquire(t, self.params.pp(cycles.div_ceil(2)));
         grant.start + self.params.pp(cycles)
     }
 
@@ -168,9 +170,26 @@ impl FlashLite {
         done
     }
 
-    fn record(&mut self, case: ProtocolCase, latency: TimeDelta) {
+    fn record(
+        &mut self,
+        case: ProtocolCase,
+        requester: NodeId,
+        home: NodeId,
+        done_at: Time,
+        latency: TimeDelta,
+    ) {
         *self.case_counts.entry(case).or_insert(0) += 1;
         *self.case_latency_ns.entry(case).or_insert(0.0) += latency.as_ns_f64();
+        if self.tracer.enabled(TraceCategory::Proto) {
+            self.tracer.emit(
+                done_at,
+                TraceCategory::Proto,
+                case.key(),
+                requester,
+                latency.as_ps(),
+                home as u64,
+            );
+        }
     }
 
     /// Mean demand latency observed for `case`, if any occurred.
@@ -268,7 +287,7 @@ impl FlashLite {
         data_t = data_t.max(ack_done);
         // Reply crosses the bus and the processor restarts.
         let done_at = data_t + p.reply_fill;
-        self.record(case, done_at - req.now);
+        self.record(case, requester, home, done_at, done_at - req.now);
 
         MemOutcome {
             done_at,
@@ -308,7 +327,13 @@ impl FlashLite {
             t = self.pp_acquire(requester, p.pp_ni_reply, t);
         }
         let done_at = t + p.reply_fill;
-        self.record(ProtocolCase::UpgradeOwnership, done_at - req.now);
+        self.record(
+            ProtocolCase::UpgradeOwnership,
+            requester,
+            home,
+            done_at,
+            done_at - req.now,
+        );
         MemOutcome {
             done_at,
             case: ProtocolCase::UpgradeOwnership,
@@ -333,7 +358,13 @@ impl FlashLite {
         }
         let done_at = self.mem_acquire(home, t);
         self.dirs[home as usize].writeback(req.line, req.node);
-        self.record(ProtocolCase::WritebackCase, done_at - req.now);
+        self.record(
+            ProtocolCase::WritebackCase,
+            req.node,
+            home,
+            done_at,
+            done_at - req.now,
+        );
         MemOutcome {
             done_at,
             case: ProtocolCase::WritebackCase,
@@ -380,6 +411,11 @@ impl MemorySystem for FlashLite {
         s.set("mem.bank_wait_ns", mem_wait);
         s.absorb_flat(&self.net.stats());
         s
+    }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.net.attach_tracer(tracer);
     }
 
     fn model_name(&self) -> &'static str {

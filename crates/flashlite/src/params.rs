@@ -128,9 +128,15 @@ mod tests {
     fn untuned_differs_in_documented_directions() {
         let hw = FlashLiteParams::hardware();
         let un = FlashLiteParams::untuned();
-        assert!(un.proc_miss_detect < hw.proc_miss_detect, "untuned local path is fast");
+        assert!(
+            un.proc_miss_detect < hw.proc_miss_detect,
+            "untuned local path is fast"
+        );
         assert!(un.reply_fill < hw.reply_fill);
-        assert!(un.proc_intervention > hw.proc_intervention, "untuned dirty path is slow");
+        assert!(
+            un.proc_intervention > hw.proc_intervention,
+            "untuned dirty path is slow"
+        );
         assert_eq!(un.magic_clock, hw.magic_clock);
         assert_eq!(un.line_bytes, hw.line_bytes);
     }

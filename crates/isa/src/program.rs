@@ -89,6 +89,12 @@ pub trait Program: Send + Sync {
         None
     }
 
+    /// The workload's base data/RNG seed, if it has one. Recorded in run
+    /// manifests so a run can be reproduced exactly.
+    fn seed(&self) -> Option<u64> {
+        None
+    }
+
     /// Spawns the op stream for thread `tid`.
     fn stream(&self, tid: usize) -> ThreadStream {
         spawn_stream(self.thread_body(tid))
@@ -224,10 +230,17 @@ mod tests {
         )]);
         assert!(check_segments(&p, 4096).unwrap_err().contains("aligned"));
 
-        let p = BadProgram(vec![Segment::new("x", VAddr(0x1000), 0, Placement::Blocked)]);
+        let p = BadProgram(vec![Segment::new(
+            "x",
+            VAddr(0x1000),
+            0,
+            Placement::Blocked,
+        )]);
         assert!(check_segments(&p, 4096).unwrap_err().contains("empty"));
 
         let p = BadProgram(vec![]);
-        assert!(check_segments(&p, 4096).unwrap_err().contains("no segments"));
+        assert!(check_segments(&p, 4096)
+            .unwrap_err()
+            .contains("no segments"));
     }
 }

@@ -408,7 +408,11 @@ mod tests {
             sink.alu(200);
         });
         for op in s {
-            assert!(op.dst.0 >= 8, "rotating reg {} dipped into reserved range", op.dst);
+            assert!(
+                op.dst.0 >= 8,
+                "rotating reg {} dipped into reserved range",
+                op.dst
+            );
         }
     }
 }

@@ -76,7 +76,11 @@ impl CpuModel {
     /// A short display label (`"mipsy-225"`, `"mxs"`, `"r10000"`).
     pub fn label(&self) -> String {
         match self {
-            CpuModel::Mipsy { mhz, model_int_latencies, .. } => {
+            CpuModel::Mipsy {
+                mhz,
+                model_int_latencies,
+                ..
+            } => {
                 if *model_int_latencies {
                     format!("mipsy-{mhz}+lat")
                 } else {

@@ -50,7 +50,7 @@ pub mod config;
 pub mod machine;
 
 pub use config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind};
-pub use machine::{run_program, Machine, MachineError, RunResult};
+pub use machine::{run_program, Machine, MachineError, RunManifest, RunResult};
 
 #[cfg(test)]
 mod tests {
@@ -133,12 +133,7 @@ mod tests {
         }
     }
 
-    fn cfg(
-        nodes: u32,
-        cpu: CpuModel,
-        os: OsModel,
-        memsys: MemSysKind,
-    ) -> MachineConfig {
+    fn cfg(nodes: u32, cpu: CpuModel, os: OsModel, memsys: MemSysKind) -> MachineConfig {
         MachineConfig::new(nodes, cpu, os, memsys, MachineGeometry::scaled())
     }
 
@@ -179,7 +174,12 @@ mod tests {
             cfg(2, mipsy(300), OsModel::simos_mipsy(), fl()),
             cfg(2, CpuModel::Mxs, OsModel::simos_mxs(), fl()),
             cfg(2, CpuModel::R10000, OsModel::irix_hardware(), fl()),
-            cfg(2, mipsy(225), OsModel::simos_tuned(), MemSysKind::Numa(NumaParams::matched())),
+            cfg(
+                2,
+                mipsy(225),
+                OsModel::simos_tuned(),
+                MemSysKind::Numa(NumaParams::matched()),
+            ),
         ];
         let counts: Vec<Vec<u64>> = configs
             .into_iter()
@@ -214,7 +214,11 @@ mod tests {
             + r.stats.get_or_zero("proto.remote_dirty_home.count")
             + r.stats.get_or_zero("proto.remote_dirty_remote.count")
             + r.stats.get_or_zero("proto.local_dirty_remote.count");
-        assert!(coherence_traffic > 0.0, "lock line never moved: {}", r.stats);
+        assert!(
+            coherence_traffic > 0.0,
+            "lock line never moved: {}",
+            r.stats
+        );
     }
 
     #[test]
@@ -229,8 +233,7 @@ mod tests {
     fn simos_models_tlb_solo_does_not() {
         let prog = small_prog(1);
         let solo = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &prog).unwrap();
-        let simos =
-            run_program(cfg(1, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
+        let simos = run_program(cfg(1, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
         assert_eq!(solo.stats.get_or_zero("os.tlb_refills"), 0.0);
         assert!(simos.stats.get_or_zero("os.tlb_refills") > 0.0);
     }
@@ -255,7 +258,10 @@ mod tests {
         let err = Machine::new(cfg(2, mipsy(150), OsModel::solo(), fl()), &small_prog(4));
         assert!(matches!(
             err,
-            Err(MachineError::ThreadMismatch { program: 4, nodes: 2 })
+            Err(MachineError::ThreadMismatch {
+                program: 4,
+                nodes: 2
+            })
         ));
         let msg = format!("{}", err.err().unwrap());
         assert!(msg.contains('4') && msg.contains('2'));
@@ -266,15 +272,17 @@ mod tests {
         let prog = small_prog(2);
         let a = run_program(cfg(2, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
         let b = run_program(
-            cfg(2, mipsy(150), OsModel::simos_tuned(), MemSysKind::Numa(NumaParams::matched())),
+            cfg(
+                2,
+                mipsy(150),
+                OsModel::simos_tuned(),
+                MemSysKind::Numa(NumaParams::matched()),
+            ),
             &prog,
         )
         .unwrap();
         // Same protocol, same streams => same transaction counts.
-        for key in [
-            "proto.local_clean.count",
-            "proto.remote_clean.count",
-        ] {
+        for key in ["proto.local_clean.count", "proto.remote_clean.count"] {
             assert_eq!(
                 a.stats.get_or_zero(key),
                 b.stats.get_or_zero(key),
@@ -297,5 +305,63 @@ mod tests {
         let b = run_program(c(), &prog).unwrap();
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn manifest_records_provenance_and_throughput() {
+        let c = cfg(2, mipsy(150), OsModel::solo(), fl());
+        let label = c.label();
+        let r = run_program(c, &small_prog(2)).unwrap();
+        let m = &r.manifest;
+        assert_eq!(m.config, label);
+        assert_eq!(m.nodes, 2);
+        assert_eq!(m.workload, "block-walk");
+        assert_eq!(m.seed, None);
+        assert_eq!(m.total_ops, r.total_ops());
+        assert!(m.simulated_seconds > 0.0);
+        assert!(m.wall_seconds >= 0.0);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"workload\":\"block-walk\""));
+        assert!(json.contains("\"nodes\":2"));
+        assert!(json.contains("\"seed\":null"));
+    }
+
+    #[test]
+    fn traced_run_emits_every_category() {
+        use flashsim_engine::{CategoryMask, TraceCategory, Tracer};
+        let prog = BlockWalk {
+            threads: 2,
+            bytes_per_thread: 16 * 1024,
+            use_lock: true,
+        };
+        let tracer = Tracer::new(1 << 16, CategoryMask::ALL);
+        let mut m = Machine::new(cfg(2, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
+        m.attach_tracer(tracer.clone());
+        m.run();
+        let trace = tracer.snapshot();
+        for (cat, count) in trace.counts_by_category() {
+            assert!(count > 0, "no {cat} events recorded");
+        }
+        // Node ids must distinguish the two cores' cpu streams.
+        let nodes: std::collections::HashSet<u32> = trace
+            .events
+            .iter()
+            .filter(|e| e.category == TraceCategory::Cpu)
+            .map(|e| e.node)
+            .collect();
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_changes_nothing() {
+        let prog = small_prog(2);
+        let c = || cfg(2, mipsy(150), OsModel::solo(), fl());
+        let plain = run_program(c(), &prog).unwrap();
+        let mut m = Machine::new(c(), &prog).unwrap();
+        m.attach_tracer(flashsim_engine::Tracer::disabled());
+        let traced = m.run();
+        assert_eq!(plain.total_time, traced.total_time);
+        assert_eq!(plain.stats, traced.stats);
     }
 }

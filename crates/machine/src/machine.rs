@@ -17,7 +17,7 @@
 
 use crate::config::MachineConfig;
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
-use flashsim_engine::{Clock, StatSet, Time, TimeDelta};
+use flashsim_engine::{Clock, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
     AccessKind, CacheHierarchy, FrameAllocator, HierProbe, LineAddr, MemRequest, MemorySystem,
@@ -99,6 +99,7 @@ struct MachineEnv<'a> {
     segments: &'a [Segment],
     cfg: &'a MachineConfig,
     clock: Clock,
+    tracer: Tracer,
 }
 
 impl MachineEnv<'_> {
@@ -117,9 +118,7 @@ impl MachineEnv<'_> {
                 let off = addr.get() - seg.base.get();
                 ((off * nodes / seg.bytes) as u32).min(self.cfg.nodes - 1)
             }
-            Placement::Interleaved => {
-                (addr.vpn(self.cfg.geometry.page_bytes) % nodes) as u32
-            }
+            Placement::Interleaved => (addr.vpn(self.cfg.geometry.page_bytes) % nodes) as u32,
         }
     }
 
@@ -147,10 +146,7 @@ impl MachineEnv<'_> {
         };
 
         let mut refill = TimeDelta::ZERO;
-        if let TlbModel::Modeled {
-            refill_cycles, ..
-        } = self.cfg.os.tlb
-        {
+        if let TlbModel::Modeled { refill_cycles, .. } = self.cfg.os.tlb {
             let tlb = self.mems[self.node]
                 .tlb
                 .as_mut()
@@ -215,6 +211,16 @@ impl MachineEnv<'_> {
                     kind: AccessKind::Writeback,
                     now: out.done_at,
                 });
+                if self.tracer.enabled(TraceCategory::Mem) {
+                    self.tracer.emit(
+                        out.done_at,
+                        TraceCategory::Mem,
+                        "writeback",
+                        self.node as u32,
+                        v.line.get(),
+                        0,
+                    );
+                }
             }
             self.mems[self.node].pending.remove(&v.line);
         }
@@ -264,11 +270,95 @@ impl MemEnv for MachineEnv<'_> {
             }
         }
 
+        if self.tracer.enabled(TraceCategory::Mem) {
+            let kind = match probe {
+                HierProbe::L1Hit => "l1_hit",
+                HierProbe::L2Hit => "l2_hit",
+                HierProbe::L2Upgrade => "l2_upgrade",
+                HierProbe::L2Miss => "l2_miss",
+            };
+            self.tracer.emit(
+                done_at,
+                TraceCategory::Mem,
+                kind,
+                self.node as u32,
+                line.get(),
+                write as u64,
+            );
+        }
+
         Resolution {
             done_at,
             level,
             tlb_refill: refill,
         }
+    }
+}
+
+/// Machine-readable provenance record for one run: what was simulated,
+/// under which configuration and seed, and how fast the host simulated
+/// it. Written alongside results so any number in a report can be traced
+/// back to (and reproduced from) the run that produced it.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Machine configuration label (e.g. `"simos-mipsy-225/flashlite"`).
+    pub config: String,
+    /// Node/processor count.
+    pub nodes: u32,
+    /// Workload display name.
+    pub workload: String,
+    /// Workload base seed, if the program has one.
+    pub seed: Option<u64>,
+    /// Host wall-clock seconds spent inside [`Machine::run`].
+    pub wall_seconds: f64,
+    /// Ops executed across all nodes.
+    pub total_ops: u64,
+    /// Simulated time covered by the run, in seconds.
+    pub simulated_seconds: f64,
+    /// Host throughput: simulated ops (engine events) per wall-clock
+    /// second.
+    pub events_per_sec: f64,
+    /// Simulated MIPS: millions of simulated instructions per wall-clock
+    /// second — the paper's slowdown currency.
+    pub sim_mips: f64,
+}
+
+impl RunManifest {
+    /// Renders the manifest as a flat JSON object (hand-rolled; no
+    /// dependencies). Numeric fields are emitted as JSON numbers,
+    /// non-finite values as `null`, and a missing seed as `null`.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"config\":\"");
+        flashsim_engine::trace::push_json_escaped(&mut out, &self.config);
+        out.push_str("\",\"nodes\":");
+        out.push_str(&self.nodes.to_string());
+        out.push_str(",\"workload\":\"");
+        flashsim_engine::trace::push_json_escaped(&mut out, &self.workload);
+        out.push_str("\",\"seed\":");
+        match self.seed {
+            Some(s) => out.push_str(&s.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"wall_seconds\":");
+        out.push_str(&num(self.wall_seconds));
+        out.push_str(",\"total_ops\":");
+        out.push_str(&self.total_ops.to_string());
+        out.push_str(",\"simulated_seconds\":");
+        out.push_str(&num(self.simulated_seconds));
+        out.push_str(",\"events_per_sec\":");
+        out.push_str(&num(self.events_per_sec));
+        out.push_str(",\"sim_mips\":");
+        out.push_str(&num(self.sim_mips));
+        out.push('}');
+        out
     }
 }
 
@@ -288,6 +378,8 @@ pub struct RunResult {
     /// Merged statistics from cores, hierarchies, TLBs, and the memory
     /// system.
     pub stats: StatSet,
+    /// Provenance and host-throughput record for the run.
+    pub manifest: RunManifest,
 }
 
 impl RunResult {
@@ -313,6 +405,9 @@ pub struct Machine {
     locks: HashMap<u32, LockState>,
     lock_addr: HashMap<u32, VAddr>,
     timing_start: Option<u32>,
+    tracer: Tracer,
+    workload: String,
+    workload_seed: Option<u64>,
 }
 
 impl fmt::Debug for Machine {
@@ -335,8 +430,8 @@ impl Machine {
                 nodes: cfg.nodes,
             });
         }
-        let segments = check_segments(program, cfg.geometry.page_bytes)
-            .map_err(MachineError::BadSegments)?;
+        let segments =
+            check_segments(program, cfg.geometry.page_bytes).map_err(MachineError::BadSegments)?;
 
         let tlb_entries = match cfg.os.tlb {
             TlbModel::Modeled { entries, .. } => Some(entries),
@@ -379,12 +474,31 @@ impl Machine {
             locks: HashMap::new(),
             lock_addr: HashMap::new(),
             timing_start: program.timing_barrier(),
+            tracer: Tracer::disabled(),
+            workload: program.name(),
+            workload_seed: program.seed(),
         })
     }
 
     /// The configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Attaches a flight recorder to every layer of the machine: each core
+    /// (`cpu` events, tagged with its node id), the cache/TLB path (`mem`
+    /// events), the memory system (`proto` events, plus `net` events if the
+    /// model has a network), and the machine itself (`machine` events:
+    /// run phases, barrier releases, lock hand-offs).
+    ///
+    /// Attach *before* [`Machine::run`]; a disabled tracer (the default)
+    /// costs a single masked branch per potential event.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        for (n, core) in self.cores.iter_mut().enumerate() {
+            core.attach_tracer(tracer.clone(), n as u32);
+        }
+        self.memsys.attach_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Charges pending OS timer ticks to node `n` up to its current time.
@@ -411,8 +525,19 @@ impl Machine {
     /// Panics on programs that deadlock (barrier some threads never
     /// reach, lock never released) or touch undeclared memory.
     pub fn run(&mut self) -> RunResult {
+        let wall_start = std::time::Instant::now();
         let nodes = self.cfg.nodes as usize;
         self.status = vec![NodeStatus::Running; nodes];
+        if self.tracer.enabled(TraceCategory::Machine) {
+            self.tracer.emit(
+                Time::ZERO,
+                TraceCategory::Machine,
+                "run_start",
+                0,
+                u64::from(self.cfg.nodes),
+                0,
+            );
+        }
 
         loop {
             // Laggard-first: the running node with the smallest clock.
@@ -434,7 +559,7 @@ impl Machine {
             self.step_node(n);
         }
 
-        self.collect_result()
+        self.collect_result(wall_start.elapsed().as_secs_f64())
     }
 
     fn step_node(&mut self, n: usize) {
@@ -463,6 +588,7 @@ impl Machine {
                 alloc,
                 segments,
                 cfg,
+                tracer,
                 ..
             } = self;
             let mut env = MachineEnv {
@@ -474,6 +600,7 @@ impl Machine {
                 segments,
                 cfg,
                 clock: cfg.cpu.clock(),
+                tracer: tracer.clone(),
             };
             cores[n].execute(&op, &mut env);
             self.charge_ticks(n);
@@ -489,14 +616,21 @@ impl Machine {
                 let arrivals = self.barrier_arrivals.entry(op.id).or_default();
                 arrivals.push((n, t));
                 if arrivals.len() == self.cfg.nodes as usize {
-                    let release = arrivals
-                        .iter()
-                        .map(|(_, t)| *t)
-                        .fold(Time::ZERO, Time::max)
-                        + overhead;
+                    let release =
+                        arrivals.iter().map(|(_, t)| *t).fold(Time::ZERO, Time::max) + overhead;
                     let woken: Vec<usize> = arrivals.iter().map(|(m, _)| *m).collect();
                     self.barrier_arrivals.remove(&op.id);
                     self.barrier_releases.push((op.id, release));
+                    if self.tracer.enabled(TraceCategory::Machine) {
+                        self.tracer.emit(
+                            release,
+                            TraceCategory::Machine,
+                            "barrier_release",
+                            n as u32,
+                            u64::from(op.id),
+                            u64::from(self.cfg.nodes),
+                        );
+                    }
                     for m in woken {
                         self.cores[m].set_time(release);
                         self.status[m] = NodeStatus::Running;
@@ -517,6 +651,16 @@ impl Machine {
                     }
                 };
                 if acquired {
+                    if self.tracer.enabled(TraceCategory::Machine) {
+                        self.tracer.emit(
+                            t,
+                            TraceCategory::Machine,
+                            "lock_acquire",
+                            n as u32,
+                            u64::from(op.id),
+                            0,
+                        );
+                    }
                     self.acquire_lock_line(n, op.addr, t);
                 } else {
                     self.status[n] = NodeStatus::WaitingLock(op.id);
@@ -529,7 +673,12 @@ impl Machine {
                         .locks
                         .get_mut(&op.id)
                         .unwrap_or_else(|| panic!("release of unheld lock {}", op.id));
-                    assert_eq!(lock.held_by, Some(n), "lock {} released by non-holder", op.id);
+                    assert_eq!(
+                        lock.held_by,
+                        Some(n),
+                        "lock {} released by non-holder",
+                        op.id
+                    );
                     lock.held_by = None;
                     if lock.queue.is_empty() {
                         None
@@ -543,6 +692,16 @@ impl Machine {
                     self.status[next] = NodeStatus::Running;
                     let at = self.cores[next].now().max(t);
                     self.cores[next].set_time(at);
+                    if self.tracer.enabled(TraceCategory::Machine) {
+                        self.tracer.emit(
+                            at,
+                            TraceCategory::Machine,
+                            "lock_handoff",
+                            next as u32,
+                            u64::from(op.id),
+                            n as u64,
+                        );
+                    }
                     let addr = self.lock_addr[&op.id];
                     self.acquire_lock_line(next, addr, at);
                 }
@@ -562,6 +721,7 @@ impl Machine {
             segments,
             cfg,
             cores,
+            tracer,
             ..
         } = self;
         let mut env = MachineEnv {
@@ -573,17 +733,28 @@ impl Machine {
             segments,
             cfg,
             clock: cfg.cpu.clock(),
+            tracer: tracer.clone(),
         };
         let res = env.resolve(addr, MemAccessKind::Write, t);
         cores[n].set_time(res.done_at);
     }
 
-    fn collect_result(&mut self) -> RunResult {
+    fn collect_result(&mut self, wall_seconds: f64) -> RunResult {
         let end = self
             .cores
             .iter()
             .map(|c| c.now())
             .fold(Time::ZERO, Time::max);
+        if self.tracer.enabled(TraceCategory::Machine) {
+            self.tracer.emit(
+                end,
+                TraceCategory::Machine,
+                "run_end",
+                0,
+                u64::from(self.cfg.nodes),
+                0,
+            );
+        }
         self.barrier_releases.sort_by_key(|(id, _)| *id);
 
         let start = match self.timing_start {
@@ -614,12 +785,32 @@ impl Machine {
         }
         stats.absorb_flat(&self.memsys.stats());
 
+        let ops_per_node: Vec<u64> = self.streams.iter().map(|s| s.consumed()).collect();
+        let total_ops: u64 = ops_per_node.iter().sum();
+        let events_per_sec = if wall_seconds > 0.0 {
+            total_ops as f64 / wall_seconds
+        } else {
+            f64::NAN
+        };
+        let manifest = RunManifest {
+            config: self.cfg.label(),
+            nodes: self.cfg.nodes,
+            workload: self.workload.clone(),
+            seed: self.workload_seed,
+            wall_seconds,
+            total_ops,
+            simulated_seconds: (end - Time::ZERO).as_ns_f64() / 1e9,
+            events_per_sec,
+            sim_mips: events_per_sec / 1e6,
+        };
+
         RunResult {
             total_time: end - Time::ZERO,
             parallel_time: end - start,
-            ops_per_node: self.streams.iter().map(|s| s.consumed()).collect(),
+            ops_per_node,
             barrier_releases: self.barrier_releases.clone(),
             stats,
+            manifest,
         }
     }
 }

@@ -57,7 +57,10 @@ impl CacheGeometry {
     /// if `bytes` is not divisible by `line_bytes * ways`.
     pub fn new(bytes: u64, line_bytes: u64, ways: u32) -> CacheGeometry {
         assert!(bytes > 0 && line_bytes > 0 && ways > 0, "zero geometry");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             bytes.is_multiple_of(line_bytes * u64::from(ways)),
             "capacity must be a whole number of sets"

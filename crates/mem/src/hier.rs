@@ -146,7 +146,12 @@ impl CacheHierarchy {
     /// both levels with `granted` state (Exclusive/Shared from the
     /// directory; Modified for a write). Returns the dirty L2 victim that
     /// must be written back, if any.
-    pub fn fill_from_memory(&mut self, paddr: PAddr, write: bool, exclusive: bool) -> Option<Victim> {
+    pub fn fill_from_memory(
+        &mut self,
+        paddr: PAddr,
+        write: bool,
+        exclusive: bool,
+    ) -> Option<Victim> {
         let l2_line = self.l2_line(paddr);
         let l2_state = if write {
             LineState::Modified
@@ -283,7 +288,7 @@ mod tests {
         let p = PAddr(0x3000);
         h.probe(p, false);
         h.fill_from_memory(p, false, true); // Exclusive
-        // First write after an exclusive read fill: no directory traffic.
+                                            // First write after an exclusive read fill: no directory traffic.
         assert_eq!(h.probe(p, true), HierProbe::L1Hit);
         assert!(h.l2().peek(h.l2_line(p)).unwrap().is_dirty());
     }

@@ -286,13 +286,17 @@ mod tests {
         let mut seq = FrameAllocator::new(AllocPolicy::Sequential, 1, 256, 4096, colors);
         let mut irix = FrameAllocator::new(AllocPolicy::ColorHashed, 1, 256, 4096, colors);
 
-        let seq_a: Vec<u64> = (0..colors).map(|v| seq.alloc(0, v).unwrap() % colors).collect();
+        let seq_a: Vec<u64> = (0..colors)
+            .map(|v| seq.alloc(0, v).unwrap() % colors)
+            .collect();
         let seq_b: Vec<u64> = (1000..1000 + colors)
             .map(|v| seq.alloc(0, v).unwrap() % colors)
             .collect();
         assert_eq!(seq_a, seq_b, "sequential: same colour sequence = conflicts");
 
-        let irix_a: Vec<u64> = (0..colors).map(|v| irix.alloc(0, v).unwrap() % colors).collect();
+        let irix_a: Vec<u64> = (0..colors)
+            .map(|v| irix.alloc(0, v).unwrap() % colors)
+            .collect();
         let irix_b: Vec<u64> = (1000..1000 + colors)
             .map(|v| irix.alloc(0, v).unwrap() % colors)
             .collect();

@@ -11,7 +11,7 @@
 
 use crate::addr::LineAddr;
 use core::fmt;
-use flashsim_engine::{StatSet, Time};
+use flashsim_engine::{StatSet, Time, Tracer};
 
 /// A node identifier (0-based).
 pub type NodeId = u32;
@@ -166,6 +166,14 @@ pub trait MemorySystem {
 
     /// A short human-readable model name (e.g. `"flashlite"`, `"numa"`).
     fn model_name(&self) -> &'static str;
+
+    /// Attaches a flight-recorder handle; implementations emit
+    /// `proto`-category directory-transition events (and forward the
+    /// tracer to their network, which emits `net` link-occupancy events).
+    /// Default: no instrumentation.
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ impl Tlb {
     /// Panics if `entries` is zero or `page_bytes` is not a power of two.
     pub fn new(entries: usize, page_bytes: u64) -> Tlb {
         assert!(entries > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries,
             page_bytes,

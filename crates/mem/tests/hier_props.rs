@@ -1,11 +1,13 @@
-//! Property tests for the cache hierarchy: inclusion, coherence-state
-//! sanity, and no-panic under arbitrary interleavings of accesses,
-//! fills, invalidations and downgrades.
+//! Property-style tests for the cache hierarchy: inclusion,
+//! coherence-state sanity, and no-panic under arbitrary interleavings of
+//! accesses, fills, invalidations and downgrades. Randomized cases come
+//! from seeded loops over the in-tree [`flashsim_engine::Rng`] (this
+//! workspace builds offline, so no external property-testing framework).
 
+use flashsim_engine::Rng;
 use flashsim_mem::addr::{LineAddr, PAddr};
 use flashsim_mem::cache::{Cache, CacheGeometry, LineState, Probe};
 use flashsim_mem::hier::{CacheHierarchy, HierProbe};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Action {
@@ -14,15 +16,19 @@ enum Action {
     Downgrade { line: u64 },
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        8 => (0u64..0x4000, any::<bool>()).prop_map(|(a, write)| Action::Access {
-            addr: a & !0x7,
-            write,
-        }),
-        1 => (0u64..0x4000).prop_map(|l| Action::Invalidate { line: l & !0x7F }),
-        1 => (0u64..0x4000).prop_map(|l| Action::Downgrade { line: l & !0x7F }),
-    ]
+fn random_action(rng: &mut Rng) -> Action {
+    match rng.gen_range(10) {
+        0..=7 => Action::Access {
+            addr: rng.gen_range(0x4000) & !0x7,
+            write: rng.gen_range(2) == 0,
+        },
+        8 => Action::Invalidate {
+            line: rng.gen_range(0x4000) & !0x7F,
+        },
+        _ => Action::Downgrade {
+            line: rng.gen_range(0x4000) & !0x7F,
+        },
+    }
 }
 
 fn small_hier() -> CacheHierarchy {
@@ -53,16 +59,16 @@ fn check_inclusion(h: &CacheHierarchy) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The hierarchy never panics and never violates inclusion, whatever
-    /// the interleaving of demand accesses and directory actions.
-    #[test]
-    fn inclusion_holds_under_arbitrary_traffic(actions in proptest::collection::vec(action_strategy(), 1..300)) {
+/// The hierarchy never panics and never violates inclusion, whatever the
+/// interleaving of demand accesses and directory actions.
+#[test]
+fn inclusion_holds_under_arbitrary_traffic() {
+    let mut rng = Rng::seeded(0x1c1d);
+    for _ in 0..256 {
+        let n = 1 + rng.gen_range(299);
         let mut h = small_hier();
-        for action in &actions {
-            match *action {
+        for _ in 0..n {
+            match random_action(&mut rng) {
                 Action::Access { addr, write } => {
                     let p = PAddr(addr);
                     match h.probe(p, write) {
@@ -75,7 +81,7 @@ proptest! {
                         }
                     }
                     // After resolution the access must hit.
-                    prop_assert_eq!(h.probe(p, write), HierProbe::L1Hit);
+                    assert_eq!(h.probe(p, write), HierProbe::L1Hit);
                 }
                 Action::Invalidate { line } => {
                     h.invalidate_line(LineAddr(line));
@@ -87,11 +93,17 @@ proptest! {
             check_inclusion(&h);
         }
     }
+}
 
-    /// A plain cache never reports more lines per set than its ways, and
-    /// hits+misses always equals the probe count.
-    #[test]
-    fn cache_accounting_is_exact(addrs in proptest::collection::vec(0u64..0x8000, 1..500)) {
+/// A plain cache never reports more lines per set than its ways, and
+/// hits+misses always equals the probe count.
+#[test]
+fn cache_accounting_is_exact() {
+    let mut rng = Rng::seeded(0xacc7);
+    for _ in 0..256 {
+        let addrs: Vec<u64> = (0..1 + rng.gen_range(499))
+            .map(|_| rng.gen_range(0x8000))
+            .collect();
         let mut c = Cache::new(CacheGeometry::new(1024, 64, 2));
         let mut probes = 0u64;
         for a in &addrs {
@@ -101,7 +113,7 @@ proptest! {
                 c.fill(line, LineState::Shared);
             }
         }
-        prop_assert_eq!(c.hits() + c.misses(), probes);
+        assert_eq!(c.hits() + c.misses(), probes);
         // Re-probing everything immediately can at most miss on evicted
         // lines; counters keep adding up.
         for a in &addrs {
@@ -111,13 +123,17 @@ proptest! {
                 c.fill(line, LineState::Shared);
             }
         }
-        prop_assert_eq!(c.hits() + c.misses(), probes);
+        assert_eq!(c.hits() + c.misses(), probes);
     }
+}
 
-    /// LRU within a working set no larger than a set's ways never misses
-    /// after the cold pass.
-    #[test]
-    fn small_working_set_never_misses_after_warmup(start in 0u64..0x1000) {
+/// LRU within a working set no larger than a set's ways never misses
+/// after the cold pass.
+#[test]
+fn small_working_set_never_misses_after_warmup() {
+    let mut rng = Rng::seeded(0x1bu64);
+    for _ in 0..256 {
+        let start = rng.gen_range(0x1000);
         let mut c = Cache::new(CacheGeometry::new(1024, 64, 2));
         let base = start & !0x3F;
         // Two lines in the same set (stride = sets * line = 8 * 64).
@@ -129,7 +145,7 @@ proptest! {
         }
         for _ in 0..20 {
             for line in lines {
-                prop_assert_ne!(c.probe(line, false), Probe::Miss);
+                assert_ne!(c.probe(line, false), Probe::Miss);
             }
         }
     }

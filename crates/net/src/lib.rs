@@ -26,7 +26,7 @@
 #![warn(missing_docs)]
 
 use core::fmt;
-use flashsim_engine::{Resource, StatSet, Time, TimeDelta};
+use flashsim_engine::{Resource, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 
 /// A hypercube topology over a power-of-two number of nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +165,7 @@ pub struct Network {
     messages: u64,
     total_hops: u64,
     total_wait: TimeDelta,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -177,7 +178,14 @@ impl Network {
             messages: 0,
             total_hops: 0,
             total_wait: TimeDelta::ZERO,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle; every contended hop emits a
+    /// `net`-category `"link"` event (payload: wait, occupancy, both ps).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The topology.
@@ -207,8 +215,19 @@ impl Network {
             let dim = (cur ^ next).trailing_zeros();
             if self.params.contention {
                 let idx = self.topo.link_index(cur, dim);
-                let grant = self.links[idx].acquire(t, self.params.occupancy(bytes));
+                let occupancy = self.params.occupancy(bytes);
+                let grant = self.links[idx].acquire(t, occupancy);
                 self.total_wait += grant.wait;
+                if self.tracer.enabled(TraceCategory::Net) {
+                    self.tracer.emit(
+                        grant.start,
+                        TraceCategory::Net,
+                        "link",
+                        cur,
+                        grant.wait.as_ps(),
+                        occupancy.as_ps(),
+                    );
+                }
                 t = grant.start + self.params.hop_latency;
             } else {
                 t += self.params.hop_latency;
@@ -316,7 +335,10 @@ mod tests {
 
     #[test]
     fn latency_only_ignores_contention() {
-        let mut net = Network::new(Topology::hypercube(2).unwrap(), NetworkParams::latency_only());
+        let mut net = Network::new(
+            Topology::hypercube(2).unwrap(),
+            NetworkParams::latency_only(),
+        );
         let a = net.send(0, 1, 128, Time::ZERO);
         let b = net.send(0, 1, 128, Time::ZERO);
         assert_eq!(a, b, "latency-only model must not queue");

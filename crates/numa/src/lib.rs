@@ -40,7 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use flashsim_engine::{ResourcePool, StatSet, Time, TimeDelta};
+use flashsim_engine::{ResourcePool, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
 };
@@ -125,6 +125,7 @@ pub struct Numa {
     mem: Vec<ResourcePool>,
     case_counts: BTreeMap<ProtocolCase, u64>,
     case_latency_ns: BTreeMap<ProtocolCase, f64>,
+    tracer: Tracer,
 }
 
 impl Numa {
@@ -149,6 +150,7 @@ impl Numa {
                 .collect(),
             case_counts: BTreeMap::new(),
             case_latency_ns: BTreeMap::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -178,9 +180,26 @@ impl Numa {
         grant.start + self.params.mem_access
     }
 
-    fn record(&mut self, case: ProtocolCase, latency: TimeDelta) {
+    fn record(
+        &mut self,
+        case: ProtocolCase,
+        requester: NodeId,
+        home: NodeId,
+        done_at: Time,
+        latency: TimeDelta,
+    ) {
         *self.case_counts.entry(case).or_insert(0) += 1;
         *self.case_latency_ns.entry(case).or_insert(0.0) += latency.as_ns_f64();
+        if self.tracer.enabled(TraceCategory::Proto) {
+            self.tracer.emit(
+                done_at,
+                TraceCategory::Proto,
+                case.key(),
+                requester,
+                latency.as_ps(),
+                home as u64,
+            );
+        }
     }
 
     /// Mean demand latency observed for `case`, if any occurred.
@@ -212,7 +231,8 @@ impl Numa {
         // Invalidation round trips, pure latency.
         let mut ack_done = t;
         for &v in &resp.invalidate {
-            let tv = t + p.ctrl_out
+            let tv = t
+                + p.ctrl_out
                 + self.net(home, v, false)
                 + p.ctrl_intervention
                 + self.net(v, home, false);
@@ -243,7 +263,7 @@ impl Numa {
 
         data_t = data_t.max(ack_done);
         let done_at = data_t + p.reply_fill;
-        self.record(case, done_at - req.now);
+        self.record(case, requester, home, done_at, done_at - req.now);
         MemOutcome {
             done_at,
             case,
@@ -268,7 +288,8 @@ impl Numa {
         let resp = self.dirs[home as usize].upgrade(req.line, requester);
         let mut ack_done = t;
         for &v in &resp.invalidate {
-            let tv = t + p.ctrl_out
+            let tv = t
+                + p.ctrl_out
                 + self.net(home, v, false)
                 + p.ctrl_intervention
                 + self.net(v, home, false);
@@ -279,7 +300,13 @@ impl Numa {
             t += p.ctrl_out + self.net(home, requester, false) + p.ctrl_reply;
         }
         let done_at = t + p.reply_fill;
-        self.record(ProtocolCase::UpgradeOwnership, done_at - req.now);
+        self.record(
+            ProtocolCase::UpgradeOwnership,
+            requester,
+            home,
+            done_at,
+            done_at - req.now,
+        );
         MemOutcome {
             done_at,
             case: ProtocolCase::UpgradeOwnership,
@@ -297,7 +324,13 @@ impl Numa {
         let t = req.now + p.ctrl_request + self.net(req.node, home, true);
         let done_at = self.mem_acquire(home, t);
         self.dirs[home as usize].writeback(req.line, req.node);
-        self.record(ProtocolCase::WritebackCase, done_at - req.now);
+        self.record(
+            ProtocolCase::WritebackCase,
+            req.node,
+            home,
+            done_at,
+            done_at - req.now,
+        );
         MemOutcome {
             done_at,
             case: ProtocolCase::WritebackCase,
@@ -332,6 +365,10 @@ impl MemorySystem for Numa {
         let mem_wait: f64 = self.mem.iter().map(|m| m.wait_total().as_ns_f64()).sum();
         s.set("mem.bank_wait_ns", mem_wait);
         s
+    }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn model_name(&self) -> &'static str {

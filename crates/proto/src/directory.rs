@@ -473,8 +473,8 @@ mod tests {
     fn upgrade_from_unlisted_sharer_degenerates_to_read_exclusive() {
         let mut d = Directory::new(16);
         d.read(L, 0); // node 0 owns
-        // Node 1 thinks it has a shared copy, but the directory never saw
-        // it (e.g. reclaimed). The upgrade falls back to read-exclusive.
+                      // Node 1 thinks it has a shared copy, but the directory never saw
+                      // it (e.g. reclaimed). The upgrade falls back to read-exclusive.
         let r = d.upgrade(L, 1);
         assert!(r.exclusive);
         assert_eq!(r.source, DataSource::Owner(0));

@@ -1,11 +1,14 @@
-//! Property tests: the directory upholds the single-writer /
+//! Property-style tests: the directory upholds the single-writer /
 //! multiple-reader invariant against a reference model under arbitrary
 //! transaction sequences — including pointer-pool exhaustion, where the
-//! protocol invalidates sharers to reclaim pointers.
+//! protocol invalidates sharers to reclaim pointers. Randomized cases
+//! come from seeded loops over the in-tree [`flashsim_engine::Rng`]
+//! (this workspace builds offline, so no external property-testing
+//! framework).
 
+use flashsim_engine::Rng;
 use flashsim_mem::LineAddr;
 use flashsim_proto::{DataSource, Directory};
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 const NODES: u32 = 16;
@@ -18,13 +21,20 @@ enum Txn {
     Writeback { line: u8, node: u32 },
 }
 
-fn txn_strategy() -> impl Strategy<Value = Txn> {
-    (0u8..8, 0u32..NODES, 0u8..4).prop_map(|(line, node, kind)| match kind {
+fn random_txn(rng: &mut Rng) -> Txn {
+    let line = rng.gen_range(8) as u8;
+    let node = rng.gen_range(u64::from(NODES)) as u32;
+    match rng.gen_range(4) {
         0 => Txn::Read { line, node },
         1 => Txn::ReadEx { line, node },
         2 => Txn::Upgrade { line, node },
         _ => Txn::Writeback { line, node },
-    })
+    }
+}
+
+fn random_txns(rng: &mut Rng, min: u64, max: u64) -> Vec<Txn> {
+    let n = min + rng.gen_range(max - min);
+    (0..n).map(|_| random_txn(rng)).collect()
 }
 
 /// Reference model: for each line, the set of nodes that may legally hold
@@ -65,15 +75,15 @@ fn line_addr(line: u8) -> LineAddr {
     LineAddr(u64::from(line) * 128)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// After any transaction sequence: an exclusive grant leaves exactly
-    /// one listed sharer, directory sharer sets never exceed the node
-    /// count, and the pointer pool never leaks.
-    #[test]
-    fn directory_invariants_hold(txns in proptest::collection::vec(txn_strategy(), 1..200),
-                                 pool in 1u32..32) {
+/// After any transaction sequence: an exclusive grant leaves exactly one
+/// listed sharer, directory sharer sets never exceed the node count, and
+/// the pointer pool never leaks.
+#[test]
+fn directory_invariants_hold() {
+    let mut rng = Rng::seeded(0xd1c7);
+    for _ in 0..256 {
+        let txns = random_txns(&mut rng, 1, 200);
+        let pool = 1 + rng.gen_range(31) as u32;
         let mut dir = Directory::new(pool);
         let mut reference = Reference::default();
 
@@ -84,20 +94,20 @@ proptest! {
                     reference.apply_response(line, node, r.exclusive, &r.invalidate, r.downgrade);
                     // Data from an owner implies that owner was a legal holder.
                     if let DataSource::Owner(o) = r.source {
-                        prop_assert_ne!(o, node, "owner must not supply data to itself");
+                        assert_ne!(o, node, "owner must not supply data to itself");
                     }
                 }
                 Txn::ReadEx { line, node } => {
                     let r = dir.read_exclusive(line_addr(line), node);
-                    prop_assert!(r.exclusive, "read-exclusive must grant exclusivity");
+                    assert!(r.exclusive, "read-exclusive must grant exclusivity");
                     reference.apply_response(line, node, true, &r.invalidate, r.downgrade);
-                    prop_assert_eq!(dir.owner(line_addr(line)), Some(node));
+                    assert_eq!(dir.owner(line_addr(line)), Some(node));
                 }
                 Txn::Upgrade { line, node } => {
                     let r = dir.upgrade(line_addr(line), node);
-                    prop_assert!(r.exclusive);
+                    assert!(r.exclusive);
                     reference.apply_response(line, node, true, &r.invalidate, r.downgrade);
-                    prop_assert_eq!(dir.owner(line_addr(line)), Some(node));
+                    assert_eq!(dir.owner(line_addr(line)), Some(node));
                 }
                 Txn::Writeback { line, node } => {
                     // Only a legal writeback (from the current owner) changes
@@ -107,7 +117,7 @@ proptest! {
                     if was_owner {
                         reference.holders.entry(line).or_default().clear();
                         reference.exclusive.insert(line, None);
-                        prop_assert!(dir.sharers(line_addr(line)).is_empty());
+                        assert!(dir.sharers(line_addr(line)).is_empty());
                     }
                 }
             }
@@ -115,36 +125,40 @@ proptest! {
             // Global invariants after every step.
             for line in 0u8..8 {
                 let sharers = dir.sharers(line_addr(line));
-                prop_assert!(sharers.len() <= NODES as usize);
+                assert!(sharers.len() <= NODES as usize);
                 if dir.is_owned(line_addr(line)) {
-                    prop_assert_eq!(sharers.len(), 1, "owned line lists exactly the owner");
+                    assert_eq!(sharers.len(), 1, "owned line lists exactly the owner");
                 }
                 // Dynamic pointer allocation bound: chained sharers can never
                 // exceed the pool capacity (+1 inline head per line).
-                prop_assert!(sharers.len() <= (pool as usize) + 1 + 1);
+                assert!(sharers.len() <= (pool as usize) + 1 + 1);
             }
-            prop_assert!(dir.pool_used() <= pool, "pointer pool over-allocated");
+            assert!(dir.pool_used() <= pool, "pointer pool over-allocated");
         }
     }
+}
 
-    /// The directory's sharer list always contains the last requester of
-    /// every line (reads never lose their own requester to reclamation).
-    #[test]
-    fn requester_is_always_listed(txns in proptest::collection::vec(txn_strategy(), 1..100)) {
+/// The directory's sharer list always contains the last requester of
+/// every line (reads never lose their own requester to reclamation).
+#[test]
+fn requester_is_always_listed() {
+    let mut rng = Rng::seeded(0x5a5a);
+    for _ in 0..256 {
+        let txns = random_txns(&mut rng, 1, 100);
         let mut dir = Directory::new(2); // tiny pool: force reclamation
         for txn in &txns {
             match *txn {
                 Txn::Read { line, node } => {
                     dir.read(line_addr(line), node);
-                    prop_assert!(dir.sharers(line_addr(line)).contains(&node));
+                    assert!(dir.sharers(line_addr(line)).contains(&node));
                 }
                 Txn::ReadEx { line, node } => {
                     dir.read_exclusive(line_addr(line), node);
-                    prop_assert_eq!(dir.sharers(line_addr(line)), vec![node]);
+                    assert_eq!(dir.sharers(line_addr(line)), vec![node]);
                 }
                 Txn::Upgrade { line, node } => {
                     dir.upgrade(line_addr(line), node);
-                    prop_assert_eq!(dir.sharers(line_addr(line)), vec![node]);
+                    assert_eq!(dir.sharers(line_addr(line)), vec![node]);
                 }
                 Txn::Writeback { line, node } => {
                     dir.writeback(line_addr(line), node);

@@ -43,8 +43,10 @@ impl Fft {
     /// Panics if `points` is not a power of four or `threads` is zero.
     pub fn new(points: u64, threads: usize, blocking: FftBlocking) -> Fft {
         assert!(threads > 0);
-        assert!(points.is_power_of_two() && points.trailing_zeros().is_multiple_of(2),
-            "FFT needs a power-of-four point count, got {points}");
+        assert!(
+            points.is_power_of_two() && points.trailing_zeros().is_multiple_of(2),
+            "FFT needs a power-of-four point count, got {points}"
+        );
         let n = 1u64 << (points.trailing_zeros() / 2);
         assert!(n >= 4, "FFT too small");
         Fft {
@@ -197,9 +199,17 @@ impl Fft {
                         let di = sink.next_reg();
                         sink.push(flashsim_isa::Op::compute(OpClass::FpAdd, di, ai, ti));
                         sink.store_dep(self.addr(mat, row, i), flashsim_isa::Reg::ZERO, sr);
-                        sink.store_dep(self.addr(mat, row, i).offset(8), flashsim_isa::Reg::ZERO, si);
+                        sink.store_dep(
+                            self.addr(mat, row, i).offset(8),
+                            flashsim_isa::Reg::ZERO,
+                            si,
+                        );
                         sink.store_dep(self.addr(mat, row, j), flashsim_isa::Reg::ZERO, dr);
-                        sink.store_dep(self.addr(mat, row, j).offset(8), flashsim_isa::Reg::ZERO, di);
+                        sink.store_dep(
+                            self.addr(mat, row, j).offset(8),
+                            flashsim_isa::Reg::ZERO,
+                            di,
+                        );
                     }
                     sink.loop_branch(2);
                     group += step;
@@ -230,11 +240,7 @@ impl Fft {
 
 impl Program for Fft {
     fn name(&self) -> String {
-        format!(
-            "fft-{}k-{:?}",
-            (self.n * self.n) >> 10,
-            self.blocking
-        )
+        format!("fft-{}k-{:?}", (self.n * self.n) >> 10, self.blocking)
     }
 
     fn num_threads(&self) -> usize {

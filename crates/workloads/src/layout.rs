@@ -105,7 +105,9 @@ mod tests {
         let rows = table2();
         let apps: Vec<_> = rows.iter().map(|r| r.app).collect();
         assert_eq!(apps, vec!["FFT", "Radix-Sort", "Ocean", "LU"]);
-        assert!(rows.iter().all(|r| !r.paper.is_empty() && !r.scaled.is_empty()));
+        assert!(rows
+            .iter()
+            .all(|r| !r.paper.is_empty() && !r.scaled.is_empty()));
     }
 
     #[test]

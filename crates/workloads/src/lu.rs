@@ -275,10 +275,7 @@ mod tests {
         let lu = Lu::sized(ProblemScale::Tiny, p);
         let expect = 1 + 3 * lu.nb();
         for t in 0..p {
-            let barriers = lu
-                .stream(t)
-                .filter(|o| o.class == OpClass::Barrier)
-                .count() as u64;
+            let barriers = lu.stream(t).filter(|o| o.class == OpClass::Barrier).count() as u64;
             assert_eq!(barriers, expect, "thread {t}");
         }
     }

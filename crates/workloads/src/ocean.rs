@@ -40,7 +40,10 @@ impl Ocean {
     /// Panics unless `n` is a power of two ≥ 16 (way alignment is the
     /// point of the experiment) and `threads > 0`.
     pub fn new(n: u64, iters: u32, threads: usize) -> Ocean {
-        assert!(n.is_power_of_two() && n >= 16, "grid must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 16,
+            "grid must be a power of two"
+        );
         assert!(threads > 0);
         Ocean { n, iters, threads }
     }
@@ -97,9 +100,9 @@ impl Ocean {
             sink.prefetch(self.addr(src, i + 1, 0));
             for j in 1..(self.n - 1) {
                 sink.alu(2); // induction/address arithmetic
-                // Hand-inserted prefetches (the paper's binaries hide read
-                // latency this way): stay two lines ahead on the source
-                // and destination rows.
+                             // Hand-inserted prefetches (the paper's binaries hide read
+                             // latency this way): stay two lines ahead on the source
+                             // and destination rows.
                 if j % 4 == 0 && j + 10 < self.n {
                     sink.prefetch(self.addr(src, i, j + 8));
                     sink.prefetch(self.addr(dst, i, j + 8));
@@ -268,16 +271,16 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(saw[2] && saw[4], "three-grid pass reads q and work1: {saw:?}");
+        assert!(
+            saw[2] && saw[4],
+            "three-grid pass reads q and work1: {saw:?}"
+        );
     }
 
     #[test]
     fn relaxation_pass_divides() {
         let oc = Ocean::sized(ProblemScale::Tiny, 1);
-        let divs = oc
-            .stream(0)
-            .filter(|o| o.class == OpClass::FpDiv)
-            .count();
+        let divs = oc.stream(0).filter(|o| o.class == OpClass::FpDiv).count();
         let interior = (oc.dim() - 2) * (oc.dim() - 2);
         assert_eq!(divs as u64, interior * u64::from(oc.iters));
     }
@@ -288,10 +291,7 @@ mod tests {
         let oc = Ocean::sized(ProblemScale::Tiny, p);
         let expect_barriers = 1 + 3 * oc.iters;
         for t in 0..p {
-            let n = oc
-                .stream(t)
-                .filter(|o| o.class == OpClass::Barrier)
-                .count() as u32;
+            let n = oc.stream(t).filter(|o| o.class == OpClass::Barrier).count() as u32;
             assert_eq!(n, expect_barriers);
         }
     }

@@ -91,7 +91,7 @@ impl Radix {
 
     fn keys_for(scale: ProblemScale) -> u64 {
         match scale {
-            ProblemScale::Full => 2 << 20,   // 2M keys (Table 2)
+            ProblemScale::Full => 2 << 20, // 2M keys (Table 2)
             ProblemScale::Scaled => 256 << 10,
             ProblemScale::Tiny => 16 << 10,
         }
@@ -202,6 +202,10 @@ impl Program for Radix {
 
     fn num_threads(&self) -> usize {
         self.threads
+    }
+
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
     }
 
     fn segments(&self) -> Vec<Segment> {
@@ -394,9 +398,7 @@ mod tests {
                         barriers += 1;
                         in_permutation = barriers == 3; // after hist+prefix
                     }
-                    OpClass::Store
-                        if in_permutation && op.addr >= SEG_B && op.addr < SEG_C =>
-                    {
+                    OpClass::Store if in_permutation && op.addr >= SEG_B && op.addr < SEG_C => {
                         window.push(op.addr.vpn(4096));
                         if window.len() > 256 {
                             window.remove(0);
@@ -426,9 +428,7 @@ mod tests {
             for op in rx.stream(t) {
                 match op.class {
                     OpClass::Barrier => barriers += 1,
-                    OpClass::Store
-                        if barriers == 3 && op.addr >= SEG_B && op.addr < SEG_C =>
-                    {
+                    OpClass::Store if barriers == 3 && op.addr >= SEG_B && op.addr < SEG_C => {
                         perm_stores.push(op.addr.get());
                     }
                     _ => {}

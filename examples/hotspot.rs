@@ -18,7 +18,10 @@ fn main() {
     let cal = calibrate(&study);
     let fig = fig7(&study, ProblemScale::Scaled, &cal.tuning);
     print!("{}", render_speedup(&fig));
-    let hw = fig.curve("FLASH 150MHz").and_then(|c| c.at(16)).unwrap_or(0.0);
+    let hw = fig
+        .curve("FLASH 150MHz")
+        .and_then(|c| c.at(16))
+        .unwrap_or(0.0);
     let numa = fig.curve("NUMA").and_then(|c| c.at(16)).unwrap_or(0.0);
     println!(
         "\nNUMA predicts {numa:.1}x where the hardware gets {hw:.1}x: without \

@@ -19,7 +19,10 @@ fn main() {
     let cal = calibrate(&study);
     let fig = fig5(&study, ProblemScale::Scaled, &cal.tuning);
     print!("{}", render_speedup(&fig));
-    let hw = fig.curve("FLASH 150MHz").and_then(|c| c.at(16)).unwrap_or(0.0);
+    let hw = fig
+        .curve("FLASH 150MHz")
+        .and_then(|c| c.at(16))
+        .unwrap_or(0.0);
     let m300 = fig
         .curve("SimOS-Mipsy 300MHz")
         .and_then(|c| c.at(16))

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full offline CI gate: build, test, formatting, lints.
+# Run from anywhere inside the repository; no network access required.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== all checks passed =="

@@ -36,8 +36,14 @@ fn closing_the_simulation_loop() {
 
     // Untuned errors carry the paper's signs at the extremes: the local
     // clean path is optimistic, the dirty-remote path pessimistic.
-    assert!(cal.table3[0].untuned_relative() < 1.0, "untuned LC should be fast");
-    assert!(cal.table3[4].untuned_relative() > 1.0, "untuned RDR should be slow");
+    assert!(
+        cal.table3[0].untuned_relative() < 1.0,
+        "untuned LC should be fast"
+    );
+    assert!(
+        cal.table3[4].untuned_relative() > 1.0,
+        "untuned RDR should be slow"
+    );
 
     // The Mipsy secondary-cache-interface occupancy is discovered (the
     // gold standard's true value is 160ns).

@@ -55,8 +55,14 @@ fn radix_reduction_cuts_tlb_misses_on_hardware() {
 fn solo_overpredicts_uniprocessor_ocean() {
     let study = Study::scaled();
     let ocean = Ocean::sized(ProblemScale::Scaled, 1);
-    let simos = run_once(study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite), &ocean);
-    let solo = run_once(study.sim(Sim::SoloMipsy(150), 1, MemModel::FlashLite), &ocean);
+    let simos = run_once(
+        study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite),
+        &ocean,
+    );
+    let solo = run_once(
+        study.sim(Sim::SoloMipsy(150), 1, MemModel::FlashLite),
+        &ocean,
+    );
     let ratio = solo.parallel_time.ratio(simos.parallel_time);
     assert!(
         ratio > 1.3,
@@ -92,12 +98,21 @@ fn mxs_is_faster_than_the_gold_standard() {
 fn mipsy_clock_scaling_is_monotone_and_sublinear() {
     let study = Study::scaled();
     let fft = Fft::sized(ProblemScale::Tiny, 1, FftBlocking::Tlb);
-    let t150 = run_once(study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite), &fft)
-        .parallel_time;
-    let t225 = run_once(study.sim(Sim::SimosMipsy(225), 1, MemModel::FlashLite), &fft)
-        .parallel_time;
-    let t300 = run_once(study.sim(Sim::SimosMipsy(300), 1, MemModel::FlashLite), &fft)
-        .parallel_time;
+    let t150 = run_once(
+        study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite),
+        &fft,
+    )
+    .parallel_time;
+    let t225 = run_once(
+        study.sim(Sim::SimosMipsy(225), 1, MemModel::FlashLite),
+        &fft,
+    )
+    .parallel_time;
+    let t300 = run_once(
+        study.sim(Sim::SimosMipsy(300), 1, MemModel::FlashLite),
+        &fft,
+    )
+    .parallel_time;
     assert!(t150 > t225 && t225 > t300, "faster clock, shorter run");
     let ratio = t150.ratio(t300);
     assert!(
@@ -141,17 +156,29 @@ fn overclocked_mipsy_underpredicts_speedup() {
     let par = Fft::sized(ProblemScale::Tiny, p as usize, FftBlocking::Tlb);
 
     let s150 = {
-        let t1 = run_once(study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite), &uni)
-            .parallel_time;
-        let tp = run_once(study.sim(Sim::SimosMipsy(150), p, MemModel::FlashLite), &par)
-            .parallel_time;
+        let t1 = run_once(
+            study.sim(Sim::SimosMipsy(150), 1, MemModel::FlashLite),
+            &uni,
+        )
+        .parallel_time;
+        let tp = run_once(
+            study.sim(Sim::SimosMipsy(150), p, MemModel::FlashLite),
+            &par,
+        )
+        .parallel_time;
         speedup(t1, tp)
     };
     let s300 = {
-        let t1 = run_once(study.sim(Sim::SimosMipsy(300), 1, MemModel::FlashLite), &uni)
-            .parallel_time;
-        let tp = run_once(study.sim(Sim::SimosMipsy(300), p, MemModel::FlashLite), &par)
-            .parallel_time;
+        let t1 = run_once(
+            study.sim(Sim::SimosMipsy(300), 1, MemModel::FlashLite),
+            &uni,
+        )
+        .parallel_time;
+        let tp = run_once(
+            study.sim(Sim::SimosMipsy(300), p, MemModel::FlashLite),
+            &par,
+        )
+        .parallel_time;
         speedup(t1, tp)
     };
     assert!(

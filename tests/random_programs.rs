@@ -1,12 +1,14 @@
-//! Machine-level property tests: randomly generated parallel programs
-//! (random segments, access patterns, barrier structure) must run to
-//! completion on every platform with identical op streams, no deadlock,
-//! and deterministic results.
+//! Machine-level property-style tests: randomly generated parallel
+//! programs (random segments, access patterns, barrier structure) must
+//! run to completion on every platform with identical op streams, no
+//! deadlock, and deterministic results. Randomized cases come from seeded
+//! loops over the in-tree [`flashsim::engine::Rng`] (this workspace
+//! builds offline, so no external property-testing framework).
 
+use flashsim::engine::Rng;
 use flashsim::platform::{MemModel, Sim, Study};
 use flashsim::runner::run_once;
 use flashsim_isa::{OpClass, Placement, Program, Segment, Sink, VAddr};
-use proptest::prelude::*;
 
 /// A randomly shaped but well-formed parallel program.
 #[derive(Debug, Clone)]
@@ -81,53 +83,61 @@ impl Program for RandomProgram {
     }
 }
 
-fn program_strategy() -> impl Strategy<Value = RandomProgram> {
-    (
-        prop_oneof![Just(1usize), Just(2), Just(4)],
-        proptest::collection::vec((1u16..400, 1u8..32, any::<bool>()), 1..4),
-        any::<bool>(),
-        prop_oneof![
-            Just(Placement::Blocked),
-            Just(Placement::Node(0)),
-            Just(Placement::Interleaved)
-        ],
-    )
-        .prop_map(|(threads, phases, use_lock, placement)| RandomProgram {
-            threads,
-            phases,
-            use_lock,
-            placement,
+fn random_program(rng: &mut Rng) -> RandomProgram {
+    let threads = [1usize, 2, 4][rng.gen_range(3) as usize];
+    let phases = (0..1 + rng.gen_range(3))
+        .map(|_| {
+            (
+                1 + rng.gen_range(399) as u16,
+                1 + rng.gen_range(31) as u8,
+                rng.gen_range(2) == 0,
+            )
         })
+        .collect();
+    let placement = [
+        Placement::Blocked,
+        Placement::Node(0),
+        Placement::Interleaved,
+    ][rng.gen_range(3) as usize];
+    RandomProgram {
+        threads,
+        phases,
+        use_lock: rng.gen_range(2) == 0,
+        placement,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any well-formed program completes on every platform with the same
-    /// op stream, and repeated runs are bit-identical.
-    #[test]
-    fn random_programs_run_everywhere(prog in program_strategy()) {
+/// Any well-formed program completes on every platform with the same op
+/// stream, and repeated runs are bit-identical.
+#[test]
+fn random_programs_run_everywhere() {
+    let mut rng = Rng::seeded(0xf1a5);
+    for _ in 0..24 {
+        let prog = random_program(&mut rng);
         let study = Study::scaled();
         let nodes = prog.threads as u32;
 
         let hw = run_once(study.hardware(nodes), &prog);
-        prop_assert!(hw.total_time.as_ns() > 0);
-        prop_assert!(hw.parallel_time <= hw.total_time);
+        assert!(hw.total_time.as_ns() > 0);
+        assert!(hw.parallel_time <= hw.total_time);
 
-        let solo = run_once(study.sim(Sim::SoloMipsy(300), nodes, MemModel::FlashLite), &prog);
-        prop_assert_eq!(&solo.ops_per_node, &hw.ops_per_node, "same binary violated");
+        let solo = run_once(
+            study.sim(Sim::SoloMipsy(300), nodes, MemModel::FlashLite),
+            &prog,
+        );
+        assert_eq!(&solo.ops_per_node, &hw.ops_per_node, "same binary violated");
 
         let numa = run_once(study.sim(Sim::SimosMxs, nodes, MemModel::Numa), &prog);
-        prop_assert_eq!(&numa.ops_per_node, &hw.ops_per_node);
+        assert_eq!(&numa.ops_per_node, &hw.ops_per_node);
 
         // Every barrier released exactly once, in id order.
         let ids: Vec<u32> = hw.barrier_releases.iter().map(|(id, _)| *id).collect();
         let expect: Vec<u32> = (0..ids.len() as u32).collect();
-        prop_assert_eq!(ids, expect);
+        assert_eq!(ids, expect);
 
         // Determinism.
         let again = run_once(study.hardware(nodes), &prog);
-        prop_assert_eq!(again.total_time, hw.total_time);
-        prop_assert_eq!(again.stats, hw.stats);
+        assert_eq!(again.total_time, hw.total_time);
+        assert_eq!(again.stats, hw.stats);
     }
 }

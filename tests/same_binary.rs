@@ -6,7 +6,7 @@
 
 use flashsim::platform::{MemModel, Sim, Study};
 use flashsim::runner::run_once;
-use flashsim::workloads::{Fft, FftBlocking, Lu, Ocean, ProblemScale, Radix, Snbench, SnCase};
+use flashsim::workloads::{Fft, FftBlocking, Lu, Ocean, ProblemScale, Radix, SnCase, Snbench};
 use flashsim_isa::Program;
 
 fn op_counts(study: &Study, prog: &dyn Program, nodes: u32) -> Vec<Vec<u64>> {
@@ -24,7 +24,8 @@ fn assert_same_binary(prog: &dyn Program, nodes: u32) {
     let counts = op_counts(&study, prog, nodes);
     for c in &counts[1..] {
         assert_eq!(
-            c, &counts[0],
+            c,
+            &counts[0],
             "{}: op streams differ across platforms",
             prog.name()
         );

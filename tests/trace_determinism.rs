@@ -1,0 +1,58 @@
+//! Integration tests for the observability loop: flight-recorder streams
+//! are byte-identical across identically-seeded runs, and the divergence
+//! differ pinpoints where two platforms part ways on the same workload.
+
+use flashsim::diverge::diff_traces;
+use flashsim::engine::{CategoryMask, Trace, Tracer};
+use flashsim::machine::{Machine, MachineConfig};
+use flashsim::platform::{MemModel, Sim, Study};
+use flashsim::workloads::micro::{SnCase, Snbench};
+use flashsim_isa::Program;
+
+fn traced(cfg: MachineConfig, prog: &dyn Program) -> Trace {
+    let tracer = Tracer::new(1 << 18, CategoryMask::ALL);
+    let mut machine = Machine::new(cfg, prog).expect("valid configuration");
+    machine.attach_tracer(tracer.clone());
+    machine.run();
+    tracer.snapshot()
+}
+
+#[test]
+fn identically_seeded_runs_trace_byte_identically() {
+    let study = Study::scaled();
+    let bench = Snbench::new(SnCase::all()[2], study.geometry.l2.bytes);
+    let nodes = Snbench::NODES as u32;
+    let a = traced(study.hardware(nodes), &bench);
+    let b = traced(study.hardware(nodes), &bench);
+    assert!(!a.events.is_empty(), "hardware run must record events");
+    assert_eq!(
+        a, b,
+        "identically-seeded runs must produce identical streams"
+    );
+    assert_eq!(
+        a.to_chrome_json(),
+        b.to_chrome_json(),
+        "exported traces must be byte-identical"
+    );
+    assert!(diff_traces(&a, &b).identical());
+}
+
+#[test]
+fn differ_pinpoints_hardware_vs_simulator_divergence() {
+    let study = Study::scaled();
+    let bench = Snbench::new(SnCase::all()[2], study.geometry.l2.bytes);
+    let nodes = Snbench::NODES as u32;
+    let hw = traced(study.hardware(nodes), &bench);
+    let sim = traced(
+        study.sim(Sim::SimosMipsy(150), nodes, MemModel::FlashLite),
+        &bench,
+    );
+    let report = diff_traces(&hw, &sim);
+    assert!(
+        report.first.is_some(),
+        "different processor models must diverge somewhere"
+    );
+    let text = report.render("hardware", "simos-mipsy-150");
+    assert!(text.contains("first divergence at event index"));
+    assert!(text.contains("per-category event counts"));
+}
