@@ -31,7 +31,7 @@ fn traced_run(
     let tracer = Tracer::new(capacity, CategoryMask::ALL);
     let mut machine = Machine::new(cfg, prog).expect("valid microbenchmark configuration");
     machine.attach_tracer(tracer.clone());
-    let result = machine.run();
+    let result = machine.run().expect("microbenchmark runs to completion");
     (tracer.snapshot(), result.manifest, label)
 }
 

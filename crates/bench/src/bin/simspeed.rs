@@ -40,7 +40,10 @@ fn best_run(
             if let Some(t) = tracer {
                 machine.attach_tracer(t.clone());
             }
-            machine.run().manifest
+            machine
+                .run()
+                .expect("benchmark runs to completion")
+                .manifest
         })
         .max_by(|a, b| {
             a.events_per_sec

@@ -1,0 +1,178 @@
+//! The chaos harness: sweeps seeded fault plans across every platform and
+//! reports a survival matrix.
+//!
+//! Robustness claim under test: under *any* seeded [`FaultPlan`] — latency
+//! perturbation, dropped/delayed protocol messages, stalled nodes,
+//! directory-pool pressure, MAGIC queue pressure — every platform either
+//! completes or fails with a structured [`flashsim_machine::SimError`].
+//! No cell may hang (the watchdog budget bounds it) and no cell may panic
+//! (a caught panic renders as `P` and fails the sweep).
+//!
+//! Everything here is deterministic: the same seed list produces a
+//! byte-identical survival grid, which is itself a regression test for
+//! the fault injector's reproducibility.
+
+use flashsim_core::platform::{MemModel, Sim, Study};
+use flashsim_core::runner::{run_matrix, CellOutcome, MatrixCell};
+use flashsim_engine::FaultPlan;
+use flashsim_isa::Program;
+use flashsim_machine::{MachineConfig, Watchdog};
+use flashsim_workloads::micro::{SnCase, Snbench};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Watchdog op budget applied to every chaos cell: far above any snbench
+/// run, so it only trips on genuine loss of forward progress.
+pub const CELL_BUDGET: u64 = 50_000_000;
+
+/// The platform sweep: every simulator family plus the gold-standard
+/// hardware, as short column labels.
+pub fn platforms(study: &Study, nodes: u32) -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("hardware", study.hardware(nodes)),
+        (
+            "mipsy/fl",
+            study.sim(Sim::SimosMipsy(150), nodes, MemModel::FlashLite),
+        ),
+        (
+            "solo/fl",
+            study.sim(Sim::SoloMipsy(300), nodes, MemModel::FlashLite),
+        ),
+        (
+            "mxs/fl",
+            study.sim(Sim::SimosMxs, nodes, MemModel::FlashLite),
+        ),
+        (
+            "mipsy/numa",
+            study.sim(Sim::SimosMipsy(150), nodes, MemModel::Numa),
+        ),
+    ]
+}
+
+/// Single-character cell verdict: `.` for a completed run, otherwise the
+/// failure kind (`D`eadlock, `S`talled, `U`nmapped, oo`M`, unheld-`L`ock,
+/// `B`uild, `P`anic).
+pub fn outcome_char(outcome: &CellOutcome) -> char {
+    match outcome.error() {
+        None => '.',
+        Some(e) => match e.kind() {
+            "deadlock" => 'D',
+            "stalled" => 'S',
+            "unmapped" => 'U',
+            "oom" => 'M',
+            "unheld_lock" => 'L',
+            "build" => 'B',
+            "panic" => 'P',
+            _ => '?',
+        },
+    }
+}
+
+/// The rendered survival sweep.
+#[derive(Debug, Clone)]
+pub struct Survival {
+    /// The seeds × platforms grid plus legend, ready to print.
+    /// Byte-identical for identical seed lists.
+    pub grid: String,
+    /// Total cells swept.
+    pub cells: usize,
+    /// Cells that ran to completion.
+    pub completed: usize,
+    /// Cells that failed with a structured error.
+    pub structured_failures: usize,
+    /// Cells that panicked (caught); any nonzero count is a bug.
+    pub panics: usize,
+}
+
+/// Sweeps `seeds` chaos fault plans across every platform, one snbench
+/// cell per (seed, platform), all supervised and watchdog-bounded.
+pub fn survival_matrix(study: &Study, seeds: &[u64]) -> Survival {
+    let nodes = Snbench::NODES as u32;
+    let plats = platforms(study, nodes);
+    let bench: Arc<dyn Program> = Arc::new(Snbench::new(SnCase::all()[2], study.geometry.l2.bytes));
+
+    let mut cells: Vec<MatrixCell> = Vec::with_capacity(seeds.len() * plats.len());
+    for seed in seeds {
+        for (_, cfg) in &plats {
+            let mut cfg = cfg.clone();
+            cfg.faults = Some(FaultPlan::chaos(*seed));
+            cfg.watchdog = Watchdog::with_budget(CELL_BUDGET);
+            cells.push((cfg, Arc::clone(&bench)));
+        }
+    }
+    let outcomes = run_matrix(cells, None);
+
+    let mut grid = String::new();
+    let _ = write!(grid, "{:<12}", "seed");
+    for (label, _) in &plats {
+        let _ = write!(grid, "{label:>12}");
+    }
+    let _ = writeln!(grid);
+
+    let mut completed = 0usize;
+    let mut panics = 0usize;
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (row, seed) in seeds.iter().enumerate() {
+        let _ = write!(grid, "{:<12}", format!("{seed:#06x}"));
+        for col in 0..plats.len() {
+            let outcome = &outcomes[row * plats.len() + col];
+            match outcome.error() {
+                None => completed += 1,
+                Some(e) => {
+                    *by_kind.entry(e.kind()).or_default() += 1;
+                    if e.kind() == "panic" {
+                        panics += 1;
+                    }
+                }
+            }
+            let _ = write!(grid, "{:>12}", outcome_char(outcome));
+        }
+        let _ = writeln!(grid);
+    }
+    let cells = outcomes.len();
+    let _ = writeln!(
+        grid,
+        "legend: . ok  D deadlock  S stalled  U unmapped  M oom  L unheld-lock  B build  P panic"
+    );
+    let _ = write!(grid, "survival: {completed}/{cells} completed");
+    for (kind, n) in &by_kind {
+        let _ = write!(grid, "  {kind}:{n}");
+    }
+    let _ = writeln!(grid);
+
+    Survival {
+        grid,
+        cells,
+        completed,
+        structured_failures: cells - completed - panics,
+        panics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seed_lists_give_byte_identical_survival_grids() {
+        let study = Study::scaled();
+        let seeds = [3u64, 7];
+        let a = survival_matrix(&study, &seeds);
+        let b = survival_matrix(&study, &seeds);
+        assert_eq!(a.grid, b.grid, "chaos sweeps must be deterministic");
+        assert_eq!(a.cells, seeds.len() * platforms(&study, 1).len());
+        assert_eq!(a.panics, 0, "no cell may panic:\n{}", a.grid);
+        assert_eq!(a.completed + a.structured_failures, a.cells);
+    }
+
+    #[test]
+    fn outcome_chars_are_distinct_per_kind() {
+        // The legend relies on one char per failure kind.
+        let chars = ['.', 'D', 'S', 'U', 'M', 'L', 'B', 'P'];
+        let mut sorted = chars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), chars.len());
+    }
+}

@@ -17,9 +17,12 @@
 //! | `ablate_latency` | the §3.1.3 instruction-latency experiment |
 //! | `diverge` | flight-recorder divergence diff: hardware vs a simulator |
 //! | `simspeed` | simulator throughput (events/sec, simulated MIPS) |
+//! | `chaos` | fault-injection survival matrix (seeded fault plans × platforms) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod chaos;
 
 use flashsim_core::platform::Study;
 use flashsim_workloads::ProblemScale;

@@ -17,7 +17,7 @@
 //! | [`latency_ablation`] | §3.1.3 | Radix on SimOS-Mipsy-225 ± real mul/div latencies |
 
 use crate::platform::{MemModel, Sim, Study, Tuning};
-use crate::runner::{parallel_map, relative_time, run_hardware, run_once, speedup};
+use crate::runner::{parallel_map, relative_time, run_hardware, run_once, run_supervised, speedup};
 use flashsim_engine::TimeDelta;
 use flashsim_isa::Program;
 use flashsim_machine::{CpuModel, MachineConfig};
@@ -59,8 +59,24 @@ pub struct RelativePoint {
     pub app: &'static str,
     /// Simulator column label.
     pub sim: String,
-    /// Simulated time / hardware time (1.0 = exact).
+    /// Simulated time / hardware time (1.0 = exact). NaN when the cell
+    /// failed (see [`RelativePoint::error`]).
     pub relative: f64,
+    /// The failure kind (`"deadlock"`, `"stalled"`, ...) if the cell's
+    /// run did not complete; `None` for healthy cells.
+    pub error: Option<String>,
+}
+
+impl RelativePoint {
+    /// A healthy measured bar.
+    pub fn measured(app: &'static str, sim: String, relative: f64) -> RelativePoint {
+        RelativePoint {
+            app,
+            sim,
+            relative,
+            error: None,
+        }
+    }
 }
 
 /// A Figure-1/2/3/4-style dataset.
@@ -77,10 +93,17 @@ pub struct RelativeFigure {
 impl RelativeFigure {
     /// The bar for (`app`, `sim` label), if present.
     pub fn get(&self, app: &str, sim: &str) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.app == app && p.sim == sim)
-            .map(|p| p.relative)
+        self.point(app, sim).map(|p| p.relative)
+    }
+
+    /// The full point for (`app`, `sim` label), if present.
+    pub fn point(&self, app: &str, sim: &str) -> Option<&RelativePoint> {
+        self.points.iter().find(|p| p.app == app && p.sim == sim)
+    }
+
+    /// Number of cells that failed to produce a measurement.
+    pub fn failed_cells(&self) -> usize {
+        self.points.iter().filter(|p| p.error.is_some()).count()
     }
 }
 
@@ -103,20 +126,39 @@ fn relative_figure(
             jobs.push((app_idx, *sim, Arc::clone(prog)));
         }
     }
-    let results: Vec<(usize, Sim, TimeDelta)> = parallel_map(jobs, |(app_idx, sim, prog)| {
-        let cfg = match tuning {
-            None => study.sim(sim, nodes, MemModel::FlashLite),
-            Some(t) => study.sim_tuned(sim, nodes, MemModel::FlashLite, t),
-        };
-        (app_idx, sim, run_once(cfg, prog.as_ref()).parallel_time)
-    });
+    // Every simulator cell runs supervised: a deadlocked or faulted cell
+    // becomes a marked degraded bar instead of sinking the whole figure.
+    let results: Vec<(usize, Sim, Result<TimeDelta, String>)> =
+        parallel_map(jobs, |(app_idx, sim, prog)| {
+            let cfg = match tuning {
+                None => study.sim(sim, nodes, MemModel::FlashLite),
+                Some(t) => study.sim_tuned(sim, nodes, MemModel::FlashLite, t),
+            };
+            let outcome = run_supervised(cfg, prog.as_ref());
+            let cell = match outcome.parallel_time() {
+                Some(t) => Ok(t),
+                None => Err(outcome
+                    .error()
+                    .map(|e| e.kind().to_owned())
+                    .unwrap_or_else(|| "unknown".to_owned())),
+            };
+            (app_idx, sim, cell)
+        });
 
     let points = results
         .into_iter()
-        .map(|(app_idx, sim, t)| RelativePoint {
-            app: apps[app_idx].0,
-            sim: sim.label(),
-            relative: relative_time(t, hw_times[app_idx]),
+        .map(|(app_idx, sim, cell)| match cell {
+            Ok(t) => RelativePoint::measured(
+                apps[app_idx].0,
+                sim.label(),
+                relative_time(t, hw_times[app_idx]),
+            ),
+            Err(kind) => RelativePoint {
+                app: apps[app_idx].0,
+                sim: sim.label(),
+                relative: f64::NAN,
+                error: Some(kind),
+            },
         })
         .collect();
     RelativeFigure {
@@ -204,15 +246,19 @@ impl SpeedupFigure {
 }
 
 /// Builds one speedup curve for a platform given a program factory.
+///
+/// Failed cells are dropped from the curve; if the P=1 baseline itself
+/// fails, the curve is returned with no points (the platform label is
+/// kept so renderers can mark it degraded) instead of panicking.
 fn speedup_curve<F, G>(label: &str, counts: &[u32], make_prog: &F, make_cfg: &G) -> SpeedupCurve
 where
     F: Fn(u32) -> Arc<dyn Program> + Sync,
     G: Fn(u32) -> Option<MachineConfig> + Sync,
 {
-    let times: Vec<(u32, TimeDelta)> = parallel_map(counts.to_vec(), |p| {
+    let times: Vec<(u32, Option<TimeDelta>)> = parallel_map(counts.to_vec(), |p| {
         let prog = make_prog(p);
         let t = match make_cfg(p) {
-            Some(cfg) => run_once(cfg, prog.as_ref()).parallel_time,
+            Some(cfg) => run_supervised(cfg, prog.as_ref()).parallel_time(),
             None => {
                 // Hardware path: averaged measurement handled by caller.
                 unreachable!("hardware curves use speedup_curve_hw")
@@ -220,17 +266,17 @@ where
         };
         (p, t)
     });
-    let t1 = times
-        .iter()
-        .find(|(p, _)| *p == 1)
-        .expect("curve includes 1 processor")
-        .1;
+    let t1 = times.iter().find(|(p, _)| *p == 1).and_then(|(_, t)| *t);
+    let points = match t1 {
+        Some(t1) => times
+            .into_iter()
+            .filter_map(|(p, t)| t.map(|t| (p, speedup(t1, t))))
+            .collect(),
+        None => Vec::new(),
+    };
     SpeedupCurve {
         platform: label.to_owned(),
-        points: times
-            .into_iter()
-            .map(|(p, t)| (p, speedup(t1, t)))
-            .collect(),
+        points,
     }
 }
 
@@ -362,14 +408,27 @@ mod tests {
         let fig = RelativeFigure {
             title: "t".into(),
             nodes: 1,
-            points: vec![RelativePoint {
-                app: "FFT",
-                sim: "SimOS-MXS 150MHz".into(),
-                relative: 0.8,
-            }],
+            points: vec![
+                RelativePoint::measured("FFT", "SimOS-MXS 150MHz".into(), 0.8),
+                RelativePoint {
+                    app: "LU",
+                    sim: "SimOS-MXS 150MHz".into(),
+                    relative: f64::NAN,
+                    error: Some("deadlock".into()),
+                },
+            ],
         };
         assert_eq!(fig.get("FFT", "SimOS-MXS 150MHz"), Some(0.8));
-        assert_eq!(fig.get("LU", "SimOS-MXS 150MHz"), None);
+        assert!(fig.get("LU", "SimOS-MXS 150MHz").unwrap().is_nan());
+        assert_eq!(fig.get("Ocean", "SimOS-MXS 150MHz"), None);
+        assert_eq!(fig.failed_cells(), 1);
+        assert_eq!(
+            fig.point("LU", "SimOS-MXS 150MHz")
+                .unwrap()
+                .error
+                .as_deref(),
+            Some("deadlock")
+        );
     }
 
     #[test]

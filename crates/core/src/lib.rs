@@ -10,7 +10,10 @@
 //!    (design-time) and tuned states.
 //! 2. **Measurement** ([`runner`]): averaged hardware runs (≥5 with
 //!    seeded jitter, as the paper averages real runs), relative execution
-//!    time, speedup, and a parallel run-matrix executor.
+//!    time, speedup, and a *supervised* parallel run-matrix executor:
+//!    each cell runs under `catch_unwind` with a watchdog budget, and a
+//!    failed cell becomes a structured [`CellOutcome::Failed`] while the
+//!    rest of the matrix completes.
 //! 3. **Calibration** ([`mod@calibrate`]): the §3.1.2 tuning loop —
 //!    microbenchmarks measure the gold standard (TLB refill cost, the
 //!    five Table-3 protocol-case latencies, secondary-cache interface
@@ -62,8 +65,8 @@ pub use report::{
     relative_to_csv, render_relative, render_speedup, render_table1, render_table3, speedup_to_csv,
 };
 pub use runner::{
-    parallel_map, relative_time, run_hardware, run_once, speedup, HardwareMeasurement,
-    HARDWARE_JITTER, HARDWARE_RUNS,
+    parallel_map, relative_time, run_hardware, run_matrix, run_once, run_supervised, speedup,
+    CellOutcome, HardwareMeasurement, MatrixCell, HARDWARE_JITTER, HARDWARE_RUNS,
 };
 
 // Re-export the layers below for umbrella users.

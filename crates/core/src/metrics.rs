@@ -153,11 +153,16 @@ pub struct SimulatorScorecard {
 }
 
 /// Builds a scorecard for every simulator column in a relative figure,
-/// sorted best (lowest MARE) first.
+/// sorted best (lowest MARE) first. Failed cells (error-marked or
+/// non-finite relatives) are excluded so a partial matrix still ranks
+/// its healthy columns.
 pub fn scorecards(fig: &RelativeFigure) -> Vec<SimulatorScorecard> {
     use std::collections::BTreeMap;
     let mut by_sim: BTreeMap<&str, Vec<(String, f64)>> = BTreeMap::new();
     for p in &fig.points {
+        if p.error.is_some() || !p.relative.is_finite() {
+            continue;
+        }
         by_sim
             .entry(p.sim.as_str())
             .or_default()
@@ -281,26 +286,10 @@ mod tests {
             title: "t".into(),
             nodes: 1,
             points: vec![
-                RelativePoint {
-                    app: "FFT",
-                    sim: "good".into(),
-                    relative: 0.95,
-                },
-                RelativePoint {
-                    app: "LU",
-                    sim: "good".into(),
-                    relative: 1.05,
-                },
-                RelativePoint {
-                    app: "FFT",
-                    sim: "bad".into(),
-                    relative: 0.5,
-                },
-                RelativePoint {
-                    app: "LU",
-                    sim: "bad".into(),
-                    relative: 1.6,
-                },
+                RelativePoint::measured("FFT", "good".into(), 0.95),
+                RelativePoint::measured("LU", "good".into(), 1.05),
+                RelativePoint::measured("FFT", "bad".into(), 0.5),
+                RelativePoint::measured("LU", "bad".into(), 1.6),
             ],
         };
         let cards = scorecards(&fig);
@@ -310,5 +299,26 @@ mod tests {
         assert!((cards[1].optimistic_fraction - 0.5).abs() < 1e-12);
         let rendered = render_scorecards(&cards);
         assert!(rendered.contains("good") && rendered.contains("MARE"));
+    }
+
+    #[test]
+    fn scorecards_skip_failed_cells() {
+        let fig = RelativeFigure {
+            title: "t".into(),
+            nodes: 1,
+            points: vec![
+                RelativePoint::measured("FFT", "partial".into(), 1.1),
+                RelativePoint {
+                    app: "LU",
+                    sim: "partial".into(),
+                    relative: f64::NAN,
+                    error: Some("deadlock".into()),
+                },
+            ],
+        };
+        let cards = scorecards(&fig);
+        assert_eq!(cards.len(), 1);
+        assert_eq!(cards[0].relatives.len(), 1, "failed cell excluded");
+        assert!(cards[0].mare.is_finite());
     }
 }

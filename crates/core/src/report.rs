@@ -7,6 +7,8 @@ use crate::platform::Sim;
 use std::fmt::Write as _;
 
 /// Renders a relative-execution-time figure as a sims × apps grid.
+/// Failed cells are marked `!kind` (e.g. `!deadlock`) and a summary line
+/// counts the degraded cells, so partial matrices stay readable.
 pub fn render_relative(fig: &RelativeFigure) -> String {
     let apps = ["FFT", "Radix-Sort", "LU", "Ocean"];
     let mut out = String::new();
@@ -24,16 +26,28 @@ pub fn render_relative(fig: &RelativeFigure) -> String {
         let label = sim.label();
         let _ = write!(out, "{label:<22}");
         for app in apps {
-            match fig.get(app, &label) {
-                Some(v) => {
-                    let _ = write!(out, "{v:>12.2}");
-                }
+            match fig.point(app, &label) {
+                Some(p) => match &p.error {
+                    Some(kind) => {
+                        let _ = write!(out, "{:>12}", format!("!{kind}"));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>12.2}", p.relative);
+                    }
+                },
                 None => {
                     let _ = write!(out, "{:>12}", "-");
                 }
             }
         }
         let _ = writeln!(out);
+    }
+    let failed = fig.failed_cells();
+    if failed > 0 {
+        let _ = writeln!(
+            out,
+            "({failed} cell(s) failed and are marked !kind; the rest of the matrix is intact)"
+        );
     }
     out
 }
@@ -187,17 +201,23 @@ mod tests {
         let fig = RelativeFigure {
             title: "Figure X".into(),
             nodes: 1,
-            points: vec![RelativePoint {
-                app: "FFT",
-                sim: "SimOS-Mipsy 150MHz".into(),
-                relative: 0.93,
-            }],
+            points: vec![
+                RelativePoint::measured("FFT", "SimOS-Mipsy 150MHz".into(), 0.93),
+                RelativePoint {
+                    app: "LU",
+                    sim: "SimOS-Mipsy 150MHz".into(),
+                    relative: f64::NAN,
+                    error: Some("stalled".into()),
+                },
+            ],
         };
         let s = render_relative(&fig);
         assert!(s.contains("Figure X"));
         assert!(s.contains("FFT") && s.contains("Ocean"));
         assert!(s.contains("0.93"));
         assert!(s.contains("Solo-Mipsy 300MHz"));
+        assert!(s.contains("!stalled"), "failed cell must be marked: {s}");
+        assert!(s.contains("1 cell(s) failed"), "{s}");
     }
 
     #[test]
@@ -230,14 +250,26 @@ mod tests {
     }
 }
 
-/// Serializes a relative figure as CSV (`app,simulator,relative`).
+/// Serializes a relative figure as CSV (`app,simulator,relative,error`).
+/// Failed cells leave the relative column empty and name the failure
+/// kind in the error column.
 pub fn relative_to_csv(fig: &crate::figures::RelativeFigure) -> String {
-    let mut out = String::from("app,simulator,relative\n");
+    let mut out = String::from("app,simulator,relative,error\n");
     for p in &fig.points {
-        let _ = std::fmt::Write::write_fmt(
-            &mut out,
-            format_args!("{},{},{:.4}\n", p.app, p.sim, p.relative),
-        );
+        match &p.error {
+            Some(kind) => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!("{},{},,{kind}\n", p.app, p.sim),
+                );
+            }
+            None => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!("{},{},{:.4},\n", p.app, p.sim, p.relative),
+                );
+            }
+        }
     }
     out
 }
@@ -266,16 +298,21 @@ mod csv_tests {
         let fig = RelativeFigure {
             title: "t".into(),
             nodes: 1,
-            points: vec![RelativePoint {
-                app: "FFT",
-                sim: "SimOS-MXS 150MHz".into(),
-                relative: 0.7321,
-            }],
+            points: vec![
+                RelativePoint::measured("FFT", "SimOS-MXS 150MHz".into(), 0.7321),
+                RelativePoint {
+                    app: "LU",
+                    sim: "SimOS-MXS 150MHz".into(),
+                    relative: f64::NAN,
+                    error: Some("deadlock".into()),
+                },
+            ],
         };
         let csv = relative_to_csv(&fig);
-        assert!(csv.starts_with("app,simulator,relative\n"));
-        assert!(csv.contains("FFT,SimOS-MXS 150MHz,0.7321"));
-        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("app,simulator,relative,error\n"));
+        assert!(csv.contains("FFT,SimOS-MXS 150MHz,0.7321,"));
+        assert!(csv.contains("LU,SimOS-MXS 150MHz,,deadlock"));
+        assert_eq!(csv.lines().count(), 3);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Run orchestration: hardware averaging, relative-time metrics, and
-//! parallel run matrices.
+//! supervised parallel run matrices.
 //!
 //! The paper "take\[s\] the average of at least 5 hardware runs to avoid
 //! reporting any spurious system effects"; our gold standard is a
@@ -7,11 +7,20 @@
 //! multiplicative jitter per run and averages, reproducing the
 //! measurement protocol (and giving the validation layer a non-degenerate
 //! notion of hardware variance).
+//!
+//! Experiment matrices run *supervised*: [`run_supervised`] wraps each
+//! cell in `catch_unwind` and converts structured [`SimError`]s and
+//! caught panics into [`CellOutcome::Failed`], so one broken cell —
+//! deadlocked workload, exhausted directory pool, injected fault — never
+//! takes down the rest of the matrix. Figures render partial matrices
+//! with the degraded cells marked.
 
 use crate::platform::Study;
 use flashsim_engine::{Rng, TimeDelta};
 use flashsim_isa::Program;
-use flashsim_machine::{run_program, MachineConfig, RunResult};
+use flashsim_machine::{run_program, MachineConfig, RunManifest, RunResult, SimError, Watchdog};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Hardware runs averaged per measurement (paper: "at least 5").
 pub const HARDWARE_RUNS: usize = 5;
@@ -31,8 +40,15 @@ pub struct HardwareMeasurement {
 
 impl HardwareMeasurement {
     /// Relative spread (max-min)/mean of the runs.
+    ///
+    /// Degenerate measurements (no runs, or a zero/non-finite mean, as a
+    /// failed or zero-length run produces) report a spread of 0 rather
+    /// than NaN/inf, so downstream variance checks stay finite.
     pub fn spread(&self) -> f64 {
         let mean = self.parallel_time.as_ns_f64();
+        if self.runs_ns.is_empty() || !mean.is_finite() || mean <= 0.0 {
+            return 0.0;
+        }
         let max = self.runs_ns.iter().cloned().fold(f64::MIN, f64::max);
         let min = self.runs_ns.iter().cloned().fold(f64::MAX, f64::min);
         (max - min) / mean
@@ -47,6 +63,117 @@ impl HardwareMeasurement {
 /// experiment definitions in this crate guarantee it can.
 pub fn run_once(cfg: MachineConfig, program: &dyn Program) -> RunResult {
     run_program(cfg, program).expect("experiment configuration is valid")
+}
+
+/// The outcome of one supervised run-matrix cell.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The run finished; the full result is attached.
+    Completed(Box<RunResult>),
+    /// The run failed with a structured error (or a caught panic).
+    Failed {
+        /// Why the cell failed.
+        error: SimError,
+        /// Provenance of the failed cell (config label, nodes, workload,
+        /// seed). Throughput fields are NaN: the run never finished.
+        manifest: RunManifest,
+    },
+}
+
+impl CellOutcome {
+    /// True if the cell ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellOutcome::Completed(_))
+    }
+
+    /// The run result, if the cell completed.
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            CellOutcome::Completed(r) => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure, if the cell failed.
+    pub fn error(&self) -> Option<&SimError> {
+        match self {
+            CellOutcome::Completed(_) => None,
+            CellOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// The measured parallel time, if the cell completed.
+    pub fn parallel_time(&self) -> Option<TimeDelta> {
+        self.result().map(|r| r.parallel_time)
+    }
+
+    /// The cell's manifest, whether it completed or failed.
+    pub fn manifest(&self) -> &RunManifest {
+        match self {
+            CellOutcome::Completed(r) => &r.manifest,
+            CellOutcome::Failed { manifest, .. } => manifest,
+        }
+    }
+}
+
+/// A provenance manifest for a cell that never produced a result.
+fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
+    RunManifest {
+        config: cfg.label(),
+        nodes: cfg.nodes,
+        workload: program.name(),
+        seed: program.seed(),
+        wall_seconds: 0.0,
+        total_ops: 0,
+        simulated_seconds: 0.0,
+        events_per_sec: f64::NAN,
+        sim_mips: f64::NAN,
+    }
+}
+
+/// Runs one matrix cell under supervision: structured errors come back as
+/// [`CellOutcome::Failed`], and a panic escaping the machine layer is
+/// caught and converted to [`SimError::Panic`] instead of poisoning the
+/// rest of the matrix.
+pub fn run_supervised(cfg: MachineConfig, program: &dyn Program) -> CellOutcome {
+    let manifest = failed_manifest(&cfg, program);
+    match catch_unwind(AssertUnwindSafe(|| run_program(cfg, program))) {
+        Ok(Ok(result)) => CellOutcome::Completed(Box::new(result)),
+        Ok(Err(error)) => CellOutcome::Failed { error, manifest },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            CellOutcome::Failed {
+                error: SimError::Panic(msg),
+                manifest,
+            }
+        }
+    }
+}
+
+/// One cell of a supervised run matrix.
+pub type MatrixCell = (MachineConfig, Arc<dyn Program>);
+
+/// Runs every cell of an experiment matrix under supervision, in parallel
+/// on host threads, preserving order. A failed or deadlocked cell becomes
+/// [`CellOutcome::Failed`] while every other cell still produces its
+/// result.
+///
+/// `budget` is a watchdog op budget applied to cells whose own watchdog
+/// is unbounded, so a cell that stops making forward progress is reported
+/// as [`SimError::Stalled`] instead of hanging the whole matrix.
+pub fn run_matrix(cells: Vec<MatrixCell>, budget: Option<u64>) -> Vec<CellOutcome> {
+    parallel_map(cells, |(mut cfg, prog)| {
+        if cfg.watchdog.max_ops.is_none() {
+            if let Some(b) = budget {
+                cfg.watchdog = Watchdog::with_budget(b);
+            }
+        }
+        run_supervised(cfg, prog.as_ref())
+    })
 }
 
 /// Runs `program` on the gold-standard hardware, averaging
@@ -103,7 +230,53 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flashsim_isa::{Placement, Segment, Sink, VAddr};
     use flashsim_workloads::micro::RestartProbe;
+
+    const BASE: u64 = 0x1_0000;
+
+    /// Thread 0 skips the barrier thread 1 waits at: a guaranteed
+    /// deadlock.
+    struct SkippedBarrier;
+    impl Program for SkippedBarrier {
+        fn name(&self) -> String {
+            "skipped-barrier".into()
+        }
+        fn num_threads(&self) -> usize {
+            2
+        }
+        fn segments(&self) -> Vec<Segment> {
+            vec![Segment::new("d", VAddr(BASE), 4096, Placement::Node(0))]
+        }
+        fn thread_body(&self, tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+            Box::new(move |sink| {
+                sink.load(VAddr(BASE));
+                if tid != 0 {
+                    sink.barrier();
+                }
+            })
+        }
+    }
+
+    /// A kernel that panics while generating its op stream.
+    struct PanickingKernel;
+    impl Program for PanickingKernel {
+        fn name(&self) -> String {
+            "panicking-kernel".into()
+        }
+        fn num_threads(&self) -> usize {
+            1
+        }
+        fn segments(&self) -> Vec<Segment> {
+            vec![Segment::new("d", VAddr(BASE), 4096, Placement::Node(0))]
+        }
+        fn thread_body(&self, _tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+            Box::new(|sink| {
+                sink.load(VAddr(BASE));
+                panic!("kernel exploded on purpose");
+            })
+        }
+    }
 
     #[test]
     fn relative_time_math() {
@@ -139,5 +312,56 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..32).collect(), |x: i32| x * x);
         assert_eq!(out, (0..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spread_is_finite_for_degenerate_measurements() {
+        let study = Study::scaled();
+        let result = run_once(study.hardware(1), &RestartProbe::new(1_000));
+        let degenerate = HardwareMeasurement {
+            parallel_time: TimeDelta::ZERO,
+            runs_ns: vec![],
+            result,
+        };
+        assert_eq!(degenerate.spread(), 0.0);
+        let zero_mean = HardwareMeasurement {
+            runs_ns: vec![0.0, 0.0],
+            ..degenerate
+        };
+        assert_eq!(zero_mean.spread(), 0.0);
+    }
+
+    #[test]
+    fn deadlocked_cell_does_not_poison_the_matrix() {
+        let study = Study::scaled();
+        let cells: Vec<MatrixCell> = vec![
+            (
+                study.hardware(1),
+                Arc::new(RestartProbe::new(2_000)) as Arc<dyn Program>,
+            ),
+            (study.hardware(2), Arc::new(SkippedBarrier)),
+            (
+                study.hardware(1),
+                Arc::new(RestartProbe::new(3_000)) as Arc<dyn Program>,
+            ),
+        ];
+        let outcomes = run_matrix(cells, Some(10_000_000));
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_completed());
+        assert!(outcomes[2].is_completed());
+        let err = outcomes[1].error().expect("deadlocked cell fails");
+        assert_eq!(err.kind(), "deadlock");
+        // The failed cell still carries its provenance.
+        assert_eq!(outcomes[1].manifest().workload, "skipped-barrier");
+        assert_eq!(outcomes[1].manifest().nodes, 2);
+    }
+
+    #[test]
+    fn panicking_cell_is_caught_as_structured_error() {
+        let study = Study::scaled();
+        let outcome = run_supervised(study.hardware(1), &PanickingKernel);
+        let err = outcome.error().expect("panic must be caught");
+        assert_eq!(err.kind(), "panic");
+        assert!(format!("{err}").contains("kernel exploded on purpose"));
     }
 }

@@ -18,7 +18,10 @@
 //! - [`stats`]: counters, histograms, and labelled stat sets,
 //! - [`trace`]: a category-masked flight recorder every simulator layer
 //!   emits into, with a Chrome-trace-event exporter — the substrate for
-//!   event-level divergence diffing between platforms.
+//!   event-level divergence diffing between platforms,
+//! - [`fault`]: deterministic, seeded fault injection (latency
+//!   perturbation, dropped/delayed messages, stalled nodes, resource
+//!   pressure) so robustness paths can be exercised reproducibly.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -47,6 +51,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultPlan, MessageFate};
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, StatSet};

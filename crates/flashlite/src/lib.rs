@@ -44,7 +44,10 @@ pub mod params;
 
 pub use params::FlashLiteParams;
 
-use flashsim_engine::{Resource, ResourcePool, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{
+    FaultInjector, MessageFate, Resource, ResourcePool, StatSet, Time, TimeDelta, TraceCategory,
+    Tracer,
+};
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
 };
@@ -67,6 +70,10 @@ pub struct FlashLite {
     case_counts: BTreeMap<ProtocolCase, u64>,
     case_latency_ns: BTreeMap<ProtocolCase, f64>,
     tracer: Tracer,
+    faults: FaultInjector,
+    nacks: u64,
+    retries: u64,
+    nack_backoff: TimeDelta,
 }
 
 impl FlashLite {
@@ -98,6 +105,10 @@ impl FlashLite {
             case_counts: BTreeMap::new(),
             case_latency_ns: BTreeMap::new(),
             tracer: Tracer::disabled(),
+            faults: FaultInjector::inert(),
+            nacks: 0,
+            retries: 0,
+            nack_backoff: TimeDelta::ZERO,
         })
     }
 
@@ -145,7 +156,47 @@ impl FlashLite {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, bytes: u64, t: Time) -> Time {
-        self.net.send(from, to, bytes, t)
+        let mut depart = t;
+        // Fault injection: a dropped message is retransmitted after the
+        // plan's timeout; a delayed one leaves late. Bounded so even a
+        // pathological fate stream cannot loop forever.
+        for _ in 0..16 {
+            match self.faults.message_fate(from, to) {
+                MessageFate::Deliver => break,
+                MessageFate::Delay(d) => {
+                    depart += d;
+                    break;
+                }
+                MessageFate::Drop => depart += self.faults.plan().drop_timeout,
+            }
+        }
+        self.net.send(from, to, bytes, depart)
+    }
+
+    /// The bounded-inbound-queue NACK path: a remote request arriving at a
+    /// saturated home MAGIC is bounced back and retried with exponential
+    /// backoff, as on real FLASH. Returns when the request is finally
+    /// accepted at the home. Each bounce costs a NACK header back to the
+    /// requester, the backoff wait, and a fresh outbound send (the bounce
+    /// itself is handled in MAGIC's inbound hardware, not the PP).
+    fn nack_retry(&mut self, requester: NodeId, home: NodeId, mut t: Time) -> Time {
+        let p = self.params;
+        if requester == home || p.nack_max_retries == 0 {
+            return t;
+        }
+        let mut retries: u32 = 0;
+        while self.pp[home as usize].wait_at(t) > p.nack_threshold && retries < p.nack_max_retries {
+            self.nacks += 1;
+            retries += 1;
+            let mut rt = self.send(home, requester, p.header_bytes, t);
+            let backoff = p.nack_retry_base * (1u64 << (retries - 1).min(6));
+            self.nack_backoff += backoff;
+            rt += backoff;
+            rt = self.pp_acquire(requester, p.pp_ni_out, rt);
+            t = self.send(requester, home, p.header_bytes, rt);
+        }
+        self.retries += u64::from(retries);
+        t
     }
 
     /// Time for the home to invalidate `sharers` and collect all acks,
@@ -208,10 +259,12 @@ impl FlashLite {
         // Requester MAGIC: processor-interface handler (PI stage).
         t = self.pi_acquire(requester, t);
 
-        // Request travels to the home.
+        // Request travels to the home; a saturated home MAGIC NACKs it
+        // back for retry-with-backoff before accepting it.
         if requester != home {
             t = self.pp_acquire(requester, p.pp_ni_out, t);
             t = self.send(requester, home, p.header_bytes, t);
+            t = self.nack_retry(requester, home, t);
         }
 
         // Home MAGIC: directory handler.
@@ -310,6 +363,7 @@ impl FlashLite {
         if requester != home {
             t = self.pp_acquire(requester, p.pp_ni_out, t);
             t = self.send(requester, home, p.header_bytes, t);
+            t = self.nack_retry(requester, home, t);
         }
         let dir_cycles = if requester == home {
             p.pp_dir_local
@@ -407,8 +461,18 @@ impl MemorySystem for FlashLite {
         let pp_wait: f64 = self.pp.iter().map(|r| r.wait_total().as_ns_f64()).sum();
         s.set("magic.pp_busy_ns", pp_busy);
         s.set("magic.pp_wait_ns", pp_wait);
+        // Retry-storm visibility: NACK bounces, retried sends, and the
+        // total backoff charged to requesters.
+        s.set("magic.nacks", self.nacks as f64);
+        s.set("magic.retries", self.retries as f64);
+        s.set("magic.nack_backoff_ns", self.nack_backoff.as_ns_f64());
         let mem_wait: f64 = self.mem.iter().map(|m| m.wait_total().as_ns_f64()).sum();
         s.set("mem.bank_wait_ns", mem_wait);
+        // Directory pointer-storage pressure.
+        let reclaims: u64 = self.dirs.iter().map(|d| d.reclaims()).sum();
+        let pool_used: u32 = self.dirs.iter().map(|d| d.pool_used()).sum();
+        s.set("proto.dir_reclaims", reclaims as f64);
+        s.set("proto.dir_pool_used", f64::from(pool_used));
         s.absorb_flat(&self.net.stats());
         s
     }
@@ -416,6 +480,10 @@ impl MemorySystem for FlashLite {
     fn attach_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer.clone();
         self.net.attach_tracer(tracer);
+    }
+
+    fn attach_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     fn model_name(&self) -> &'static str {

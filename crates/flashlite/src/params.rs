@@ -64,6 +64,18 @@ pub struct FlashLiteParams {
     pub header_bytes: u64,
     /// Directory pointer-pool capacity per node.
     pub dir_pool: u32,
+    /// MAGIC bounded-inbound-queue threshold: a remote request arriving
+    /// while the home protocol processor's queued work exceeds this bound
+    /// is NACKed back to the requester instead of being enqueued, as on
+    /// real FLASH (whose MAGIC had finite inbound queues and a
+    /// NACK-and-retry protocol to stay deadlock-free).
+    pub nack_threshold: TimeDelta,
+    /// Base delay of the requester's exponential retry backoff
+    /// (doubles per consecutive NACK).
+    pub nack_retry_base: TimeDelta,
+    /// Retries after which the requester stops backing off and the
+    /// request is enqueued regardless (forward-progress guarantee).
+    pub nack_max_retries: u32,
 }
 
 impl FlashLiteParams {
@@ -89,6 +101,9 @@ impl FlashLiteParams {
             line_bytes: 128,
             header_bytes: 16,
             dir_pool: 1 << 16,
+            nack_threshold: TimeDelta::from_us(4),
+            nack_retry_base: TimeDelta::from_ns(200),
+            nack_max_retries: 8,
         }
     }
 

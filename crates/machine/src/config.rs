@@ -14,8 +14,9 @@
 //! full validation matrix run in seconds. EXPERIMENTS.md records which
 //! geometry each experiment used.
 
+use crate::error::Watchdog;
 use flashsim_cpu::{Mipsy, MipsyConfig, OooConfig, OooCore};
-use flashsim_engine::{Clock, TimeDelta};
+use flashsim_engine::{Clock, FaultPlan, TimeDelta};
 use flashsim_flashlite::{FlashLite, FlashLiteParams};
 use flashsim_mem::{CacheGeometry, MemorySystem};
 use flashsim_numa::{Numa, NumaParams};
@@ -202,6 +203,10 @@ pub struct MachineConfig {
     pub barrier_base: TimeDelta,
     /// Per-node component of barrier overhead.
     pub barrier_per_node: TimeDelta,
+    /// Forward-progress watchdog (default: unbounded).
+    pub watchdog: Watchdog,
+    /// Fault plan injected into the run (default: none).
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -223,6 +228,8 @@ impl MachineConfig {
             l2_hit: TimeDelta::from_ns(60),
             barrier_base: TimeDelta::from_us(2),
             barrier_per_node: TimeDelta::from_ns(300),
+            watchdog: Watchdog::default(),
+            faults: None,
         }
     }
 

@@ -47,9 +47,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod machine;
 
 pub use config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind};
+pub use error::{NodeSnapshot, NodeState, SimError, Watchdog};
 pub use machine::{run_program, Machine, MachineError, RunManifest, RunResult};
 
 #[cfg(test)]
@@ -338,7 +340,7 @@ mod tests {
         let tracer = Tracer::new(1 << 16, CategoryMask::ALL);
         let mut m = Machine::new(cfg(2, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
         m.attach_tracer(tracer.clone());
-        m.run();
+        m.run().unwrap();
         let trace = tracer.snapshot();
         for (cat, count) in trace.counts_by_category() {
             assert!(count > 0, "no {cat} events recorded");
@@ -360,8 +362,242 @@ mod tests {
         let plain = run_program(c(), &prog).unwrap();
         let mut m = Machine::new(c(), &prog).unwrap();
         m.attach_tracer(flashsim_engine::Tracer::disabled());
-        let traced = m.run();
+        let traced = m.run().unwrap();
         assert_eq!(plain.total_time, traced.total_time);
         assert_eq!(plain.stats, traced.stats);
+    }
+
+    /// A program whose thread 0 skips the barrier all others wait at.
+    struct SkippedBarrier;
+    impl Program for SkippedBarrier {
+        fn name(&self) -> String {
+            "skipped-barrier".into()
+        }
+        fn num_threads(&self) -> usize {
+            2
+        }
+        fn segments(&self) -> Vec<Segment> {
+            vec![Segment::new("d", VAddr(BASE), 4096, Placement::Node(0))]
+        }
+        fn thread_body(&self, tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+            Box::new(move |sink| {
+                sink.load(VAddr(BASE));
+                if tid != 0 {
+                    sink.barrier();
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn never_released_barrier_is_a_deadlock_not_a_hang() {
+        let err = run_program(cfg(2, mipsy(150), OsModel::solo(), fl()), &SkippedBarrier)
+            .expect_err("must deadlock");
+        let SimError::Deadlock { nodes } = &err else {
+            panic!("expected Deadlock, got {err}");
+        };
+        // The diagnostic names the blocked barrier and the arrival count.
+        assert!(matches!(
+            nodes[1].state,
+            NodeState::AtBarrier {
+                id: 0,
+                arrived: 1,
+                expected: 2
+            }
+        ));
+        assert!(matches!(nodes[0].state, NodeState::Done));
+        let msg = format!("{err}");
+        assert!(msg.contains("barrier 0"), "{msg}");
+        assert!(msg.contains("1/2 arrived"), "{msg}");
+    }
+
+    /// Touches an address outside every declared segment.
+    struct WildAccess;
+    impl Program for WildAccess {
+        fn name(&self) -> String {
+            "wild-access".into()
+        }
+        fn num_threads(&self) -> usize {
+            1
+        }
+        fn segments(&self) -> Vec<Segment> {
+            vec![Segment::new("d", VAddr(BASE), 4096, Placement::Node(0))]
+        }
+        fn thread_body(&self, _tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+            Box::new(|sink| {
+                sink.load(VAddr(BASE));
+                sink.load(VAddr(0xDEAD_0000));
+            })
+        }
+    }
+
+    #[test]
+    fn out_of_range_address_is_unmapped_error() {
+        let err = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &WildAccess)
+            .expect_err("must fault");
+        assert!(
+            matches!(
+                err,
+                SimError::UnmappedAddress {
+                    node: 0,
+                    addr: VAddr(0xDEAD_0000)
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    /// Releases a lock it never acquired.
+    struct BadUnlock;
+    impl Program for BadUnlock {
+        fn name(&self) -> String {
+            "bad-unlock".into()
+        }
+        fn num_threads(&self) -> usize {
+            1
+        }
+        fn segments(&self) -> Vec<Segment> {
+            vec![Segment::new("d", VAddr(BASE), 4096, Placement::Node(0))]
+        }
+        fn thread_body(&self, _tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+            Box::new(|sink| {
+                sink.unlock(9, VAddr(BASE));
+            })
+        }
+    }
+
+    #[test]
+    fn releasing_unheld_lock_is_structured() {
+        let err = run_program(cfg(1, mipsy(150), OsModel::solo(), fl()), &BadUnlock)
+            .expect_err("must fault");
+        assert!(
+            matches!(
+                err,
+                SimError::UnheldLock {
+                    node: 0,
+                    lock: 9,
+                    holder: None
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn watchdog_budget_trips_as_stalled_with_snapshots() {
+        let mut c = cfg(2, mipsy(150), OsModel::solo(), fl());
+        c.watchdog = Watchdog::with_budget(50);
+        let err = run_program(c, &small_prog(2)).expect_err("budget far too small");
+        let SimError::Stalled {
+            ops_executed,
+            nodes,
+            ..
+        } = &err
+        else {
+            panic!("expected Stalled, got {err}");
+        };
+        assert_eq!(*ops_executed, 50);
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn injected_stall_ends_in_stalled_not_a_hang() {
+        use flashsim_engine::FaultPlan;
+        let mut c = cfg(2, mipsy(150), OsModel::solo(), fl());
+        c.faults = Some(FaultPlan {
+            stall_node: Some(1),
+            stall_after_ops: 10,
+            ..FaultPlan::default()
+        });
+        let err = run_program(c, &small_prog(2)).expect_err("node 1 stalls");
+        let SimError::Stalled { nodes, .. } = &err else {
+            panic!("expected Stalled, got {err}");
+        };
+        assert!(matches!(nodes[1].state, NodeState::Stalled));
+        assert!(nodes[1].ops >= 10);
+    }
+
+    #[test]
+    fn fault_plans_are_run_deterministic() {
+        use flashsim_engine::FaultPlan;
+        let prog = small_prog(2);
+        let run = || {
+            let mut c = cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+            c.faults = Some(FaultPlan::chaos(1234));
+            c.watchdog = Watchdog::with_budget(10_000_000);
+            run_program(c, &prog)
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.total_time, b.total_time);
+                assert_eq!(a.stats, b.stats);
+            }
+            (Err(a), Err(b)) => assert_eq!(a.kind(), b.kind()),
+            (a, b) => panic!(
+                "same seed diverged: {:?} vs {:?}",
+                a.map(|r| r.total_time),
+                b.map(|r| r.total_time)
+            ),
+        }
+    }
+
+    #[test]
+    fn active_faults_perturb_timing_and_count_in_stats() {
+        use flashsim_engine::FaultPlan;
+        let prog = small_prog(2);
+        let clean = run_program(cfg(2, mipsy(150), OsModel::solo(), fl()), &prog).unwrap();
+        let mut c = cfg(2, mipsy(150), OsModel::solo(), fl());
+        c.faults = Some(FaultPlan {
+            seed: 5,
+            latency_prob: 0.5,
+            latency_spread: 1.0,
+            ..FaultPlan::default()
+        });
+        let faulty = run_program(c, &prog).unwrap();
+        assert!(faulty.total_time > clean.total_time);
+        assert!(faulty.stats.get_or_zero("fault.perturbed") > 0.0);
+        assert_eq!(clean.stats.get("fault.perturbed"), None);
+    }
+
+    #[test]
+    fn dir_pool_pressure_forces_reclaims() {
+        use flashsim_engine::FaultPlan;
+        // All four nodes read the same node-0 lines so the directory
+        // chains sharers; a 1-slot pool must reclaim.
+        struct SharedRead;
+        impl Program for SharedRead {
+            fn name(&self) -> String {
+                "shared-read".into()
+            }
+            fn num_threads(&self) -> usize {
+                4
+            }
+            fn segments(&self) -> Vec<Segment> {
+                vec![Segment::new(
+                    "d",
+                    VAddr(BASE),
+                    64 * 1024,
+                    Placement::Node(0),
+                )]
+            }
+            fn thread_body(&self, _tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+                Box::new(|sink| {
+                    for i in (0..64 * 1024u64).step_by(128) {
+                        sink.load(VAddr(BASE + i));
+                    }
+                })
+            }
+        }
+        let mut c = cfg(4, mipsy(150), OsModel::solo(), fl());
+        c.faults = Some(FaultPlan {
+            dir_pool_cap: Some(1),
+            ..FaultPlan::default()
+        });
+        let r = run_program(c, &SharedRead).unwrap();
+        assert!(
+            r.stats.get_or_zero("proto.dir_reclaims") > 0.0,
+            "pool cap 1 must reclaim: {}",
+            r.stats
+        );
     }
 }

@@ -15,9 +15,10 @@
 //! and barrier costs scale with the memory system being simulated, as on
 //! the real machine.
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, MemSysKind};
+use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
-use flashsim_engine::{Clock, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{Clock, FaultInjector, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
     AccessKind, CacheHierarchy, FrameAllocator, HierProbe, LineAddr, MemRequest, MemorySystem,
@@ -35,7 +36,7 @@ use std::fmt;
 const QUANTUM_OPS: usize = 1;
 
 /// Error constructing or running a machine.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MachineError {
     /// Program thread count does not match the node count.
     ThreadMismatch {
@@ -79,6 +80,8 @@ enum NodeStatus {
     Running,
     AtBarrier(u32),
     WaitingLock(u32),
+    /// Halted by stalled-node fault injection; never scheduled again.
+    Stalled,
     Done,
 }
 
@@ -100,32 +103,52 @@ struct MachineEnv<'a> {
     cfg: &'a MachineConfig,
     clock: Clock,
     tracer: Tracer,
+    faults: &'a FaultInjector,
+    /// Failure slot: `MemEnv::resolve` cannot return an error through the
+    /// core's execute path, so faults are parked here and harvested by the
+    /// scheduler immediately after the op completes.
+    fault: &'a mut Option<SimError>,
 }
 
 impl MachineEnv<'_> {
     /// The node whose memory should back `addr`, per the containing
     /// segment's placement request.
-    fn placement_node(&self, addr: VAddr) -> u32 {
-        let seg = self
-            .segments
-            .iter()
-            .find(|s| s.contains(addr))
-            .unwrap_or_else(|| panic!("access to unmapped address {addr}"));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] if no declared segment
+    /// contains `addr`.
+    fn placement_node(&self, addr: VAddr) -> Result<u32, SimError> {
+        let Some(seg) = self.segments.iter().find(|s| s.contains(addr)) else {
+            return Err(SimError::UnmappedAddress {
+                node: self.node as u32,
+                addr,
+            });
+        };
         let nodes = u64::from(self.cfg.nodes);
-        match seg.placement {
+        Ok(match seg.placement {
             Placement::Node(n) => n.min(self.cfg.nodes - 1),
             Placement::Blocked => {
                 let off = addr.get() - seg.base.get();
                 ((off * nodes / seg.bytes) as u32).min(self.cfg.nodes - 1)
             }
             Placement::Interleaved => (addr.vpn(self.cfg.geometry.page_bytes) % nodes) as u32,
-        }
+        })
     }
 
     /// Translates `addr`, handling TLB misses and first-touch page faults.
     /// Returns the physical address, the TLB-refill time charged, and the
     /// page-fault time charged.
-    fn translate(&mut self, addr: VAddr) -> (flashsim_mem::PAddr, TimeDelta, TimeDelta) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] for addresses outside every
+    /// declared segment and [`SimError::OutOfPhysicalMemory`] when the
+    /// frame allocator cannot back the page.
+    fn translate(
+        &mut self,
+        addr: VAddr,
+    ) -> Result<(flashsim_mem::PAddr, TimeDelta, TimeDelta), SimError> {
         let page_bytes = self.cfg.geometry.page_bytes;
         let vpn = addr.vpn(page_bytes);
 
@@ -133,11 +156,14 @@ impl MachineEnv<'_> {
         let pfn = match self.pt.lookup(vpn) {
             Some(pfn) => pfn,
             None => {
-                let home = self.placement_node(addr);
-                let pfn = self
-                    .alloc
-                    .alloc(home, vpn)
-                    .unwrap_or_else(|| panic!("node {home} out of physical memory"));
+                let home = self.placement_node(addr)?;
+                let Some(pfn) = self.alloc.alloc(home, vpn) else {
+                    return Err(SimError::OutOfPhysicalMemory {
+                        node: self.node as u32,
+                        home,
+                        vpn,
+                    });
+                };
                 self.pt.map(vpn, pfn);
                 self.mems[self.node].page_faults += 1;
                 fault_cost = self.cfg.os.page_fault_cost;
@@ -157,11 +183,11 @@ impl MachineEnv<'_> {
                 self.mems[self.node].tlb_refills += 1;
             }
         }
-        (
+        Ok((
             flashsim_mem::addr::translate(addr, pfn, page_bytes),
             refill,
             fault_cost,
-        )
+        ))
     }
 
     /// Applies directory-mandated coherence actions to the *other* nodes.
@@ -192,12 +218,13 @@ impl MachineEnv<'_> {
         } else {
             AccessKind::ReadShared
         };
-        let out = self.memsys.access(MemRequest {
+        let mut out = self.memsys.access(MemRequest {
             node: self.node as u32,
             line,
             kind,
             now: t,
         });
+        out.done_at += self.faults.perturb_latency(out.done_at - t);
         self.apply_actions(line, &out.actions);
         let victim = self.mems[self.node]
             .hier
@@ -231,7 +258,20 @@ impl MachineEnv<'_> {
 
 impl MemEnv for MachineEnv<'_> {
     fn resolve(&mut self, addr: VAddr, kind: MemAccessKind, at: Time) -> Resolution {
-        let (paddr, refill, fault) = self.translate(addr);
+        let (paddr, refill, fault) = match self.translate(addr) {
+            Ok(v) => v,
+            Err(e) => {
+                // The core's execute path has no error channel; park the
+                // failure and return a zero-cost resolution — the
+                // scheduler aborts the run before the next op.
+                *self.fault = Some(e);
+                return Resolution {
+                    done_at: at,
+                    level: AccessLevel::L1,
+                    tlb_refill: TimeDelta::ZERO,
+                };
+            }
+        };
         let t = at + refill + fault;
         let write = kind == MemAccessKind::Write;
 
@@ -245,12 +285,13 @@ impl MemEnv for MachineEnv<'_> {
                 (t + self.cfg.l2_hit, AccessLevel::L2)
             }
             HierProbe::L2Upgrade => {
-                let out = self.memsys.access(MemRequest {
+                let mut out = self.memsys.access(MemRequest {
                     node: self.node as u32,
                     line,
                     kind: AccessKind::Upgrade,
                     now: t,
                 });
+                out.done_at += self.faults.perturb_latency(out.done_at - t);
                 self.apply_actions(line, &out.actions);
                 self.mems[self.node].hier.complete_upgrade(paddr);
                 (out.done_at, AccessLevel::Memory(out.case))
@@ -406,6 +447,8 @@ pub struct Machine {
     lock_addr: HashMap<u32, VAddr>,
     timing_start: Option<u32>,
     tracer: Tracer,
+    injector: FaultInjector,
+    fault: Option<SimError>,
     workload: String,
     workload_seed: Option<u64>,
 }
@@ -455,7 +498,22 @@ impl Machine {
             cfg.geometry.page_bytes,
             cfg.geometry.colors(),
         );
-        let memsys = cfg.memsys.build(cfg.nodes, cfg.geometry.node_mem_bytes);
+        // Construction-time fault pressure: the plan can clamp FlashLite's
+        // directory pointer pool (forcing sharer reclamation) and its
+        // MAGIC inbound-queue NACK threshold (provoking retry storms)
+        // before the model is built.
+        let injector = FaultInjector::new(cfg.faults.unwrap_or_default());
+        let mut memsys_kind = cfg.memsys;
+        if let (Some(plan), MemSysKind::FlashLite(p)) = (&cfg.faults, &mut memsys_kind) {
+            if let Some(cap) = plan.dir_pool_cap {
+                p.dir_pool = p.dir_pool.min(cap);
+            }
+            if let Some(q) = plan.magic_queue_ns {
+                p.nack_threshold = p.nack_threshold.min(TimeDelta::from_ns(q));
+            }
+        }
+        let mut memsys = memsys_kind.build(cfg.nodes, cfg.geometry.node_mem_bytes);
+        memsys.attach_faults(injector.clone());
         let cores = (0..cfg.nodes).map(|_| cfg.cpu.build()).collect();
         let streams = (0..cfg.nodes as usize).map(|t| program.stream(t)).collect();
 
@@ -475,6 +533,8 @@ impl Machine {
             lock_addr: HashMap::new(),
             timing_start: program.timing_barrier(),
             tracer: Tracer::disabled(),
+            injector,
+            fault: None,
             workload: program.name(),
             workload_seed: program.seed(),
         })
@@ -518,13 +578,19 @@ impl Machine {
         self.cfg.barrier_base + self.cfg.barrier_per_node * u64::from(self.cfg.nodes)
     }
 
-    /// Runs the program to completion.
+    /// Runs the program to completion or a structured failure.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on programs that deadlock (barrier some threads never
-    /// reach, lock never released) or touch undeclared memory.
-    pub fn run(&mut self) -> RunResult {
+    /// Returns [`SimError::Deadlock`] when no node can make progress
+    /// (barrier some threads never reach, lock never released), with a
+    /// snapshot of which barrier/lock blocks each node;
+    /// [`SimError::UnmappedAddress`] / [`SimError::OutOfPhysicalMemory`] /
+    /// [`SimError::UnheldLock`] on the corresponding program faults; and
+    /// [`SimError::Stalled`] when the watchdog op budget expires or
+    /// stalled-node fault injection starves the machine. A failed run
+    /// never hangs and never panics.
+    pub fn run(&mut self) -> Result<RunResult, SimError> {
         let wall_start = std::time::Instant::now();
         let nodes = self.cfg.nodes as usize;
         self.status = vec![NodeStatus::Running; nodes];
@@ -539,7 +605,21 @@ impl Machine {
             );
         }
 
+        let inject_stalls = self.injector.is_active();
+        let mut executed: u64 = 0;
         loop {
+            if inject_stalls {
+                for n in 0..nodes {
+                    if self.status[n] == NodeStatus::Running
+                        && self
+                            .injector
+                            .node_stalled(n as u32, self.streams[n].consumed())
+                    {
+                        self.status[n] = NodeStatus::Stalled;
+                    }
+                }
+            }
+
             // Laggard-first: the running node with the smallest clock.
             let next = (0..nodes)
                 .filter(|n| self.status[*n] == NodeStatus::Running)
@@ -548,33 +628,82 @@ impl Machine {
                 if self.status.iter().all(|s| *s == NodeStatus::Done) {
                     break;
                 }
-                panic!(
-                    "deadlock: no runnable node (status {:?})",
-                    self.status
-                        .iter()
-                        .map(|s| format!("{s:?}"))
-                        .collect::<Vec<_>>()
-                );
+                // A stalled node is the root cause when present: the
+                // others are merely waiting for it at barriers/locks.
+                if self.status.contains(&NodeStatus::Stalled) {
+                    return Err(self.stall_error(executed));
+                }
+                return Err(SimError::Deadlock {
+                    nodes: self.snapshots(),
+                });
             };
-            self.step_node(n);
+            if let Some(budget) = self.cfg.watchdog.max_ops {
+                if executed >= budget {
+                    return Err(self.stall_error(executed));
+                }
+            }
+            executed += 1;
+            self.step_node(n)?;
         }
 
-        self.collect_result(wall_start.elapsed().as_secs_f64())
+        Ok(self.collect_result(wall_start.elapsed().as_secs_f64()))
     }
 
-    fn step_node(&mut self, n: usize) {
+    /// Per-node state snapshots for failure reports.
+    fn snapshots(&self) -> Vec<NodeSnapshot> {
+        (0..self.cfg.nodes as usize)
+            .map(|n| {
+                let state = match self.status[n] {
+                    NodeStatus::Running => NodeState::Running,
+                    NodeStatus::Done => NodeState::Done,
+                    NodeStatus::Stalled => NodeState::Stalled,
+                    NodeStatus::AtBarrier(id) => NodeState::AtBarrier {
+                        id,
+                        arrived: self.barrier_arrivals.get(&id).map_or(0, |v| v.len() as u32),
+                        expected: self.cfg.nodes,
+                    },
+                    NodeStatus::WaitingLock(id) => {
+                        let lock = self.locks.get(&id);
+                        NodeState::WaitingLock {
+                            id,
+                            holder: lock.and_then(|l| l.held_by).map(|h| h as u32),
+                            queue_len: lock.map_or(0, |l| l.queue.len() as u32),
+                        }
+                    }
+                };
+                NodeSnapshot {
+                    node: n as u32,
+                    at: self.cores[n].now(),
+                    ops: self.streams[n].consumed(),
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    fn stall_error(&self, executed: u64) -> SimError {
+        let snap = self.tracer.snapshot();
+        let tail = self.cfg.watchdog.trace_tail.min(snap.events.len());
+        SimError::Stalled {
+            ops_executed: executed,
+            nodes: self.snapshots(),
+            recent: snap.events[snap.events.len() - tail..].to_vec(),
+        }
+    }
+
+    fn step_node(&mut self, n: usize) -> Result<(), SimError> {
         for _ in 0..QUANTUM_OPS {
             let Some(op) = self.streams[n].next_op() else {
                 let t = self.cores[n].drain();
                 self.cores[n].set_time(t);
                 self.status[n] = NodeStatus::Done;
-                return;
+                return Ok(());
             };
 
             if op.class.is_sync() {
-                self.handle_sync(n, &op);
+                self.handle_sync(n, &op)?;
                 if self.status[n] != NodeStatus::Running {
-                    return;
+                    return Ok(());
                 }
                 continue;
             }
@@ -589,6 +718,8 @@ impl Machine {
                 segments,
                 cfg,
                 tracer,
+                injector,
+                fault,
                 ..
             } = self;
             let mut env = MachineEnv {
@@ -601,13 +732,19 @@ impl Machine {
                 cfg,
                 clock: cfg.cpu.clock(),
                 tracer: tracer.clone(),
+                faults: injector,
+                fault,
             };
             cores[n].execute(&op, &mut env);
+            if let Some(e) = self.fault.take() {
+                return Err(e);
+            }
             self.charge_ticks(n);
         }
+        Ok(())
     }
 
-    fn handle_sync(&mut self, n: usize, op: &flashsim_isa::Op) {
+    fn handle_sync(&mut self, n: usize, op: &flashsim_isa::Op) -> Result<(), SimError> {
         match op.class {
             OpClass::Barrier => {
                 let t = self.cores[n].drain();
@@ -661,7 +798,7 @@ impl Machine {
                             0,
                         );
                     }
-                    self.acquire_lock_line(n, op.addr, t);
+                    self.acquire_lock_line(n, op.addr, t)?;
                 } else {
                     self.status[n] = NodeStatus::WaitingLock(op.id);
                 }
@@ -669,16 +806,20 @@ impl Machine {
             OpClass::LockRelease => {
                 let t = self.cores[n].drain();
                 let next = {
-                    let lock = self
-                        .locks
-                        .get_mut(&op.id)
-                        .unwrap_or_else(|| panic!("release of unheld lock {}", op.id));
-                    assert_eq!(
-                        lock.held_by,
-                        Some(n),
-                        "lock {} released by non-holder",
-                        op.id
-                    );
+                    let Some(lock) = self.locks.get_mut(&op.id) else {
+                        return Err(SimError::UnheldLock {
+                            node: n as u32,
+                            lock: op.id,
+                            holder: None,
+                        });
+                    };
+                    if lock.held_by != Some(n) {
+                        return Err(SimError::UnheldLock {
+                            node: n as u32,
+                            lock: op.id,
+                            holder: lock.held_by.map(|h| h as u32),
+                        });
+                    }
                     lock.held_by = None;
                     if lock.queue.is_empty() {
                         None
@@ -703,16 +844,17 @@ impl Machine {
                         );
                     }
                     let addr = self.lock_addr[&op.id];
-                    self.acquire_lock_line(next, addr, at);
+                    self.acquire_lock_line(next, addr, at)?;
                 }
             }
             _ => unreachable!(),
         }
+        Ok(())
     }
 
     /// The coherence transaction behind a lock hand-off: the new holder
     /// takes the lock line exclusive.
-    fn acquire_lock_line(&mut self, n: usize, addr: VAddr, t: Time) {
+    fn acquire_lock_line(&mut self, n: usize, addr: VAddr, t: Time) -> Result<(), SimError> {
         let Machine {
             mems,
             memsys,
@@ -722,6 +864,8 @@ impl Machine {
             cfg,
             cores,
             tracer,
+            injector,
+            fault,
             ..
         } = self;
         let mut env = MachineEnv {
@@ -734,9 +878,15 @@ impl Machine {
             cfg,
             clock: cfg.cpu.clock(),
             tracer: tracer.clone(),
+            faults: injector,
+            fault,
         };
         let res = env.resolve(addr, MemAccessKind::Write, t);
+        if let Some(e) = self.fault.take() {
+            return Err(e);
+        }
         cores[n].set_time(res.done_at);
+        Ok(())
     }
 
     fn collect_result(&mut self, wall_seconds: f64) -> RunResult {
@@ -784,6 +934,7 @@ impl Machine {
             }
         }
         stats.absorb_flat(&self.memsys.stats());
+        self.injector.absorb_into(&mut stats);
 
         let ops_per_node: Vec<u64> = self.streams.iter().map(|s| s.consumed()).collect();
         let total_ops: u64 = ops_per_node.iter().sum();
@@ -819,7 +970,8 @@ impl Machine {
 ///
 /// # Errors
 ///
-/// Propagates [`MachineError`] from [`Machine::new`].
-pub fn run_program(cfg: MachineConfig, program: &dyn Program) -> Result<RunResult, MachineError> {
-    Ok(Machine::new(cfg, program)?.run())
+/// Returns [`SimError::Build`] for construction failures and propagates
+/// every structured failure from [`Machine::run`].
+pub fn run_program(cfg: MachineConfig, program: &dyn Program) -> Result<RunResult, SimError> {
+    Machine::new(cfg, program)?.run()
 }

@@ -11,7 +11,7 @@
 
 use crate::addr::LineAddr;
 use core::fmt;
-use flashsim_engine::{StatSet, Time, Tracer};
+use flashsim_engine::{FaultInjector, StatSet, Time, Tracer};
 
 /// A node identifier (0-based).
 pub type NodeId = u32;
@@ -173,6 +173,14 @@ pub trait MemorySystem {
     /// Default: no instrumentation.
     fn attach_tracer(&mut self, tracer: Tracer) {
         let _ = tracer;
+    }
+
+    /// Attaches a fault injector. Models that route protocol messages
+    /// (FlashLite) consult it for message drop/delay fates; latency-only
+    /// models may ignore it — the machine layer still applies latency
+    /// perturbation centrally. Default: ignored.
+    fn attach_faults(&mut self, faults: FaultInjector) {
+        let _ = faults;
     }
 }
 

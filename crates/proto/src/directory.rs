@@ -103,6 +103,11 @@ impl Directory {
         self.pool_used
     }
 
+    /// Pointer-store capacity this directory was built with.
+    pub fn pool_capacity(&self) -> u32 {
+        self.pool_capacity
+    }
+
     fn alloc_slot(&mut self, node: NodeId, next: Option<u32>) -> Option<u32> {
         if let Some(idx) = self.free {
             self.free = self.pool[idx as usize].next;

@@ -17,4 +17,29 @@ cargo fmt --all -- --check
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== panic/unwrap gate (library crates) =="
+# Library code must fail structurally (SimError), not panic: reject
+# panic!/.unwrap() outside #[cfg(test)] regions. The bench crate (CLI
+# tools), test modules, comments, and lines annotated `gate: allow`
+# (documented programming-error contracts) are exempt.
+violations=$(find crates -name '*.rs' -path '*/src/*' ! -path 'crates/bench/*' \
+    -exec awk '
+        /#\[cfg\(test\)\]/ { intest = 1 }
+        intest { next }
+        { stripped = $0; sub(/^[ \t]+/, "", stripped) }
+        stripped ~ /^\/\// { next }
+        /gate: allow/ { next }
+        /panic!\(|\.unwrap\(\)/ { print FILENAME ":" FNR ": " $0 }
+    ' {} +)
+if [ -n "$violations" ]; then
+    echo "library code must return SimError instead of panicking:"
+    echo "$violations"
+    exit 1
+fi
+
+echo "== chaos smoke (fault-injection survival) =="
+# 20 seeded fault plans x all platforms; exits nonzero if any cell
+# panics or the sweep hangs past the watchdog.
+cargo run --release -q -p flashsim-bench --bin chaos
+
 echo "== all checks passed =="

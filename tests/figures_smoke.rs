@@ -29,11 +29,7 @@ fn tiny_grid() -> RelativeFigure {
     let points = parallel_map(jobs, |(idx, sim, prog)| {
         let cfg = study.sim(sim, 1, MemModel::FlashLite);
         let t = run_once(cfg, prog.as_ref()).parallel_time;
-        RelativePoint {
-            app: apps[idx].0,
-            sim: sim.label(),
-            relative: relative_time(t, hw[idx]),
-        }
+        RelativePoint::measured(apps[idx].0, sim.label(), relative_time(t, hw[idx]))
     });
     RelativeFigure {
         title: "tiny smoke grid".into(),

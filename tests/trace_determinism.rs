@@ -13,7 +13,7 @@ fn traced(cfg: MachineConfig, prog: &dyn Program) -> Trace {
     let tracer = Tracer::new(1 << 18, CategoryMask::ALL);
     let mut machine = Machine::new(cfg, prog).expect("valid configuration");
     machine.attach_tracer(tracer.clone());
-    machine.run();
+    machine.run().expect("traced run completes");
     tracer.snapshot()
 }
 
