@@ -18,6 +18,7 @@
 //! | `diverge` | flight-recorder divergence diff: hardware vs a simulator |
 //! | `simspeed` | simulator throughput (events/sec, simulated MIPS) |
 //! | `chaos` | fault-injection survival matrix (seeded fault plans × platforms) |
+//! | `profile` | cycle-accounting breakdown + per-class error attribution vs hardware |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -63,7 +63,7 @@ pub struct DivergenceReport {
     pub first: Option<Divergence>,
     /// Per-category event counts and deltas, in [`TraceCategory::ALL`]
     /// order.
-    pub deltas: [CategoryDelta; 5],
+    pub deltas: [CategoryDelta; TraceCategory::COUNT],
     /// Events recorded in the left stream.
     pub left_len: usize,
     /// Events recorded in the right stream.

@@ -25,6 +25,10 @@
 //! 5. **Divergence diffing** ([`diverge`]): replays two platforms'
 //!    flight-recorder event streams side by side, locating the first
 //!    event where the models disagree and the per-category count deltas.
+//! 6. **Error attribution** ([`attrib`]): decomposes a simulator's total
+//!    relative error against the gold standard into signed per-stall-class
+//!    contributions using the cycle-accounting profiler — "18% optimistic,
+//!    of which 11 points TLB, 5 occupancy, 2 network".
 //!
 //! # Examples
 //!
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod calibrate;
 pub mod diverge;
 pub mod figures;
@@ -50,6 +55,7 @@ pub mod platform;
 pub mod report;
 pub mod runner;
 
+pub use attrib::{attribute, run_profiled, AttributionReport, ClassContribution};
 pub use calibrate::{calibrate, Calibration, Table3Row, TlbCalibration};
 pub use diverge::{diff_traces, CategoryDelta, Divergence, DivergenceReport};
 pub use figures::{

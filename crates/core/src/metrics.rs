@@ -150,6 +150,10 @@ pub struct SimulatorScorecard {
     pub worst: f64,
     /// Fraction of applications predicted optimistically (< 1.0).
     pub optimistic_fraction: f64,
+    /// Optional per-stall-class error attribution against the gold
+    /// standard (filled by callers that ran both platforms with a
+    /// cycle-accounting profiler; see [`crate::attrib::attribute`]).
+    pub attribution: Option<crate::attrib::AttributionReport>,
 }
 
 /// Builds a scorecard for every simulator column in a relative figure,
@@ -181,6 +185,7 @@ pub fn scorecards(fig: &RelativeFigure) -> Vec<SimulatorScorecard> {
                 worst,
                 optimistic_fraction: optimistic,
                 relatives,
+                attribution: None,
             }
         })
         .collect();
@@ -206,6 +211,32 @@ pub fn render_scorecards(cards: &[SimulatorScorecard]) -> String {
             c.worst,
             c.optimistic_fraction * 100.0
         );
+        if let Some(attr) = &c.attribution {
+            // Name the two largest per-class contributors inline so the
+            // ranking table doubles as a diagnosis.
+            let mut ranked: Vec<_> = attr.classes.iter().collect();
+            ranked.sort_by(|a, b| {
+                b.contribution
+                    .abs()
+                    .partial_cmp(&a.contribution.abs())
+                    .expect("finite contribution")
+            });
+            let top: Vec<String> = ranked
+                .iter()
+                .take(2)
+                .filter(|cc| cc.contribution != 0.0)
+                .map(|cc| format!("{} {:+.1}pp", cc.class.key(), cc.contribution * 100.0))
+                .collect();
+            if !top.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "    attribution vs {}: {:+.1}% total ({})",
+                    attr.ref_label,
+                    attr.total_error * 100.0,
+                    top.join(", ")
+                );
+            }
+        }
     }
     out
 }
@@ -299,6 +330,46 @@ mod tests {
         assert!((cards[1].optimistic_fraction - 0.5).abs() < 1e-12);
         let rendered = render_scorecards(&cards);
         assert!(rendered.contains("good") && rendered.contains("MARE"));
+    }
+
+    #[test]
+    fn render_scorecards_diagnoses_attributed_error() {
+        use crate::attrib::{AttributionReport, ClassContribution};
+        use flashsim_engine::StallClass;
+        let classes = StallClass::ALL
+            .into_iter()
+            .map(|class| ClassContribution {
+                class,
+                sim_ps: 0,
+                ref_ps: 0,
+                contribution: match class {
+                    StallClass::TlbRefill => -0.11,
+                    StallClass::DirOccupancy => -0.05,
+                    StallClass::NetTransit => -0.02,
+                    _ => 0.0,
+                },
+            })
+            .collect();
+        let card = SimulatorScorecard {
+            sim: "simos-mipsy".into(),
+            relatives: vec![("FFT".into(), 0.82)],
+            mare: 0.18,
+            worst: 0.18,
+            optimistic_fraction: 1.0,
+            attribution: Some(AttributionReport {
+                sim_label: "simos-mipsy".into(),
+                ref_label: "hardware".into(),
+                sim_total_ps: 820,
+                ref_total_ps: 1000,
+                total_error: -0.18,
+                classes,
+            }),
+        };
+        let text = render_scorecards(&[card]);
+        assert!(text.contains("attribution vs hardware"));
+        assert!(text.contains("tlb_refill -11.0pp"));
+        assert!(text.contains("dir_occupancy -5.0pp"));
+        assert!(!text.contains("net_transit"), "only the top two are shown");
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub enum CellOutcome {
         error: SimError,
         /// Provenance of the failed cell (config label, nodes, workload,
         /// seed). Throughput fields are NaN: the run never finished.
-        manifest: RunManifest,
+        manifest: Box<RunManifest>,
     },
 }
 
@@ -128,6 +128,7 @@ fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
         simulated_seconds: 0.0,
         events_per_sec: f64::NAN,
         sim_mips: f64::NAN,
+        account: None,
     }
 }
 
@@ -136,7 +137,7 @@ fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
 /// caught and converted to [`SimError::Panic`] instead of poisoning the
 /// rest of the matrix.
 pub fn run_supervised(cfg: MachineConfig, program: &dyn Program) -> CellOutcome {
-    let manifest = failed_manifest(&cfg, program);
+    let manifest = Box::new(failed_manifest(&cfg, program));
     match catch_unwind(AssertUnwindSafe(|| run_program(cfg, program))) {
         Ok(Ok(result)) => CellOutcome::Completed(Box::new(result)),
         Ok(Err(error)) => CellOutcome::Failed { error, manifest },

@@ -69,6 +69,11 @@ impl Core for Embra {
     fn model_name(&self) -> &'static str {
         "embra"
     }
+
+    // Embra keeps the default no-op `attach_profiler` deliberately: it
+    // never stalls, so the accounting profiler's per-op compute residual
+    // attributes every one of its cycles to StallClass::Compute — which
+    // is exactly the truth for a functional model.
 }
 
 #[cfg(test)]

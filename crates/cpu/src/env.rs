@@ -9,7 +9,7 @@
 //! parameterized refill cost), FlashLite, or NUMA — exactly the
 //! plug-compatibility the paper's simulator family has.
 
-use flashsim_engine::{StatSet, Time, TimeDelta, Tracer};
+use flashsim_engine::{Profiler, StatSet, Time, TimeDelta, Tracer};
 use flashsim_isa::{Op, VAddr};
 use flashsim_mem::ProtocolCase;
 
@@ -97,6 +97,18 @@ pub trait Core: Send {
     /// Default: no instrumentation (e.g. Embra, test doubles).
     fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
         let _ = (tracer, node);
+    }
+
+    /// Attaches a cycle-accounting handle; the core charges its
+    /// *core-internal* stalls (write-buffer drains, prefetch-slot waits,
+    /// cache-interface occupancy) to the matching stall class. Memory
+    /// latency and TLB refills are charged by the environment, not the
+    /// core, so the two never double-charge the same span. Default: no
+    /// instrumentation — every cycle of an uninstrumented core lands in
+    /// the compute residual (correct for Embra, whose every cycle *is*
+    /// compute by construction).
+    fn attach_profiler(&mut self, profiler: Profiler, node: u32) {
+        let _ = (profiler, node);
     }
 }
 

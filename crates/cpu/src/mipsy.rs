@@ -14,7 +14,9 @@
 
 use crate::env::{Core, MemAccessKind, MemEnv};
 use crate::lat::LatencyTable;
-use flashsim_engine::{Clock, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{
+    Clock, Profiler, StallClass, StatSet, Time, TimeDelta, TraceCategory, Tracer,
+};
 use flashsim_isa::{Op, OpClass};
 use std::collections::VecDeque;
 
@@ -68,6 +70,7 @@ pub struct Mipsy {
     stores: u64,
     load_misses: u64,
     tracer: Tracer,
+    profiler: Profiler,
     node: u32,
 }
 
@@ -89,6 +92,7 @@ impl Mipsy {
             stores: 0,
             load_misses: 0,
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             node: 0,
         }
     }
@@ -174,6 +178,17 @@ impl Core for Mipsy {
                     );
                 }
                 let done = self.gate_l2_iface(self.t, &res);
+                // The interface-gating wait is core-added on top of the
+                // environment's latency (which the environment accounts
+                // itself): exactly the §3.1.2 occupancy effect.
+                if done > res.done_at {
+                    self.profiler.charge(
+                        self.node,
+                        StallClass::DirOccupancy,
+                        self.t,
+                        done - res.done_at,
+                    );
+                }
                 if done > self.t {
                     // Blocking read: the whole stall is exposed.
                     let stall = done - self.t;
@@ -199,6 +214,16 @@ impl Core for Mipsy {
                     // Buffer full: stall until the oldest entry drains.
                     let free_at = self.write_buffer.pop_front().expect("non-empty");
                     if free_at > self.t {
+                        // The exposed part of a store's memory latency is
+                        // this drain wait; the hidden part is never
+                        // charged (the environment only accounts demand
+                        // reads).
+                        self.profiler.charge(
+                            self.node,
+                            StallClass::L2Miss,
+                            self.t,
+                            free_at - self.t,
+                        );
                         self.wb_stall += free_at - self.t;
                         self.t = free_at;
                     }
@@ -229,6 +254,12 @@ impl Core for Mipsy {
                 if self.prefetches.len() >= self.cfg.prefetch_slots {
                     let free_at = self.prefetches.pop_front().expect("non-empty");
                     if free_at > self.t {
+                        self.profiler.charge(
+                            self.node,
+                            StallClass::L2Miss,
+                            self.t,
+                            free_at - self.t,
+                        );
                         self.mem_stall += free_at - self.t;
                         self.t = free_at;
                     }
@@ -292,6 +323,11 @@ impl Core for Mipsy {
 
     fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
         self.tracer = tracer;
+        self.node = node;
+    }
+
+    fn attach_profiler(&mut self, profiler: Profiler, node: u32) {
+        self.profiler = profiler;
         self.node = node;
     }
 }

@@ -31,7 +31,9 @@
 use crate::branch::BranchPredictor;
 use crate::env::{Core, MemAccessKind, MemEnv};
 use crate::lat::LatencyTable;
-use flashsim_engine::{Clock, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{
+    Clock, Profiler, StallClass, StatSet, Time, TimeDelta, TraceCategory, Tracer,
+};
 use flashsim_isa::{Op, OpClass, Reg};
 use std::collections::VecDeque;
 
@@ -165,6 +167,7 @@ pub struct OooCore {
     exceptions: u64,
     tlb_stall: TimeDelta,
     tracer: Tracer,
+    profiler: Profiler,
     node: u32,
 }
 
@@ -195,6 +198,7 @@ impl OooCore {
             exceptions: 0,
             tlb_stall: TimeDelta::ZERO,
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             node: 0,
         }
     }
@@ -347,6 +351,14 @@ impl Core for OooCore {
                     && issue >= self.l2_window.0
                     && issue < self.l2_window.1
                 {
+                    // §3.1.2 secondary-cache interface occupancy: the
+                    // tag check waited out the streaming fill.
+                    self.profiler.charge(
+                        self.node,
+                        StallClass::DirOccupancy,
+                        issue,
+                        self.l2_window.1 - issue,
+                    );
                     self.l2_window.1
                 } else {
                     issue
@@ -370,6 +382,8 @@ impl Core for OooCore {
                         // Cap the port-queue penalty: beyond ~100 queued
                         // accesses the frontend would have stalled anyway.
                         let wait = start.saturating_since(issue).min(self.cycles(port) * 100);
+                        self.profiler
+                            .charge(self.node, StallClass::DirOccupancy, issue, wait);
                         res.done_at += wait;
                     }
                 }
@@ -473,6 +487,11 @@ impl Core for OooCore {
 
     fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
         self.tracer = tracer;
+        self.node = node;
+    }
+
+    fn attach_profiler(&mut self, profiler: Profiler, node: u32) {
+        self.profiler = profiler;
         self.node = node;
     }
 }

@@ -1,0 +1,753 @@
+//! Cycle accounting: attributes every simulated picosecond on every node
+//! to a fixed taxonomy of stall classes, sampled into time phases.
+//!
+//! The paper's analysis is not "how wrong is each simulator" but *where*
+//! the error comes from — TLB refills, MAGIC/secondary-cache occupancy,
+//! network transit. Scalar end-of-run stats can't answer that; a cycle
+//! accounting does. Every instrumented layer charges wall-clock spans of
+//! its node's timeline to a [`StallClass`]; the machine driver marks each
+//! op's span so uncharged time lands in [`StallClass::Compute`]; and the
+//! final [`Accounting`] snapshot *conserves time exactly*: per node, the
+//! per-class picoseconds sum to the node's total simulated picoseconds.
+//!
+//! Design mirrors [`crate::trace::Tracer`]:
+//!
+//! - [`Profiler`] is a cheaply-cloneable handle every component holds; a
+//!   disabled profiler costs one branch per call site — no lock, no
+//!   arithmetic.
+//! - Charges are integers in picoseconds, so conservation is exact (no
+//!   float drift), and snapshots are byte-deterministic.
+//! - Charges are also bucketed into at most [`PHASES`] equal-width time
+//!   phases; when a run outgrows the buckets, adjacent pairs merge and
+//!   the width doubles — a deterministic single-pass scheme that needs no
+//!   prior knowledge of run length.
+//!
+//! Two charge entry points exist because the compute residual is computed
+//! per op: [`Profiler::charge`] for time accrued *inside* an op's
+//! execution (subtracted from the op's span before the remainder goes to
+//! Compute), and [`Profiler::charge_wall`] for spans *between* ops
+//! (barrier waits, lock queues, timer ticks) that the op spans never
+//! cover.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_engine::account::{Profiler, StallClass};
+//! use flashsim_engine::{Time, TimeDelta};
+//!
+//! let p = Profiler::new();
+//! // An op runs on node 0 from 0ns for 100ns; 60ns of it was an L2 miss.
+//! p.charge(0, StallClass::L2Miss, Time::ZERO, TimeDelta::from_ns(60));
+//! p.mark_op(0, Time::ZERO, TimeDelta::from_ns(100));
+//! let acct = p.snapshot(&[Time::from_ns(100)]).unwrap();
+//! assert_eq!(acct.nodes[0].get(StallClass::L2Miss), 60_000);
+//! assert_eq!(acct.nodes[0].get(StallClass::Compute), 40_000);
+//! assert!(acct.conserved());
+//! ```
+
+use crate::time::{Time, TimeDelta};
+use crate::trace::push_json_escaped;
+use core::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Number of time-phase buckets an [`Accounting`] samples a run into.
+pub const PHASES: usize = 64;
+
+/// Initial phase-bucket width in picoseconds (~1 µs); doubles whenever
+/// the run outgrows [`PHASES`] buckets.
+const INITIAL_PHASE_PS: u64 = 1 << 20;
+
+/// Where a simulated picosecond went: the stall-class taxonomy of the
+/// accounting profiler.
+///
+/// The classes follow the error sources the paper tunes out in §3.1:
+/// processor work, the two cache-miss levels, TLB refill handlers,
+/// MAGIC/secondary-cache interface occupancy, network transit,
+/// synchronization, and OS/timer overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallClass {
+    /// Instruction execution (the per-op residual after all stalls).
+    Compute,
+    /// Primary-cache miss serviced by the secondary cache.
+    L1Miss,
+    /// Secondary-cache miss: memory/directory data latency.
+    L2Miss,
+    /// TLB refill exception handling.
+    TlbRefill,
+    /// Directory/MAGIC protocol-processor and cache-interface occupancy.
+    DirOccupancy,
+    /// Interconnect transit (flight time and link contention).
+    NetTransit,
+    /// Synchronization: barrier waits and lock queues.
+    Sync,
+    /// OS background work: timer ticks, page-fault handling.
+    Os,
+}
+
+impl StallClass {
+    /// Every class, in declaration order (also the rendering order and
+    /// the order deterministic rounding remainders are distributed in).
+    pub const ALL: [StallClass; 8] = [
+        StallClass::Compute,
+        StallClass::L1Miss,
+        StallClass::L2Miss,
+        StallClass::TlbRefill,
+        StallClass::DirOccupancy,
+        StallClass::NetTransit,
+        StallClass::Sync,
+        StallClass::Os,
+    ];
+
+    /// Number of classes (array dimension of per-node ledgers).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Short stable key (`"compute"`, `"l1_miss"`, ...) used in stats,
+    /// CSV, JSON, and Prometheus output.
+    pub const fn key(self) -> &'static str {
+        match self {
+            StallClass::Compute => "compute",
+            StallClass::L1Miss => "l1_miss",
+            StallClass::L2Miss => "l2_miss",
+            StallClass::TlbRefill => "tlb_refill",
+            StallClass::DirOccupancy => "dir_occupancy",
+            StallClass::NetTransit => "net_transit",
+            StallClass::Sync => "sync",
+            StallClass::Os => "os",
+        }
+    }
+
+    /// Human-readable label for tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            StallClass::Compute => "compute",
+            StallClass::L1Miss => "L1 miss",
+            StallClass::L2Miss => "L2 miss",
+            StallClass::TlbRefill => "TLB refill",
+            StallClass::DirOccupancy => "dir/MAGIC occupancy",
+            StallClass::NetTransit => "network transit",
+            StallClass::Sync => "synchronization",
+            StallClass::Os => "OS/timer",
+        }
+    }
+}
+
+impl fmt::Display for StallClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The mutable ledger behind an enabled [`Profiler`].
+#[derive(Debug)]
+struct Book {
+    /// Per-node per-class charged picoseconds.
+    classes: Vec<[u64; StallClass::COUNT]>,
+    /// Per-node picoseconds charged via `charge` since the last
+    /// `mark_op` — the amount subtracted from the next op span.
+    op_charged: Vec<u64>,
+    /// Per-phase per-class charged picoseconds.
+    phases: [[u64; StallClass::COUNT]; PHASES],
+    /// Current phase-bucket width in picoseconds.
+    phase_ps: u64,
+}
+
+impl Book {
+    fn new() -> Book {
+        Book {
+            classes: Vec::new(),
+            op_charged: Vec::new(),
+            phases: [[0; StallClass::COUNT]; PHASES],
+            phase_ps: INITIAL_PHASE_PS,
+        }
+    }
+
+    fn ensure(&mut self, node: usize) {
+        if node >= self.classes.len() {
+            self.classes.resize(node + 1, [0; StallClass::COUNT]);
+            self.op_charged.resize(node + 1, 0);
+        }
+    }
+
+    /// The phase bucket for `at`, doubling the bucket width (merging
+    /// adjacent pairs) until `at` fits.
+    fn phase_of(&mut self, at: Time) -> usize {
+        let ps = at.as_ps();
+        while ps / self.phase_ps >= PHASES as u64 {
+            for i in 0..PHASES / 2 {
+                let mut merged = self.phases[2 * i];
+                for (m, c) in merged.iter_mut().zip(self.phases[2 * i + 1]) {
+                    *m += c;
+                }
+                self.phases[i] = merged;
+            }
+            for slot in &mut self.phases[PHASES / 2..] {
+                *slot = [0; StallClass::COUNT];
+            }
+            self.phase_ps *= 2;
+        }
+        (ps / self.phase_ps) as usize
+    }
+
+    fn add(&mut self, node: u32, class: StallClass, at: Time, ps: u64, in_op: bool) {
+        let n = node as usize;
+        self.ensure(n);
+        self.classes[n][class as usize] += ps;
+        if in_op {
+            self.op_charged[n] += ps;
+        }
+        let phase = self.phase_of(at);
+        self.phases[phase][class as usize] += ps;
+    }
+}
+
+/// A cheaply-cloneable cycle-accounting handle.
+///
+/// Every instrumented component (core, memory system, machine driver)
+/// holds a clone. The [`disabled`] profiler — the default every component
+/// starts with — has no book at all, so every charge call is a single
+/// always-true early return: no lock, no arithmetic, same discipline as
+/// [`crate::trace::Tracer`].
+///
+/// [`disabled`]: Profiler::disabled
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    book: Option<Arc<Mutex<Book>>>,
+}
+
+impl Profiler {
+    /// A profiler that records nothing; charge calls cost one branch.
+    pub fn disabled() -> Profiler {
+        Profiler::default()
+    }
+
+    /// An enabled profiler with an empty ledger.
+    pub fn new() -> Profiler {
+        Profiler {
+            book: Some(Arc::new(Mutex::new(Book::new()))),
+        }
+    }
+
+    /// True if charges are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.book.is_some()
+    }
+
+    /// Charges `dur` of node `node`'s timeline at time `at` to `class`,
+    /// for time accrued *inside* an op's execution (it is subtracted from
+    /// the op's span when [`mark_op`] computes the compute residual).
+    ///
+    /// [`mark_op`]: Profiler::mark_op
+    #[inline]
+    pub fn charge(&self, node: u32, class: StallClass, at: Time, dur: TimeDelta) {
+        if let Some(book) = &self.book {
+            if !dur.is_zero() {
+                book.lock().expect("accounting book poisoned").add(
+                    node,
+                    class,
+                    at,
+                    dur.as_ps(),
+                    true,
+                );
+            }
+        }
+    }
+
+    /// Charges a wall-clock span *between* ops (barrier wait, lock queue,
+    /// timer tick) that no op span covers. Not counted against the next
+    /// op's compute residual.
+    #[inline]
+    pub fn charge_wall(&self, node: u32, class: StallClass, at: Time, dur: TimeDelta) {
+        if let Some(book) = &self.book {
+            if !dur.is_zero() {
+                book.lock().expect("accounting book poisoned").add(
+                    node,
+                    class,
+                    at,
+                    dur.as_ps(),
+                    false,
+                );
+            }
+        }
+    }
+
+    /// Marks the completion of one op on `node` that started at `at` and
+    /// occupied `busy` of the node's timeline. The part of `busy` not
+    /// already charged (via [`charge`]) since the previous mark is
+    /// attributed to [`StallClass::Compute`] at `at`'s phase.
+    ///
+    /// If charges exceed `busy` (overlapped misses in an out-of-order
+    /// core), the residual saturates at zero; the final [`snapshot`]
+    /// clamp restores exact conservation.
+    ///
+    /// [`charge`]: Profiler::charge
+    /// [`snapshot`]: Profiler::snapshot
+    #[inline]
+    pub fn mark_op(&self, node: u32, at: Time, busy: TimeDelta) {
+        if let Some(book) = &self.book {
+            let mut b = book.lock().expect("accounting book poisoned");
+            let n = node as usize;
+            b.ensure(n);
+            let charged = std::mem::take(&mut b.op_charged[n]);
+            let residual = busy.as_ps().saturating_sub(charged);
+            if residual > 0 {
+                b.add(node, StallClass::Compute, at, residual, false);
+            }
+        }
+    }
+
+    /// Copies the ledger out as an [`Accounting`], conserving time
+    /// exactly: `node_ends[n]` is node `n`'s final simulated time, and in
+    /// the returned snapshot the per-class picoseconds of node `n` sum to
+    /// exactly `node_ends[n]`. Under-charged time (idle tails, saturated
+    /// residuals) is added to [`StallClass::Compute`]; over-charged nodes
+    /// (overlapped stalls counted in full) are scaled down class-by-class
+    /// with deterministic largest-first remainder distribution.
+    ///
+    /// Returns `None` on a disabled profiler.
+    pub fn snapshot(&self, node_ends: &[Time]) -> Option<Accounting> {
+        let book = self.book.as_ref()?;
+        let mut b = book.lock().expect("accounting book poisoned");
+        b.ensure(node_ends.len().saturating_sub(1));
+        let nodes = node_ends
+            .iter()
+            .enumerate()
+            .map(|(n, end)| {
+                let total = end.as_ps();
+                let classes = conserve(b.classes[n], total);
+                NodeAccount {
+                    node: n as u32,
+                    classes,
+                    total_ps: total,
+                }
+            })
+            .collect();
+        Some(Accounting {
+            nodes,
+            phases: b.phases.to_vec(),
+            phase_ps: b.phase_ps,
+        })
+    }
+}
+
+/// Scales `classes` so they sum to exactly `total` picoseconds.
+///
+/// Under-charge goes to Compute (it is uncovered timeline: idle tails and
+/// residuals lost to saturation). Over-charge — possible when overlapped
+/// stalls are each charged in full — is scaled down proportionally with
+/// floor division, the rounding remainder distributed one picosecond at a
+/// time in [`StallClass::ALL`] order over classes with a nonzero share.
+fn conserve(mut classes: [u64; StallClass::COUNT], total: u64) -> [u64; StallClass::COUNT] {
+    let sum: u64 = classes.iter().sum();
+    if sum <= total {
+        classes[StallClass::Compute as usize] += total - sum;
+        return classes;
+    }
+    let mut scaled = [0u64; StallClass::COUNT];
+    for (s, c) in scaled.iter_mut().zip(classes) {
+        // sum > total >= every c, so the u128 product can't overflow and
+        // the quotient fits back in u64.
+        *s = (u128::from(c) * u128::from(total) / u128::from(sum)) as u64;
+    }
+    let mut short = total - scaled.iter().sum::<u64>();
+    let mut i = 0;
+    while short > 0 {
+        if classes[i % StallClass::COUNT] > 0 {
+            scaled[i % StallClass::COUNT] += 1;
+            short -= 1;
+        }
+        i += 1;
+    }
+    scaled
+}
+
+/// One node's conserved cycle account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAccount {
+    /// The node.
+    pub node: u32,
+    /// Picoseconds charged to each class, in [`StallClass::ALL`] order;
+    /// sums to exactly `total_ps`.
+    pub classes: [u64; StallClass::COUNT],
+    /// The node's total simulated picoseconds.
+    pub total_ps: u64,
+}
+
+impl NodeAccount {
+    /// Picoseconds charged to `class` on this node.
+    pub fn get(&self, class: StallClass) -> u64 {
+        self.classes[class as usize]
+    }
+}
+
+/// A conserved snapshot of a run's cycle accounting: per-node per-class
+/// totals plus the time-phase sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accounting {
+    /// One account per node.
+    pub nodes: Vec<NodeAccount>,
+    /// Per-phase per-class picoseconds ([`PHASES`] buckets of `phase_ps`
+    /// width). Phases sample raw charges (pre-conservation), so they show
+    /// *where in time* stalls cluster; exact conservation is a property
+    /// of the per-node class totals.
+    pub phases: Vec<[u64; StallClass::COUNT]>,
+    /// Width of one phase bucket in picoseconds.
+    pub phase_ps: u64,
+}
+
+impl Accounting {
+    /// Machine-wide per-class picoseconds (summed over nodes), in
+    /// [`StallClass::ALL`] order.
+    pub fn class_totals(&self) -> [u64; StallClass::COUNT] {
+        let mut out = [0u64; StallClass::COUNT];
+        for n in &self.nodes {
+            for (o, c) in out.iter_mut().zip(n.classes) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Machine-wide total picoseconds (summed over nodes).
+    pub fn total_ps(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_ps).sum()
+    }
+
+    /// True if every node's per-class picoseconds sum to exactly its
+    /// total — the conservation invariant [`Profiler::snapshot`]
+    /// establishes.
+    pub fn conserved(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.classes.iter().sum::<u64>() == n.total_ps)
+    }
+
+    /// Machine-wide fraction of time in `class` (0 when the run is
+    /// empty).
+    pub fn fraction(&self, class: StallClass) -> f64 {
+        let total = self.total_ps();
+        if total == 0 {
+            return 0.0;
+        }
+        self.class_totals()[class as usize] as f64 / total as f64
+    }
+
+    /// Renders the per-class table (machine-wide and per-node) as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let totals = self.class_totals();
+        let total = self.total_ps();
+        out.push_str("class                 total(ms)   share\n");
+        for class in StallClass::ALL {
+            let ps = totals[class as usize];
+            let share = if total == 0 {
+                0.0
+            } else {
+                100.0 * ps as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "{:<20} {:>10.3} {:>6.1}%\n",
+                class.label(),
+                ps as f64 / 1e9,
+                share
+            ));
+        }
+        out.push_str(&format!(
+            "{:<20} {:>10.3} {:>6.1}%\n",
+            "total",
+            total as f64 / 1e9,
+            100.0
+        ));
+        out
+    }
+
+    /// Renders the per-phase table: one row per non-empty phase, one
+    /// column per class, values in percent of the phase's charges.
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase  start(us)");
+        for class in StallClass::ALL {
+            out.push_str(&format!(" {:>9}", class.key()));
+        }
+        out.push('\n');
+        for (i, row) in self.phases.iter().enumerate() {
+            let sum: u64 = row.iter().sum();
+            if sum == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>5} {:>10.1}",
+                i,
+                (i as u64 * self.phase_ps) as f64 / 1e6
+            ));
+            for &ps in row {
+                out.push_str(&format!(" {:>8.1}%", 100.0 * ps as f64 / sum as f64));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-node per-class CSV: `node,class,ps,share`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("node,class,ps,share\n");
+        for n in &self.nodes {
+            for class in StallClass::ALL {
+                let ps = n.get(class);
+                let share = if n.total_ps == 0 {
+                    0.0
+                } else {
+                    ps as f64 / n.total_ps as f64
+                };
+                out.push_str(&format!("{},{},{},{:.6}\n", n.node, class.key(), ps, share));
+            }
+        }
+        out
+    }
+
+    /// Per-phase CSV: `phase,start_ps,class,ps`.
+    pub fn phases_to_csv(&self) -> String {
+        let mut out = String::from("phase,start_ps,class,ps\n");
+        for (i, row) in self.phases.iter().enumerate() {
+            if row.iter().sum::<u64>() == 0 {
+                continue;
+            }
+            for class in StallClass::ALL {
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    i,
+                    i as u64 * self.phase_ps,
+                    class.key(),
+                    row[class as usize]
+                ));
+            }
+        }
+        out
+    }
+
+    /// Prometheus text-exposition export: one gauge per (node, class)
+    /// plus per-node totals, all in picoseconds.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE flashsim_accounted_ps gauge\n");
+        for n in &self.nodes {
+            for class in StallClass::ALL {
+                out.push_str(&format!(
+                    "flashsim_accounted_ps{{node=\"{}\",class=\"{}\"}} {}\n",
+                    n.node,
+                    class.key(),
+                    n.get(class)
+                ));
+            }
+        }
+        out.push_str("# TYPE flashsim_node_total_ps gauge\n");
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "flashsim_node_total_ps{{node=\"{}\"}} {}\n",
+                n.node, n.total_ps
+            ));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON export (no serde; fully offline build): class
+    /// totals, per-node accounts, and the phase sampling.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"classes\":{");
+        let totals = self.class_totals();
+        for (i, class) in StallClass::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            push_json_escaped(&mut out, class.key());
+            out.push_str(&format!("\":{}", totals[class as usize]));
+        }
+        out.push_str("},\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"total_ps\":{},\"classes\":[",
+                n.node, n.total_ps
+            ));
+            for (j, ps) in n.classes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&ps.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str(&format!("],\"phase_ps\":{},\"phases\":[", self.phase_ps));
+        let mut first = true;
+        for (i, row) in self.phases.iter().enumerate() {
+            if row.iter().sum::<u64>() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{{\"phase\":{i},\"classes\":["));
+            for (j, ps) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&ps.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> TimeDelta {
+        TimeDelta::from_ns(v)
+    }
+
+    fn at(v: u64) -> Time {
+        Time::from_ns(v)
+    }
+
+    #[test]
+    fn disabled_profiler_charges_nothing() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        p.charge(0, StallClass::L2Miss, at(1), ns(100));
+        p.mark_op(0, at(1), ns(200));
+        assert!(p.snapshot(&[at(300)]).is_none());
+    }
+
+    #[test]
+    fn residual_goes_to_compute() {
+        let p = Profiler::new();
+        p.charge(0, StallClass::L1Miss, at(0), ns(30));
+        p.mark_op(0, at(0), ns(100));
+        let a = p.snapshot(&[at(100)]).expect("enabled");
+        assert_eq!(a.nodes[0].get(StallClass::L1Miss), 30_000);
+        assert_eq!(a.nodes[0].get(StallClass::Compute), 70_000);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn wall_charges_do_not_eat_the_next_op() {
+        let p = Profiler::new();
+        // A barrier wait between ops, then a pure-compute op.
+        p.charge_wall(0, StallClass::Sync, at(100), ns(500));
+        p.mark_op(0, at(600), ns(50));
+        let a = p.snapshot(&[at(650)]).expect("enabled");
+        assert_eq!(a.nodes[0].get(StallClass::Sync), 500_000);
+        assert_eq!(a.nodes[0].get(StallClass::Compute), 50_000 + 100_000);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn overcharge_is_scaled_back_deterministically() {
+        let p = Profiler::new();
+        // Two overlapped misses charged in full: 70 + 50 > the 100ns end.
+        p.charge(0, StallClass::L2Miss, at(0), ns(70));
+        p.charge(0, StallClass::L1Miss, at(0), ns(50));
+        p.mark_op(0, at(0), ns(100));
+        let a = p.snapshot(&[at(100)]).expect("enabled");
+        let total: u64 = a.nodes[0].classes.iter().sum();
+        assert_eq!(total, 100_000);
+        assert!(a.conserved());
+        // Proportions survive the clamp.
+        let l2 = a.nodes[0].get(StallClass::L2Miss);
+        let l1 = a.nodes[0].get(StallClass::L1Miss);
+        assert!(l2 > l1);
+        // Byte-determinism of the clamp.
+        let b = p.snapshot(&[at(100)]).expect("enabled");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conserve_distributes_rounding_remainder() {
+        let mut c = [0u64; StallClass::COUNT];
+        c[1] = 3;
+        c[2] = 3;
+        c[3] = 3;
+        let out = conserve(c, 7);
+        assert_eq!(out.iter().sum::<u64>(), 7);
+        // Floor gives 2+2+2; the extra ps goes to the first nonzero class.
+        assert_eq!(out[1], 3);
+        assert_eq!(out[2], 2);
+        assert_eq!(out[3], 2);
+    }
+
+    #[test]
+    fn idle_tail_is_compute() {
+        let p = Profiler::new();
+        p.mark_op(0, at(0), ns(10));
+        let a = p.snapshot(&[at(1000)]).expect("enabled");
+        assert_eq!(a.nodes[0].get(StallClass::Compute), 1_000_000);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn phases_double_and_merge() {
+        let p = Profiler::new();
+        // First charge lands in bucket 0 at the initial width.
+        p.charge_wall(0, StallClass::Os, Time::ZERO, ns(1));
+        // A charge far beyond the initial 64-bucket span forces doubling.
+        let far = Time::from_ps(INITIAL_PHASE_PS * PHASES as u64 * 4);
+        p.charge_wall(0, StallClass::Os, far, ns(1));
+        let a = p.snapshot(&[far]).expect("enabled");
+        assert_eq!(a.phase_ps, INITIAL_PHASE_PS * 8);
+        let populated: Vec<usize> = a
+            .phases
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.iter().sum::<u64>() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        // Both charges survive the merges: bucket 0 plus the far bucket.
+        assert_eq!(populated, vec![0, 32]);
+    }
+
+    #[test]
+    fn exports_are_shaped_and_deterministic() {
+        let p = Profiler::new();
+        p.charge(1, StallClass::NetTransit, at(5), ns(40));
+        p.mark_op(1, at(5), ns(60));
+        let a = p.snapshot(&[at(100), at(100)]).expect("enabled");
+        let csv = a.to_csv();
+        assert!(csv.starts_with("node,class,ps,share\n"));
+        assert!(csv.contains("1,net_transit,40000,"));
+        let prom = a.to_prometheus();
+        assert!(prom.contains("flashsim_accounted_ps{node=\"1\",class=\"net_transit\"} 40000"));
+        assert!(prom.contains("flashsim_node_total_ps{node=\"0\"} 100000"));
+        let json = a.to_json();
+        assert!(json.starts_with("{\"classes\":{\"compute\":"));
+        assert!(json.contains("\"net_transit\":40000"));
+        assert_eq!(json, p.snapshot(&[at(100), at(100)]).expect("e").to_json());
+        assert!(a.render().contains("network transit"));
+        assert!(a.render_phases().starts_with("phase"));
+    }
+
+    #[test]
+    fn class_count_matches_all() {
+        assert_eq!(StallClass::ALL.len(), StallClass::COUNT);
+        for (i, c) in StallClass::ALL.into_iter().enumerate() {
+            assert_eq!(c as usize, i, "discriminants must match ALL order");
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = Profiler::new();
+        p.charge(0, StallClass::L2Miss, at(0), ns(25));
+        p.mark_op(0, at(0), ns(100));
+        let a = p.snapshot(&[at(100)]).expect("enabled");
+        let sum: f64 = StallClass::ALL.iter().map(|&c| a.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((a.fraction(StallClass::L2Miss) - 0.25).abs() < 1e-12);
+    }
+}

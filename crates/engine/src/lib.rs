@@ -21,7 +21,11 @@
 //!   event-level divergence diffing between platforms,
 //! - [`fault`]: deterministic, seeded fault injection (latency
 //!   perturbation, dropped/delayed messages, stalled nodes, resource
-//!   pressure) so robustness paths can be exercised reproducibly.
+//!   pressure) so robustness paths can be exercised reproducibly,
+//! - [`account`]: a cycle-accounting profiler attributing every simulated
+//!   picosecond on every node to a stall class (compute, cache misses,
+//!   TLB, occupancy, network, sync, OS), sampled into time phases — the
+//!   substrate for per-class error attribution between platforms.
 //!
 //! # Examples
 //!
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod account;
 pub mod event;
 pub mod fault;
 pub mod resource;
@@ -50,6 +55,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use account::{Accounting, NodeAccount, Profiler, StallClass};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan, MessageFate};
 pub use resource::{Grant, Resource, ResourcePool};

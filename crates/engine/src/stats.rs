@@ -34,14 +34,16 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds `n` events.
+    /// Adds `n` events, saturating at `u64::MAX`: a counter that has hit
+    /// the ceiling pins there instead of wrapping back towards zero and
+    /// silently corrupting downstream rate computations.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
-    /// Adds one event.
+    /// Adds one event (saturating, like [`add`](Counter::add)).
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
     /// Current count.
@@ -395,6 +397,65 @@ mod tests {
     }
 
     #[test]
+    fn counter_saturates_at_max() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "incr must pin at MAX, not wrap");
+        c.add(12345);
+        assert_eq!(c.get(), u64::MAX, "add must pin at MAX, not wrap");
+    }
+
+    #[test]
+    fn histogram_merge_mismatched_bucket_layouts() {
+        // The populated bucket ranges are disjoint: tiny samples in the
+        // low buckets vs huge samples in the top bucket. The merge must
+        // preserve both populations and every exact moment.
+        let mut small = Histogram::new();
+        for v in [0, 1, 3] {
+            small.record(v);
+        }
+        let mut huge = Histogram::new();
+        huge.record(u64::MAX / 2);
+        huge.record(1 << 40);
+        small.merge(&huge);
+        assert_eq!(small.count(), 5);
+        assert_eq!(small.sum(), 4 + u64::MAX / 2 + (1 << 40));
+        assert_eq!(small.min(), Some(0));
+        assert_eq!(small.max(), Some(u64::MAX / 2));
+        // Low quantiles come from the small population, high from the
+        // huge one.
+        assert!(small.quantile(0.2).unwrap() <= 4);
+        assert!(small.quantile(1.0).unwrap() >= (1 << 40));
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(
+            a, before,
+            "merging an empty histogram must not move min/max"
+        );
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_quantile_single_sample() {
+        let mut h = Histogram::new();
+        h.record(77);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(77), "q={q}");
+        }
+    }
+
+    #[test]
     fn histogram_merge_adds() {
         let mut a = Histogram::new();
         a.record(10);
@@ -445,6 +506,34 @@ mod tests {
         s.set("cpu.ops", 3.5);
         s.set("bad", f64::NAN);
         assert_eq!(s.to_json(), r#"{"bad":null,"cpu.ops":3.5,"l2.misses":12}"#);
+    }
+
+    #[test]
+    fn statset_json_is_sorted_regardless_of_insertion_order() {
+        let keys = ["z.last", "a.first", "m.middle", "b.second"];
+        let mut fwd = StatSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            fwd.set(*k, i as f64);
+        }
+        let mut rev = StatSet::new();
+        for (i, k) in keys.iter().enumerate().rev() {
+            rev.set(*k, i as f64);
+        }
+        assert_eq!(fwd.to_json(), rev.to_json(), "JSON must be byte-stable");
+        // And the order is actually sorted, not just consistent.
+        let json = fwd.to_json();
+        let positions: Vec<usize> = {
+            let mut sorted = keys.to_vec();
+            sorted.sort_unstable();
+            sorted
+                .iter()
+                .map(|k| json.find(&format!("\"{k}\"")).expect("key present"))
+                .collect()
+        };
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "keys must appear in sorted order: {json}"
+        );
     }
 
     #[test]

@@ -130,6 +130,16 @@ impl TimeDelta {
         TimeDelta(self.0.max(other.0))
     }
 
+    /// The shorter of two spans.
+    pub fn min(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.min(other.0))
+    }
+
+    /// `self - other`, clamped at zero instead of panicking.
+    pub fn saturating_sub(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(other.0))
+    }
+
     /// Ratio of two spans as a float (for reporting only).
     ///
     /// # Panics

@@ -60,6 +60,10 @@ impl TraceCategory {
         TraceCategory::Machine,
     ];
 
+    /// Number of categories — derived from [`ALL`](Self::ALL) so adding a
+    /// category automatically resizes every per-category array.
+    pub const COUNT: usize = Self::ALL.len();
+
     /// The category's bit in a [`CategoryMask`].
     pub const fn bit(self) -> u64 {
         1 << (self as u64)
@@ -290,7 +294,7 @@ pub struct Trace {
 
 impl Trace {
     /// Event count per category, in [`TraceCategory::ALL`] order.
-    pub fn counts_by_category(&self) -> [(TraceCategory, u64); 5] {
+    pub fn counts_by_category(&self) -> [(TraceCategory, u64); TraceCategory::COUNT] {
         let mut out = TraceCategory::ALL.map(|c| (c, 0u64));
         for e in &self.events {
             out[e.category as usize].1 += 1;

@@ -49,7 +49,8 @@ use flashsim_engine::{
     Tracer,
 };
 use flashsim_mem::system::{
-    AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
+    AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
+    ProtocolCase,
 };
 use flashsim_mem::LineAddr;
 use flashsim_net::{Network, Topology, TopologyError};
@@ -74,6 +75,11 @@ pub struct FlashLite {
     nacks: u64,
     retries: u64,
     nack_backoff: TimeDelta,
+    // Per-transaction latency decomposition, accumulated by the acquire/
+    // send helpers along the requester's critical path and reset at the
+    // start of each demand transaction.
+    txn_occ: TimeDelta,
+    txn_net: TimeDelta,
 }
 
 impl FlashLite {
@@ -109,6 +115,8 @@ impl FlashLite {
             nacks: 0,
             retries: 0,
             nack_backoff: TimeDelta::ZERO,
+            txn_occ: TimeDelta::ZERO,
+            txn_net: TimeDelta::ZERO,
         })
     }
 
@@ -136,7 +144,9 @@ impl FlashLite {
     fn pp_acquire(&mut self, node: NodeId, cycles: u64, t: Time) -> Time {
         let occupancy = self.params.pp(cycles.div_ceil(2));
         let grant = self.pp[node as usize].acquire(t, occupancy);
-        grant.start + self.params.pp(cycles)
+        let done = grant.start + self.params.pp(cycles);
+        self.txn_occ += done - t;
+        done
     }
 
     /// The processor-interface handler runs on MAGIC's PI stage, which is
@@ -147,7 +157,9 @@ impl FlashLite {
     fn pi_acquire(&mut self, node: NodeId, t: Time) -> Time {
         let cycles = self.params.pp_pi_request;
         let grant = self.pi[node as usize].acquire(t, self.params.pp(cycles.div_ceil(2)));
-        grant.start + self.params.pp(cycles)
+        let done = grant.start + self.params.pp(cycles);
+        self.txn_occ += done - t;
+        done
     }
 
     fn mem_acquire(&mut self, node: NodeId, t: Time) -> Time {
@@ -170,7 +182,12 @@ impl FlashLite {
                 MessageFate::Drop => depart += self.faults.plan().drop_timeout,
             }
         }
-        self.net.send(from, to, bytes, depart)
+        let arrival = self.net.send(from, to, bytes, depart);
+        // Fault-injected delays/retransmits count as transit: they are
+        // time the message spends "in" the network from the charger's
+        // point of view.
+        self.txn_net += arrival - t;
+        arrival
     }
 
     /// The bounded-inbound-queue NACK path: a remote request arriving at a
@@ -191,6 +208,9 @@ impl FlashLite {
             let mut rt = self.send(home, requester, p.header_bytes, t);
             let backoff = p.nack_retry_base * (1u64 << (retries - 1).min(6));
             self.nack_backoff += backoff;
+            // Backoff is time spent waiting out home-MAGIC saturation:
+            // occupancy, not transit.
+            self.txn_occ += backoff;
             rt += backoff;
             rt = self.pp_acquire(requester, p.pp_ni_out, rt);
             t = self.send(requester, home, p.header_bytes, rt);
@@ -243,6 +263,28 @@ impl FlashLite {
         }
     }
 
+    /// Resets the per-transaction decomposition accumulators.
+    fn txn_begin(&mut self) {
+        self.txn_occ = TimeDelta::ZERO;
+        self.txn_net = TimeDelta::ZERO;
+    }
+
+    /// Folds the accumulated critical-path components into a
+    /// [`LatencyBreakdown`] for a transaction of the given total latency.
+    /// Components are clamped so they never exceed the total (overlapped
+    /// protocol work can otherwise over-count); whatever is left —
+    /// memory-bank time, handler remainders, un-itemized overlap — lands
+    /// in `memory`.
+    fn txn_breakdown(&self, total: TimeDelta) -> LatencyBreakdown {
+        let occupancy = self.txn_occ.min(total);
+        let network = self.txn_net.min(total.saturating_sub(occupancy));
+        LatencyBreakdown {
+            occupancy,
+            network,
+            memory: total.saturating_sub(occupancy + network),
+        }
+    }
+
     /// Mean demand latency observed for `case`, if any occurred.
     pub fn mean_latency_ns(&self, case: ProtocolCase) -> Option<f64> {
         let n = *self.case_counts.get(&case)? as f64;
@@ -253,6 +295,7 @@ impl FlashLite {
         let home = self.home_of(req.line);
         let requester = req.node;
         let p = self.params;
+        self.txn_begin();
 
         // Processor detects the miss and crosses the pins.
         let mut t = req.now + p.proc_miss_detect;
@@ -295,7 +338,13 @@ impl FlashLite {
         let ack_done = if sharers.is_empty() {
             t
         } else {
-            self.invalidate_round(home, &sharers, t)
+            // The round's legs run in parallel with the data path; its
+            // per-leg charges must not count toward the requester's
+            // critical path (only its *exposed* tail does, below).
+            let saved = (self.txn_occ, self.txn_net);
+            let done = self.invalidate_round(home, &sharers, t);
+            (self.txn_occ, self.txn_net) = saved;
+            done
         };
 
         // Data path.
@@ -327,16 +376,24 @@ impl FlashLite {
                     dt = self.send(owner, requester, p.line_bytes + p.header_bytes, dt);
                     dt = self.pp_acquire(requester, p.pp_ni_reply, dt);
                 }
-                // Sharing writeback to the home (off the critical path).
+                // Sharing writeback to the home (off the critical path,
+                // so excluded from the requester's decomposition).
                 if owner != home {
+                    let saved = (self.txn_occ, self.txn_net);
                     let wb = self.send(owner, home, p.line_bytes + p.header_bytes, dt);
                     let wb = self.pp_acquire(home, p.pp_writeback, wb);
                     let _ = self.mem_acquire(home, wb);
+                    (self.txn_occ, self.txn_net) = saved;
                 }
                 dt
             }
         };
 
+        // Invalidation time the data path did not hide is exposed
+        // protocol work at the home: occupancy.
+        if ack_done > data_t {
+            self.txn_occ += ack_done - data_t;
+        }
         data_t = data_t.max(ack_done);
         // Reply crosses the bus and the processor restarts.
         let done_at = data_t + p.reply_fill;
@@ -350,6 +407,7 @@ impl FlashLite {
                 invalidate: resp.invalidate,
                 downgrade: resp.downgrade,
             },
+            breakdown: self.txn_breakdown(done_at - req.now),
         }
     }
 
@@ -357,6 +415,7 @@ impl FlashLite {
         let home = self.home_of(req.line);
         let requester = req.node;
         let p = self.params;
+        self.txn_begin();
 
         let mut t = req.now + p.proc_miss_detect;
         t = self.pi_acquire(requester, t);
@@ -373,7 +432,15 @@ impl FlashLite {
         t = self.pp_acquire(home, dir_cycles, t);
 
         let resp = self.dirs[home as usize].upgrade(req.line, requester);
+        // For an upgrade, the invalidation round IS the critical path;
+        // its whole duration is exposed protocol work at the home, so it
+        // is charged wholesale as occupancy (per-leg charges inside the
+        // round would over-count the parallel legs).
+        let inv_start = t;
+        let saved = (self.txn_occ, self.txn_net);
         let t = self.invalidate_round(home, &resp.invalidate, t);
+        (self.txn_occ, self.txn_net) = saved;
+        self.txn_occ += t - inv_start;
         let mut t = t;
         if requester != home {
             t = self.pp_acquire(home, p.pp_ni_out, t);
@@ -396,6 +463,7 @@ impl FlashLite {
                 invalidate: resp.invalidate,
                 downgrade: resp.downgrade,
             },
+            breakdown: self.txn_breakdown(done_at - req.now),
         }
     }
 
@@ -424,6 +492,9 @@ impl FlashLite {
             case: ProtocolCase::WritebackCase,
             exclusive: false,
             actions: CoherenceActions::none(),
+            // Writebacks never stall the processor, so nothing is ever
+            // charged from this decomposition.
+            breakdown: LatencyBreakdown::default(),
         }
     }
 }

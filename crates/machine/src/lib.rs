@@ -367,6 +367,62 @@ mod tests {
         assert_eq!(plain.stats, traced.stats);
     }
 
+    #[test]
+    fn disabled_profiler_changes_nothing() {
+        let prog = small_prog(2);
+        let c = || cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+        let plain = run_program(c(), &prog).unwrap();
+        let mut m = Machine::new(c(), &prog).unwrap();
+        m.attach_profiler(flashsim_engine::Profiler::disabled());
+        let profiled = m.run().unwrap();
+        assert_eq!(plain.total_time, profiled.total_time);
+        assert_eq!(plain.stats, profiled.stats);
+        assert!(profiled.accounting.is_none());
+        assert!(profiled.manifest.account.is_none());
+    }
+
+    #[test]
+    fn profiled_run_conserves_every_cycle() {
+        use flashsim_engine::{Profiler, StallClass};
+        let prog = BlockWalk {
+            threads: 4,
+            bytes_per_thread: 32 * 1024,
+            use_lock: true,
+        };
+        let mut m = Machine::new(cfg(4, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
+        m.attach_profiler(Profiler::new());
+        let r = m.run().unwrap();
+        let acc = r.accounting.as_ref().expect("profiler attached");
+        assert!(acc.conserved(), "per-node class sums must equal totals");
+        // Every node's total is the machine end time (idle => Compute).
+        for node in &acc.nodes {
+            assert_eq!(
+                node.classes.iter().sum::<u64>(),
+                node.total_ps,
+                "node {} not conserved",
+                node.node
+            );
+            assert_eq!(node.total_ps, r.total_time.as_ps());
+        }
+        // The run exercised memory, TLB, and synchronization machinery,
+        // so those classes must have been charged somewhere.
+        let totals = acc.class_totals();
+        for class in [
+            StallClass::Compute,
+            StallClass::L2Miss,
+            StallClass::TlbRefill,
+            StallClass::Sync,
+            StallClass::Os,
+        ] {
+            assert!(totals[class as usize] > 0, "no {} charged", class.key());
+        }
+        // Manifest and stats carry the breakdown.
+        let fracs = r.manifest.account.expect("manifest breakdown");
+        assert!((fracs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r.stats.get_or_zero("account.compute.ps") > 0.0);
+        assert!(r.manifest.to_json().contains("\"account\":{\"compute\":"));
+    }
+
     /// A program whose thread 0 skips the barrier all others wait at.
     struct SkippedBarrier;
     impl Program for SkippedBarrier {

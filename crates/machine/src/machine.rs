@@ -18,11 +18,14 @@
 use crate::config::{MachineConfig, MemSysKind};
 use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
-use flashsim_engine::{Clock, FaultInjector, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{
+    Accounting, Clock, FaultInjector, Profiler, StallClass, StatSet, Time, TimeDelta,
+    TraceCategory, Tracer,
+};
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
-    AccessKind, CacheHierarchy, FrameAllocator, HierProbe, LineAddr, MemRequest, MemorySystem,
-    PageTable, Tlb,
+    AccessKind, CacheHierarchy, FrameAllocator, HierProbe, LatencyBreakdown, LineAddr, MemRequest,
+    MemorySystem, PageTable, Tlb,
 };
 use flashsim_os::TlbModel;
 use std::collections::HashMap;
@@ -69,7 +72,10 @@ struct NodeMem {
     hier: CacheHierarchy,
     tlb: Option<Tlb>,
     /// In-flight line fills: probes to these lines wait for arrival.
-    pending: HashMap<LineAddr, Time>,
+    /// The breakdown of the originating transaction rides along so an
+    /// exposed wait (e.g. a demand load catching up to its prefetch) can
+    /// be attributed to the same stall classes pro rata.
+    pending: HashMap<LineAddr, (Time, LatencyBreakdown)>,
     page_faults: u64,
     tlb_refills: u64,
     next_tick: Time,
@@ -88,7 +94,9 @@ enum NodeStatus {
 #[derive(Debug, Default)]
 struct LockState {
     held_by: Option<usize>,
-    queue: Vec<usize>,
+    /// Waiters in arrival order, with the time each started waiting (for
+    /// synchronization-stall accounting).
+    queue: Vec<(usize, Time)>,
 }
 
 /// The environment one node's core executes against (see
@@ -104,6 +112,11 @@ struct MachineEnv<'a> {
     clock: Clock,
     tracer: Tracer,
     faults: &'a FaultInjector,
+    profiler: Profiler,
+    /// Whether the current resolution happens inside a core op (charges
+    /// subtract from that op's compute residual) or between ops (lock
+    /// hand-offs: wall charges).
+    in_op: bool,
     /// Failure slot: `MemEnv::resolve` cannot return an error through the
     /// core's execute path, so faults are parked here and harvested by the
     /// scheduler immediately after the op completes.
@@ -190,6 +203,45 @@ impl MachineEnv<'_> {
         ))
     }
 
+    /// Charges `dur` starting at `at` to `class` on this node, as an
+    /// in-op or wall charge depending on the resolution context. The
+    /// environment is the single charging authority for memory latency,
+    /// TLB refills, and OS costs exposed to the core; cores charge only
+    /// their internal pipeline stalls, so no span is charged twice.
+    fn account(&self, class: StallClass, at: Time, dur: TimeDelta) {
+        if dur.is_zero() {
+            return;
+        }
+        if self.in_op {
+            self.profiler.charge(self.node as u32, class, at, dur);
+        } else {
+            self.profiler.charge_wall(self.node as u32, class, at, dur);
+        }
+    }
+
+    /// Splits an exposed wait on an in-flight fill (a demand access
+    /// catching up to its prefetch or an earlier store's fill) across the
+    /// originating transaction's own stall classes, pro rata to its
+    /// latency breakdown — so prefetched remote traffic still surfaces
+    /// its network and occupancy components instead of reading as plain
+    /// L2 miss time. Integer floor division keeps it deterministic; the
+    /// rounding remainder lands in the memory (L2 miss) share.
+    fn charge_exposed_wait(&self, at: Time, wait: TimeDelta, bd: LatencyBreakdown) {
+        let total = bd.total().as_ps();
+        if total == 0 {
+            self.account(StallClass::L2Miss, at, wait);
+            return;
+        }
+        let w = wait.as_ps() as u128;
+        let part =
+            |p: TimeDelta| TimeDelta::from_ps((w * p.as_ps() as u128 / total as u128) as u64);
+        let occ = part(bd.occupancy);
+        let net = part(bd.network);
+        self.account(StallClass::DirOccupancy, at, occ);
+        self.account(StallClass::NetTransit, at, net);
+        self.account(StallClass::L2Miss, at, wait - occ - net);
+    }
+
     /// Applies directory-mandated coherence actions to the *other* nodes.
     fn apply_actions(&mut self, line: LineAddr, actions: &flashsim_mem::CoherenceActions) {
         for &v in &actions.invalidate {
@@ -211,7 +263,7 @@ impl MachineEnv<'_> {
         paddr: flashsim_mem::PAddr,
         write: bool,
         t: Time,
-    ) -> (Time, AccessLevel) {
+    ) -> (Time, AccessLevel, LatencyBreakdown) {
         let line = self.mems[self.node].hier.l2_line(paddr);
         let kind = if write {
             AccessKind::ReadExclusive
@@ -224,7 +276,10 @@ impl MachineEnv<'_> {
             kind,
             now: t,
         });
-        out.done_at += self.faults.perturb_latency(out.done_at - t);
+        let perturb = self.faults.perturb_latency(out.done_at - t);
+        out.done_at += perturb;
+        // Injected latency perturbation reads as extra memory time.
+        out.breakdown.memory += perturb;
         self.apply_actions(line, &out.actions);
         let victim = self.mems[self.node]
             .hier
@@ -251,8 +306,10 @@ impl MachineEnv<'_> {
             }
             self.mems[self.node].pending.remove(&v.line);
         }
-        self.mems[self.node].pending.insert(line, out.done_at);
-        (out.done_at, AccessLevel::Memory(out.case))
+        self.mems[self.node]
+            .pending
+            .insert(line, (out.done_at, out.breakdown));
+        (out.done_at, AccessLevel::Memory(out.case), out.breakdown)
     }
 }
 
@@ -275,6 +332,19 @@ impl MemEnv for MachineEnv<'_> {
         let t = at + refill + fault;
         let write = kind == MemAccessKind::Write;
 
+        // The refill handler and fault path run on the pipeline for loads
+        // and stores alike; prefetches that miss the TLB are dropped by
+        // real hardware, so their costs are not demand stalls.
+        if kind != MemAccessKind::Prefetch {
+            self.account(StallClass::TlbRefill, at, refill);
+            self.account(StallClass::Os, at + refill, fault);
+        }
+        // Memory latency below is charged for blocking demand reads only:
+        // store and prefetch latency is overlapped by write buffers and
+        // prefetch slots, and the portion that *isn't* hidden surfaces as
+        // core-internal stalls the core models charge themselves.
+        let demand_read = kind == MemAccessKind::Read;
+
         let line = self.mems[self.node].hier.l2_line(paddr);
         let probe = self.mems[self.node].hier.probe(paddr, write);
 
@@ -282,6 +352,9 @@ impl MemEnv for MachineEnv<'_> {
             HierProbe::L1Hit => (t, AccessLevel::L1),
             HierProbe::L2Hit => {
                 self.mems[self.node].hier.fill_l1_from_l2(paddr, write);
+                if demand_read {
+                    self.account(StallClass::L1Miss, t, self.cfg.l2_hit);
+                }
                 (t + self.cfg.l2_hit, AccessLevel::L2)
             }
             HierProbe::L2Upgrade => {
@@ -296,14 +369,25 @@ impl MemEnv for MachineEnv<'_> {
                 self.mems[self.node].hier.complete_upgrade(paddr);
                 (out.done_at, AccessLevel::Memory(out.case))
             }
-            HierProbe::L2Miss => self.miss_transaction(paddr, write, t),
+            HierProbe::L2Miss => {
+                let (done, level, bd) = self.miss_transaction(paddr, write, t);
+                if demand_read {
+                    self.account(StallClass::DirOccupancy, t, bd.occupancy);
+                    self.account(StallClass::NetTransit, t, bd.network);
+                    self.account(StallClass::L2Miss, t, bd.memory);
+                }
+                (done, level)
+            }
         };
 
         // A hit on a line whose fill is still in flight (e.g. behind a
         // prefetch) waits for the data to arrive.
         if matches!(probe, HierProbe::L1Hit | HierProbe::L2Hit) {
-            if let Some(&arrives) = self.mems[self.node].pending.get(&line) {
+            if let Some(&(arrives, bd)) = self.mems[self.node].pending.get(&line) {
                 if arrives > done_at {
+                    if demand_read {
+                        self.charge_exposed_wait(done_at, arrives - done_at, bd);
+                    }
                     done_at = arrives;
                 } else {
                     self.mems[self.node].pending.remove(&line);
@@ -362,6 +446,9 @@ pub struct RunManifest {
     /// Simulated MIPS: millions of simulated instructions per wall-clock
     /// second — the paper's slowdown currency.
     pub sim_mips: f64,
+    /// Per-class share of all accounted cycles, in [`StallClass::ALL`]
+    /// order; `None` when the run had no profiler attached.
+    pub account: Option<[f64; StallClass::COUNT]>,
 }
 
 impl RunManifest {
@@ -398,6 +485,23 @@ impl RunManifest {
         out.push_str(&num(self.events_per_sec));
         out.push_str(",\"sim_mips\":");
         out.push_str(&num(self.sim_mips));
+        out.push_str(",\"account\":");
+        match &self.account {
+            None => out.push_str("null"),
+            Some(fractions) => {
+                out.push('{');
+                for (i, (class, f)) in StallClass::ALL.iter().zip(fractions).enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(class.key());
+                    out.push_str("\":");
+                    out.push_str(&num(*f));
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
         out
     }
@@ -421,6 +525,9 @@ pub struct RunResult {
     pub stats: StatSet,
     /// Provenance and host-throughput record for the run.
     pub manifest: RunManifest,
+    /// Cycle-accounting snapshot (per-node stall-class totals plus the
+    /// time-phase view); `None` when no profiler was attached.
+    pub accounting: Option<Accounting>,
 }
 
 impl RunResult {
@@ -447,6 +554,7 @@ pub struct Machine {
     lock_addr: HashMap<u32, VAddr>,
     timing_start: Option<u32>,
     tracer: Tracer,
+    profiler: Profiler,
     injector: FaultInjector,
     fault: Option<SimError>,
     workload: String,
@@ -533,6 +641,7 @@ impl Machine {
             lock_addr: HashMap::new(),
             timing_start: program.timing_barrier(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             injector,
             fault: None,
             workload: program.name(),
@@ -561,6 +670,21 @@ impl Machine {
         self.tracer = tracer;
     }
 
+    /// Attaches a cycle-accounting profiler: each core charges its
+    /// internal pipeline stalls, while the machine itself charges memory
+    /// latency (split per the model's [`LatencyBreakdown`]), TLB refills,
+    /// OS costs, synchronization waits, and marks per-op boundaries so
+    /// uncharged time lands in the compute residual.
+    ///
+    /// Attach *before* [`Machine::run`]; a disabled profiler (the
+    /// default) costs one branch per potential charge.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        for (n, core) in self.cores.iter_mut().enumerate() {
+            core.attach_profiler(profiler.clone(), n as u32);
+        }
+        self.profiler = profiler;
+    }
+
     /// Charges pending OS timer ticks to node `n` up to its current time.
     fn charge_ticks(&mut self, n: usize) {
         let Some(interval) = self.cfg.os.timer_interval else {
@@ -569,8 +693,10 @@ impl Machine {
         let now = self.cores[n].now();
         while self.mems[n].next_tick <= now {
             self.mems[n].next_tick += interval;
-            let t = self.cores[n].now() + self.cfg.os.timer_cost;
-            self.cores[n].set_time(t);
+            let at = self.cores[n].now();
+            self.profiler
+                .charge_wall(n as u32, StallClass::Os, at, self.cfg.os.timer_cost);
+            self.cores[n].set_time(at + self.cfg.os.timer_cost);
         }
     }
 
@@ -718,6 +844,7 @@ impl Machine {
                 segments,
                 cfg,
                 tracer,
+                profiler,
                 injector,
                 fault,
                 ..
@@ -733,9 +860,17 @@ impl Machine {
                 clock: cfg.cpu.clock(),
                 tracer: tracer.clone(),
                 faults: injector,
+                profiler: profiler.clone(),
+                in_op: true,
                 fault,
             };
+            let op_start = cores[n].now();
             cores[n].execute(&op, &mut env);
+            profiler.mark_op(
+                n as u32,
+                op_start,
+                cores[n].now().saturating_since(op_start),
+            );
             if let Some(e) = self.fault.take() {
                 return Err(e);
             }
@@ -755,7 +890,7 @@ impl Machine {
                 if arrivals.len() == self.cfg.nodes as usize {
                     let release =
                         arrivals.iter().map(|(_, t)| *t).fold(Time::ZERO, Time::max) + overhead;
-                    let woken: Vec<usize> = arrivals.iter().map(|(m, _)| *m).collect();
+                    let woken: Vec<(usize, Time)> = arrivals.clone();
                     self.barrier_arrivals.remove(&op.id);
                     self.barrier_releases.push((op.id, release));
                     if self.tracer.enabled(TraceCategory::Machine) {
@@ -768,7 +903,14 @@ impl Machine {
                             u64::from(self.cfg.nodes),
                         );
                     }
-                    for m in woken {
+                    for (m, arrived) in woken {
+                        // Arrival-to-release is synchronization stall.
+                        self.profiler.charge_wall(
+                            m as u32,
+                            StallClass::Sync,
+                            arrived,
+                            release.saturating_since(arrived),
+                        );
                         self.cores[m].set_time(release);
                         self.status[m] = NodeStatus::Running;
                     }
@@ -783,7 +925,7 @@ impl Machine {
                         lock.held_by = Some(n);
                         true
                     } else {
-                        lock.queue.push(n);
+                        lock.queue.push((n, t));
                         false
                     }
                 };
@@ -824,14 +966,21 @@ impl Machine {
                     if lock.queue.is_empty() {
                         None
                     } else {
-                        let nx = lock.queue.remove(0);
+                        let (nx, since) = lock.queue.remove(0);
                         lock.held_by = Some(nx);
-                        Some(nx)
+                        Some((nx, since))
                     }
                 };
-                if let Some(next) = next {
+                if let Some((next, since)) = next {
                     self.status[next] = NodeStatus::Running;
                     let at = self.cores[next].now().max(t);
+                    // Queue time on the lock is synchronization stall.
+                    self.profiler.charge_wall(
+                        next as u32,
+                        StallClass::Sync,
+                        since,
+                        at.saturating_since(since),
+                    );
                     self.cores[next].set_time(at);
                     if self.tracer.enabled(TraceCategory::Machine) {
                         self.tracer.emit(
@@ -864,6 +1013,7 @@ impl Machine {
             cfg,
             cores,
             tracer,
+            profiler,
             injector,
             fault,
             ..
@@ -879,12 +1029,24 @@ impl Machine {
             clock: cfg.cpu.clock(),
             tracer: tracer.clone(),
             faults: injector,
+            profiler: profiler.clone(),
+            in_op: false,
             fault,
         };
         let res = env.resolve(addr, MemAccessKind::Write, t);
         if let Some(e) = self.fault.take() {
             return Err(e);
         }
+        // The hand-off's coherence transaction is synchronization cost
+        // (minus the TLB refill the environment already charged).
+        profiler.charge_wall(
+            n as u32,
+            StallClass::Sync,
+            t,
+            res.done_at
+                .saturating_since(t)
+                .saturating_sub(res.tlb_refill),
+        );
         cores[n].set_time(res.done_at);
         Ok(())
     }
@@ -936,6 +1098,17 @@ impl Machine {
         stats.absorb_flat(&self.memsys.stats());
         self.injector.absorb_into(&mut stats);
 
+        // Accounting closes over the whole run: every node is extended to
+        // the machine end time, so per-node class totals all sum to the
+        // same total and trailing idle reads as compute.
+        let ends = vec![end; self.cfg.nodes as usize];
+        let accounting = self.profiler.snapshot(&ends);
+        if let Some(acc) = &accounting {
+            for (class, total) in StallClass::ALL.iter().zip(acc.class_totals()) {
+                stats.set(format!("account.{}.ps", class.key()), total as f64);
+            }
+        }
+
         let ops_per_node: Vec<u64> = self.streams.iter().map(|s| s.consumed()).collect();
         let total_ops: u64 = ops_per_node.iter().sum();
         let events_per_sec = if wall_seconds > 0.0 {
@@ -953,6 +1126,9 @@ impl Machine {
             simulated_seconds: (end - Time::ZERO).as_ns_f64() / 1e9,
             events_per_sec,
             sim_mips: events_per_sec / 1e6,
+            account: accounting
+                .as_ref()
+                .map(|acc| StallClass::ALL.map(|c| acc.fraction(c))),
         };
 
         RunResult {
@@ -962,6 +1138,7 @@ impl Machine {
             barrier_releases: self.barrier_releases.clone(),
             stats,
             manifest,
+            accounting,
         }
     }
 }

@@ -46,6 +46,7 @@ pub use cache::{Cache, CacheGeometry, LineState, Probe, Victim};
 pub use hier::{CacheHierarchy, HierProbe};
 pub use page::{AllocPolicy, FrameAllocator, PageTable};
 pub use system::{
-    AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
+    AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
+    ProtocolCase,
 };
 pub use tlb::Tlb;

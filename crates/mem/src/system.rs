@@ -11,7 +11,7 @@
 
 use crate::addr::LineAddr;
 use core::fmt;
-use flashsim_engine::{FaultInjector, StatSet, Time, Tracer};
+use flashsim_engine::{FaultInjector, StatSet, Time, TimeDelta, Tracer};
 
 /// A node identifier (0-based).
 pub type NodeId = u32;
@@ -134,6 +134,39 @@ impl CoherenceActions {
     }
 }
 
+/// Where a transaction's latency went, as the model decomposes it.
+///
+/// Models fill this alongside `done_at` so the cycle-accounting layer can
+/// charge the requester's stall to the right [`flashsim_engine::StallClass`]
+/// without re-deriving the model's internals. Components cover the
+/// *request path*; anything the model cannot itemize lands in `memory`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Protocol-processor / controller occupancy and queueing.
+    pub occupancy: TimeDelta,
+    /// Interconnect flight time and link contention.
+    pub network: TimeDelta,
+    /// Memory-bank access, bank queueing, and un-itemized remainder.
+    pub memory: TimeDelta,
+}
+
+impl LatencyBreakdown {
+    /// A breakdown with everything attributed to `memory` — the honest
+    /// default for latency-only models that do not itemize.
+    pub fn all_memory(total: TimeDelta) -> LatencyBreakdown {
+        LatencyBreakdown {
+            occupancy: TimeDelta::ZERO,
+            network: TimeDelta::ZERO,
+            memory: total,
+        }
+    }
+
+    /// Sum of the components.
+    pub fn total(&self) -> TimeDelta {
+        self.occupancy + self.network + self.memory
+    }
+}
+
 /// The result of a memory-system transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemOutcome {
@@ -146,6 +179,8 @@ pub struct MemOutcome {
     pub exclusive: bool,
     /// Actions the machine must apply to other nodes' hierarchies.
     pub actions: CoherenceActions,
+    /// Where the latency went (request-path decomposition).
+    pub breakdown: LatencyBreakdown,
 }
 
 /// A coherent shared-memory system below the per-node secondary caches.

@@ -156,6 +156,16 @@ impl NetworkParams {
     }
 }
 
+/// What one message delivery cost, split for cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the message arrives at its destination.
+    pub arrival: Time,
+    /// Time spent queued behind other messages on contended links (zero
+    /// without contention). `arrival - send_time - wait` is pure flight.
+    pub wait: TimeDelta,
+}
+
 /// The interconnect: topology plus per-link occupancy state.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -205,12 +215,23 @@ impl Network {
     /// traverses; without, the message takes pure latency. A message to
     /// self arrives immediately.
     pub fn send(&mut self, from: u32, to: u32, bytes: u64, now: Time) -> Time {
+        self.deliver(from, to, bytes, now).arrival
+    }
+
+    /// Like [`send`](Network::send), but also reports how much of the
+    /// transit time was link-queueing [`wait`](Delivery::wait) so callers
+    /// can decompose the delivery for cycle accounting.
+    pub fn deliver(&mut self, from: u32, to: u32, bytes: u64, now: Time) -> Delivery {
         self.messages += 1;
         if from == to {
-            return now;
+            return Delivery {
+                arrival: now,
+                wait: TimeDelta::ZERO,
+            };
         }
         let mut t = now;
         let mut cur = from;
+        let mut waited = TimeDelta::ZERO;
         for next in self.topo.route(from, to) {
             let dim = (cur ^ next).trailing_zeros();
             if self.params.contention {
@@ -218,6 +239,7 @@ impl Network {
                 let occupancy = self.params.occupancy(bytes);
                 let grant = self.links[idx].acquire(t, occupancy);
                 self.total_wait += grant.wait;
+                waited += grant.wait;
                 if self.tracer.enabled(TraceCategory::Net) {
                     self.tracer.emit(
                         grant.start,
@@ -235,7 +257,10 @@ impl Network {
             self.total_hops += 1;
             cur = next;
         }
-        t
+        Delivery {
+            arrival: t,
+            wait: waited,
+        }
     }
 
     /// The pure (zero-load) latency of a message over `hops` hops.

@@ -42,7 +42,8 @@
 
 use flashsim_engine::{ResourcePool, StatSet, Time, TimeDelta, TraceCategory, Tracer};
 use flashsim_mem::system::{
-    AccessKind, CoherenceActions, MemOutcome, MemRequest, MemorySystem, NodeId, ProtocolCase,
+    AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
+    ProtocolCase,
 };
 use flashsim_mem::LineAddr;
 use flashsim_proto::{classify_read, DataSource, Directory};
@@ -213,12 +214,24 @@ impl Numa {
         let requester = req.node;
         let p = self.params;
 
+        // Latency decomposition for cycle accounting: controller/directory
+        // handler delays are occupancy (the same work FlashLite queues on;
+        // here it never queues, which is exactly the difference the
+        // attribution differ should expose), `net` legs are network, and
+        // miss detection / DRAM / reply fill land in the memory remainder.
+        let mut occ = p.ctrl_request;
+        let mut net_d = TimeDelta::ZERO;
+
         let mut t = req.now + p.miss_detect + p.ctrl_request;
         if requester != home {
-            t += p.ctrl_out + self.net(requester, home, false);
+            let leg = self.net(requester, home, false);
+            t += p.ctrl_out + leg;
             t += p.dir_remote;
+            occ += p.ctrl_out + p.dir_remote;
+            net_d += leg;
         } else {
             t += p.dir_local;
+            occ += p.dir_local;
         }
 
         let resp = if exclusive_intent {
@@ -243,27 +256,46 @@ impl Numa {
             DataSource::Memory => {
                 let ready = self.mem_acquire(home, t);
                 if requester != home {
-                    ready + p.ctrl_out + self.net(home, requester, true) + p.ctrl_reply
+                    let leg = self.net(home, requester, true);
+                    occ += p.ctrl_out + p.ctrl_reply;
+                    net_d += leg;
+                    ready + p.ctrl_out + leg + p.ctrl_reply
                 } else {
                     ready
                 }
             }
             DataSource::Owner(owner) => {
                 let mut dt = t + p.dirty_extra;
+                occ += p.dirty_extra;
                 if owner != home {
-                    dt += p.ctrl_out + self.net(home, owner, false);
+                    let leg = self.net(home, owner, false);
+                    dt += p.ctrl_out + leg;
+                    occ += p.ctrl_out;
+                    net_d += leg;
                 }
                 dt += p.ctrl_intervention + p.proc_intervention;
+                occ += p.ctrl_intervention;
                 if owner != requester {
-                    dt += p.ctrl_out + self.net(owner, requester, true) + p.ctrl_reply;
+                    let leg = self.net(owner, requester, true);
+                    dt += p.ctrl_out + leg + p.ctrl_reply;
+                    occ += p.ctrl_out + p.ctrl_reply;
+                    net_d += leg;
                 }
                 dt
             }
         };
 
+        // Invalidation time the data path did not hide is exposed
+        // directory work: occupancy.
+        if ack_done > data_t {
+            occ += ack_done - data_t;
+        }
         data_t = data_t.max(ack_done);
         let done_at = data_t + p.reply_fill;
         self.record(case, requester, home, done_at, done_at - req.now);
+        let total = done_at - req.now;
+        let occupancy = occ.min(total);
+        let network = net_d.min(total.saturating_sub(occupancy));
         MemOutcome {
             done_at,
             case,
@@ -272,6 +304,11 @@ impl Numa {
                 invalidate: resp.invalidate,
                 downgrade: resp.downgrade,
             },
+            breakdown: LatencyBreakdown {
+                occupancy,
+                network,
+                memory: total.saturating_sub(occupancy + network),
+            },
         }
     }
 
@@ -279,11 +316,17 @@ impl Numa {
         let home = self.home_of(req.line);
         let requester = req.node;
         let p = self.params;
+        let mut occ = p.ctrl_request;
+        let mut net_d = TimeDelta::ZERO;
         let mut t = req.now + p.miss_detect + p.ctrl_request;
         if requester != home {
-            t += p.ctrl_out + self.net(requester, home, false) + p.dir_remote;
+            let leg = self.net(requester, home, false);
+            t += p.ctrl_out + leg + p.dir_remote;
+            occ += p.ctrl_out + p.dir_remote;
+            net_d += leg;
         } else {
             t += p.dir_local;
+            occ += p.dir_local;
         }
         let resp = self.dirs[home as usize].upgrade(req.line, requester);
         let mut ack_done = t;
@@ -295,9 +338,16 @@ impl Numa {
                 + self.net(v, home, false);
             ack_done = ack_done.max(tv);
         }
+        // The invalidation round is the upgrade's critical path: charged
+        // wholesale as directory occupancy (legs run in parallel, so
+        // per-leg itemization would over-count).
+        occ += ack_done - t;
         let mut t = ack_done;
         if requester != home {
-            t += p.ctrl_out + self.net(home, requester, false) + p.ctrl_reply;
+            let leg = self.net(home, requester, false);
+            t += p.ctrl_out + leg + p.ctrl_reply;
+            occ += p.ctrl_out + p.ctrl_reply;
+            net_d += leg;
         }
         let done_at = t + p.reply_fill;
         self.record(
@@ -307,6 +357,9 @@ impl Numa {
             done_at,
             done_at - req.now,
         );
+        let total = done_at - req.now;
+        let occupancy = occ.min(total);
+        let network = net_d.min(total.saturating_sub(occupancy));
         MemOutcome {
             done_at,
             case: ProtocolCase::UpgradeOwnership,
@@ -314,6 +367,11 @@ impl Numa {
             actions: CoherenceActions {
                 invalidate: resp.invalidate,
                 downgrade: resp.downgrade,
+            },
+            breakdown: LatencyBreakdown {
+                occupancy,
+                network,
+                memory: total.saturating_sub(occupancy + network),
             },
         }
     }
@@ -336,6 +394,8 @@ impl Numa {
             case: ProtocolCase::WritebackCase,
             exclusive: false,
             actions: CoherenceActions::none(),
+            // Writebacks never stall the processor; nothing is charged.
+            breakdown: LatencyBreakdown::default(),
         }
     }
 }

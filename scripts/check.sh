@@ -42,4 +42,12 @@ echo "== chaos smoke (fault-injection survival) =="
 # panics or the sweep hangs past the watchdog.
 cargo run --release -q -p flashsim-bench --bin chaos
 
+echo "== profile smoke (cycle-accounting conservation) =="
+# GoldenMachine + one simulator over FFT with the accounting profiler
+# attached; the binary itself verifies conservation (per-node per-class
+# sums equal total cycles on both platforms) and that the attribution's
+# per-class contributions sum to the total relative error, exiting
+# nonzero on any violation.
+cargo run --release -q -p flashsim-bench --bin profile
+
 echo "== all checks passed =="
