@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! simspeed [--app snbench|fft|radix|lu|ocean] [--threads N] [--iters N] [--full]
+//!          [--json PATH] [--baseline PATH] [--tolerance FRAC]
 //! ```
 //!
 //! Each platform runs `N` times (default 3) and the best run is reported,
@@ -15,7 +16,15 @@
 //! models; the paper's §2.3 "Mipsy runs 4–5× faster than MXS" claim is
 //! about instruction processing, so check it with a compute kernel,
 //! e.g. `--app fft`.
+//!
+//! `--json PATH` writes the per-platform numbers as a
+//! `flashsim-simspeed-v1` document. `--baseline PATH` compares the fresh
+//! measurement against a previously saved report and exits nonzero if
+//! any platform fell more than `--tolerance` (default 0.30 = 30 %) below
+//! its baseline events/sec — the perf-regression gate used by
+//! `scripts/check.sh`.
 
+use flashsim_bench::speed::{PlatformSpeed, SpeedReport};
 use flashsim_bench::{header, setup_from_args};
 use flashsim_core::platform::{MemModel, Sim, Study};
 use flashsim_engine::{CategoryMask, Tracer};
@@ -46,11 +55,21 @@ fn best_run(
                 .manifest
         })
         .max_by(|a, b| {
-            a.events_per_sec
-                .partial_cmp(&b.events_per_sec)
-                .expect("throughput is finite")
+            // A degenerate run (zero-op workload, clock glitch) reports
+            // NaN throughput; rank it below every finite run instead of
+            // panicking mid-benchmark.
+            finite_or_worst(a.events_per_sec).total_cmp(&finite_or_worst(b.events_per_sec))
         })
         .expect("at least one iteration")
+}
+
+/// Maps non-finite throughput to -inf so `total_cmp` ranks it last.
+fn finite_or_worst(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::NEG_INFINITY
+    }
 }
 
 fn report(name: &str, m: &RunManifest) {
@@ -61,6 +80,33 @@ fn report(name: &str, m: &RunManifest) {
 }
 
 fn main() {
+    // `--validate PATH` parses a previously written report and exits:
+    // schema validation for CI without re-running the benchmark.
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = raw_args.iter().position(|a| a == "--validate") {
+        let path = raw_args
+            .get(i + 1)
+            .expect("--validate takes a file path")
+            .clone();
+        let text = std::fs::read_to_string(&path).expect("read --validate file");
+        match SpeedReport::parse(&text) {
+            Ok(r) => {
+                println!(
+                    "{path}: valid {} report ({} over {} nodes, {} platforms)",
+                    flashsim_bench::speed::SCHEMA,
+                    r.app,
+                    r.nodes,
+                    r.platforms.len()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let setup = setup_from_args();
     header("simulator speed (events/sec, simulated MIPS)", &setup);
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -122,8 +168,60 @@ fn main() {
             Box::new(move || study.sim(Sim::SimosMipsy(150), nodes, MemModel::Numa)),
         ),
     ];
+    let mut measured: Vec<PlatformSpeed> = Vec::with_capacity(platforms.len());
     for (name, cfg) in &platforms {
-        report(name, &best_run(cfg, bench, iters, None));
+        let best = best_run(cfg, bench, iters, None);
+        report(name, &best);
+        measured.push(PlatformSpeed {
+            label: (*name).to_owned(),
+            events_per_sec: best.events_per_sec,
+            sim_mips: best.sim_mips,
+            wall_seconds: best.wall_seconds,
+        });
+    }
+    let speed_report = SpeedReport {
+        app: app.clone(),
+        nodes,
+        iters: iters as u32,
+        platforms: measured,
+    };
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, speed_report.to_json()).expect("write --json output");
+        println!();
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = flag("--baseline") {
+        let tolerance: f64 = flag("--tolerance")
+            .map(|s| s.parse().expect("--tolerance takes a fraction"))
+            .unwrap_or(0.30);
+        let text = std::fs::read_to_string(&path).expect("read --baseline file");
+        let baseline = match SpeedReport::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("baseline {path} is invalid: {e}");
+                std::process::exit(2);
+            }
+        };
+        let regressions = speed_report.regressions_vs(&baseline, tolerance);
+        println!();
+        if regressions.is_empty() {
+            println!(
+                "perf gate: all {} baseline platforms within {:.0}% of {path}",
+                baseline.platforms.len(),
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "perf gate FAILED against {path} (tolerance {:.0}%):",
+                tolerance * 100.0
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
     }
 
     println!();

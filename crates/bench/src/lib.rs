@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod speed;
 
 use flashsim_core::platform::Study;
 use flashsim_workloads::ProblemScale;

@@ -1,0 +1,568 @@
+//! The simulator-speed regression harness behind `simspeed --json`.
+//!
+//! `simspeed` can emit its per-platform throughput numbers as a small
+//! JSON document (schema `flashsim-simspeed-v1`), and compare a fresh
+//! measurement against a committed baseline with a relative tolerance.
+//! `scripts/check.sh` wires this into the offline CI gate: a hot-path
+//! "optimization" that silently costs 30 % of throughput fails the build
+//! the same way a broken test would.
+//!
+//! Everything here is hand-rolled (the workspace takes no dependencies):
+//! the emitter mirrors `RunManifest::to_json`'s conventions and the
+//! parser is a minimal recursive-descent JSON reader that doubles as the
+//! schema validator.
+
+use std::fmt::Write as _;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "flashsim-simspeed-v1";
+
+/// One platform's measured throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpeed {
+    /// Platform label as printed by `simspeed` (e.g. `"simos-mipsy-150/flashlite"`).
+    pub label: String,
+    /// Best-of-N events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Best-of-N simulated MIPS.
+    pub sim_mips: f64,
+    /// Wall seconds of the best run.
+    pub wall_seconds: f64,
+}
+
+/// A full `simspeed` measurement: the workload identity plus one entry
+/// per platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedReport {
+    /// Benchmark app name (`snbench`, `fft`, ...).
+    pub app: String,
+    /// Node count the benchmark ran over.
+    pub nodes: u32,
+    /// Iterations per platform (best run is reported).
+    pub iters: u32,
+    /// Per-platform results, in `simspeed`'s platform order.
+    pub platforms: Vec<PlatformSpeed>,
+}
+
+/// A baseline-vs-current comparison failure for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeedRegression {
+    /// Throughput dropped more than the tolerance allows.
+    Slower {
+        /// Platform label.
+        label: String,
+        /// Baseline events/sec.
+        baseline: f64,
+        /// Current events/sec.
+        current: f64,
+        /// Fractional drop, e.g. 0.42 = 42 % slower.
+        drop: f64,
+    },
+    /// The baseline has a platform the current report lacks.
+    Missing {
+        /// Platform label present in the baseline only.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for SpeedRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpeedRegression::Slower {
+                label,
+                baseline,
+                current,
+                drop,
+            } => write!(
+                f,
+                "{label}: {current:.0} events/s vs baseline {baseline:.0} ({:.1}% slower)",
+                drop * 100.0
+            ),
+            SpeedRegression::Missing { label } => {
+                write!(f, "{label}: present in baseline but not measured")
+            }
+        }
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl SpeedReport {
+    /// Renders the report as JSON (schema `flashsim-simspeed-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 128 * self.platforms.len());
+        out.push_str("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\"app\":\"");
+        flashsim_engine::trace::push_json_escaped(&mut out, &self.app);
+        let _ = write!(out, "\",\"nodes\":{},\"iters\":{}", self.nodes, self.iters);
+        out.push_str(",\"platforms\":[");
+        for (i, p) in self.platforms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":\"");
+            flashsim_engine::trace::push_json_escaped(&mut out, &p.label);
+            out.push_str("\",\"events_per_sec\":");
+            out.push_str(&num(p.events_per_sec));
+            out.push_str(",\"sim_mips\":");
+            out.push_str(&num(p.sim_mips));
+            out.push_str(",\"wall_seconds\":");
+            out.push_str(&num(p.wall_seconds));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses and validates a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: malformed JSON,
+    /// a wrong or missing `schema` tag, missing fields, or wrongly typed
+    /// values.
+    pub fn parse(text: &str) -> Result<SpeedReport, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object("top level")?;
+        let schema = obj.field("schema")?.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let app = obj.field("app")?.as_str("app")?.to_owned();
+        let nodes = obj.field("nodes")?.as_f64("nodes")? as u32;
+        let iters = obj.field("iters")?.as_f64("iters")? as u32;
+        let mut platforms = Vec::new();
+        for (i, entry) in obj
+            .field("platforms")?
+            .as_array("platforms")?
+            .iter()
+            .enumerate()
+        {
+            let p = entry.as_object(&format!("platforms[{i}]"))?;
+            platforms.push(PlatformSpeed {
+                label: p.field("label")?.as_str("label")?.to_owned(),
+                events_per_sec: p.field("events_per_sec")?.as_f64("events_per_sec")?,
+                sim_mips: p.field("sim_mips")?.as_f64("sim_mips")?,
+                wall_seconds: p.field("wall_seconds")?.as_f64("wall_seconds")?,
+            });
+        }
+        if platforms.is_empty() {
+            return Err("report has no platforms".to_owned());
+        }
+        Ok(SpeedReport {
+            app,
+            nodes,
+            iters,
+            platforms,
+        })
+    }
+
+    /// Looks up a platform entry by label.
+    pub fn platform(&self, label: &str) -> Option<&PlatformSpeed> {
+        self.platforms.iter().find(|p| p.label == label)
+    }
+
+    /// Compares `self` (the current measurement) against `baseline`:
+    /// every baseline platform must reach at least `(1 - tolerance)` of
+    /// its baseline events/sec. Platforms newly added since the baseline
+    /// pass trivially; platforms that disappeared are reported. A
+    /// non-finite or zero baseline entry cannot regress (nothing to
+    /// compare against).
+    pub fn regressions_vs(&self, baseline: &SpeedReport, tolerance: f64) -> Vec<SpeedRegression> {
+        let mut out = Vec::new();
+        for b in &baseline.platforms {
+            let Some(cur) = self.platform(&b.label) else {
+                out.push(SpeedRegression::Missing {
+                    label: b.label.clone(),
+                });
+                continue;
+            };
+            if !(b.events_per_sec.is_finite() && b.events_per_sec > 0.0) {
+                continue;
+            }
+            let floor = b.events_per_sec * (1.0 - tolerance);
+            let current = if cur.events_per_sec.is_finite() {
+                cur.events_per_sec
+            } else {
+                0.0
+            };
+            if current < floor {
+                out.push(SpeedRegression::Slower {
+                    label: b.label.clone(),
+                    baseline: b.events_per_sec,
+                    current,
+                    drop: 1.0 - current / b.events_per_sec,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A minimal JSON value, just enough to validate and read the report.
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parsed JSON object (key/value pairs in document order).
+struct Obj<'a>(&'a [(String, Json)]);
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self, what: &str) -> Result<Obj<'_>, String> {
+        match self {
+            Json::Obj(pairs) => Ok(Obj(pairs)),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+}
+
+impl Obj<'_> {
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => self.eat_word("null").map(|()| Json::Null),
+            Some(b't') => self.eat_word("true").map(|()| Json::Bool),
+            Some(b'f') => self.eat_word("false").map(|()| Json::Bool),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpeedReport {
+        SpeedReport {
+            app: "snbench".to_owned(),
+            nodes: 4,
+            iters: 10,
+            platforms: vec![
+                PlatformSpeed {
+                    label: "hardware (r10000/irix)".to_owned(),
+                    events_per_sec: 4.0e6,
+                    sim_mips: 4.0,
+                    wall_seconds: 0.004,
+                },
+                PlatformSpeed {
+                    label: "simos-mipsy-150/flashlite".to_owned(),
+                    events_per_sec: 4.5e6,
+                    sim_mips: 4.5,
+                    wall_seconds: 0.0036,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let r = sample();
+        let parsed = SpeedReport::parse(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_garbage() {
+        let pretty = "{\n  \"schema\": \"flashsim-simspeed-v1\",\n  \"app\": \"x\",\n  \
+                      \"nodes\": 1, \"iters\": 2,\n  \"platforms\": [ {\"label\": \"p\", \
+                      \"events_per_sec\": 1e6, \"sim_mips\": 1.5, \"wall_seconds\": 0.01} ]\n}\n";
+        let r = SpeedReport::parse(pretty).expect("whitespace is fine");
+        assert_eq!(r.platforms[0].events_per_sec, 1e6);
+        assert!(SpeedReport::parse("not json").is_err());
+        assert!(SpeedReport::parse("{\"schema\":\"flashsim-simspeed-v1\"}").is_err());
+        assert!(SpeedReport::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let bad = sample().to_json().replace(SCHEMA, "simspeed-v0");
+        let err = SpeedReport::parse(&bad).expect_err("schema mismatch");
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn wrongly_typed_field_is_rejected() {
+        let bad = sample().to_json().replace("\"nodes\":4", "\"nodes\":\"4\"");
+        let err = SpeedReport::parse(&bad).expect_err("type mismatch");
+        assert!(err.contains("nodes"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null_and_fail_typed_parse() {
+        let mut r = sample();
+        r.platforms[0].events_per_sec = f64::NAN;
+        let json = r.to_json();
+        assert!(json.contains("\"events_per_sec\":null"));
+        // null is not a number: a baseline written from a failed run
+        // must not silently validate.
+        assert!(SpeedReport::parse(&json).is_err());
+    }
+
+    #[test]
+    fn regression_detection_with_tolerance() {
+        let base = sample();
+        let mut cur = sample();
+        // 10% slower on one platform: inside a 30% tolerance, outside 5%.
+        cur.platforms[0].events_per_sec = 3.6e6;
+        assert!(cur.regressions_vs(&base, 0.30).is_empty());
+        let regs = cur.regressions_vs(&base, 0.05);
+        assert_eq!(regs.len(), 1);
+        match &regs[0] {
+            SpeedRegression::Slower { label, drop, .. } => {
+                assert!(label.starts_with("hardware"));
+                assert!((drop - 0.10).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(format!("{}", regs[0]).contains("slower"));
+    }
+
+    #[test]
+    fn missing_platform_is_a_regression_and_new_platform_is_not() {
+        let base = sample();
+        let mut cur = sample();
+        cur.platforms.remove(1);
+        cur.platforms.push(PlatformSpeed {
+            label: "brand-new".to_owned(),
+            events_per_sec: 1.0,
+            sim_mips: 0.1,
+            wall_seconds: 9.9,
+        });
+        let regs = cur.regressions_vs(&base, 0.30);
+        assert_eq!(regs.len(), 1);
+        assert!(matches!(&regs[0], SpeedRegression::Missing { label } if label.contains("mipsy")));
+        assert!(format!("{}", regs[0]).contains("not measured"));
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let base = sample();
+        let mut cur = sample();
+        for p in &mut cur.platforms {
+            p.events_per_sec *= 3.0;
+        }
+        assert!(cur.regressions_vs(&base, 0.0).is_empty());
+    }
+}

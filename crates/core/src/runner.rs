@@ -206,26 +206,64 @@ pub fn speedup(t1: TimeDelta, tp: TimeDelta) -> f64 {
     t1.as_ns_f64() / tp.as_ns_f64()
 }
 
-/// Runs independent jobs on OS threads and collects results in order.
+/// Runs independent jobs on a bounded pool of OS threads and collects
+/// results in input order.
 ///
-/// Each job builds and runs its own machine, so the matrix of
-/// (platform × workload × node count) experiments uses all host cores.
+/// The pool is sized `min(available_parallelism, jobs)` — a large
+/// experiment matrix no longer spawns one thread per cell (hundreds of
+/// simultaneous machines oversubscribed the host and ballooned peak
+/// memory); excess jobs queue and are claimed by whichever worker frees
+/// up first. With one usable core the jobs run inline on the caller's
+/// thread. Results are reassembled by index, so ordering is independent
+/// of which worker finished when.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (task_tx, task_rx) = std::sync::mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        task_tx.send(pair).expect("task queue has a live receiver");
+    }
+    drop(task_tx);
+    let task_rx = std::sync::Mutex::new(task_rx);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| scope.spawn(|| f(item)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("job panicked"))
-            .collect()
-    })
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, R)>();
+        for _ in 0..workers {
+            let res_tx = res_tx.clone();
+            let task_rx = &task_rx;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Hold the lock only for the dequeue, not while running f.
+                let task = task_rx.lock().expect("task queue lock poisoned").recv();
+                match task {
+                    Ok((idx, item)) => {
+                        if res_tx.send((idx, f(item))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // queue drained and closed
+                }
+            });
+        }
+        drop(res_tx);
+        for (idx, r) in res_rx {
+            out[idx] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every job sends exactly one result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -313,6 +351,45 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..32).collect(), |x: i32| x * x);
         assert_eq!(out, (0..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_many_more_jobs_than_cores() {
+        // Far more jobs than any host has cores: the bounded pool must
+        // queue them rather than spawning 4096 threads, and still return
+        // every result in order.
+        let out = parallel_map((0..4096).collect(), |x: u64| x + 1);
+        assert_eq!(out.len(), 4096);
+        assert!(out.iter().enumerate().all(|(i, &r)| r == i as u64 + 1));
+    }
+
+    #[test]
+    fn parallel_map_bounds_concurrent_jobs_to_host_parallelism() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let cap = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        parallel_map((0..64).collect(), |_: i32| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= cap,
+            "peak {} exceeded host parallelism {}",
+            peak.load(Ordering::SeqCst),
+            cap
+        );
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<i32> = parallel_map(Vec::new(), |x: i32| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], |x: i32| x * 2), vec![14]);
     }
 
     #[test]

@@ -143,4 +143,64 @@ mod tests {
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
     }
+
+    #[test]
+    fn interleaved_push_pop_reuses_slots_without_mixing_payloads() {
+        // The free-list fast path under a realistic pattern: pushes and
+        // pops interleave, so freed slots are re-filled while other
+        // events are still live. Slot reuse must never hand one event
+        // another event's payload, and the slot table must stay bounded
+        // by the peak number of simultaneously pending events.
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        let mut next_id = 0u64;
+        for wave in 0..50u64 {
+            // Push 3, pop 2: queue depth grows slowly while slots churn.
+            for _ in 0..3 {
+                q.push(Time::from_ns(1000 - wave * 7 % 100 + next_id), next_id);
+                expected.push((1000 - wave * 7 % 100 + next_id, next_id));
+                next_id += 1;
+            }
+            for _ in 0..2 {
+                let (at, id) = q.pop().expect("queue is non-empty");
+                // Remove the earliest (time, id) the model expects; FIFO
+                // tie-break means equal times pop in insertion order.
+                expected.sort_by_key(|&(t, i)| (t, i));
+                let (et, eid) = expected.remove(0);
+                assert_eq!((at.as_ns(), id), (et, eid), "payload crossed slots");
+            }
+        }
+        assert_eq!(q.len(), 50);
+        // Peak pending was 50 + 1 transient; the slot table must not have
+        // grown past the peak (i.e. freed slots really were reused).
+        assert!(
+            q.payloads.len() <= 52,
+            "slot table grew to {} for 50 pending events",
+            q.payloads.len()
+        );
+        // Drain fully; everything left must still match the model.
+        expected.sort_by_key(|&(t, i)| (t, i));
+        for (et, eid) in expected {
+            let (at, id) = q.pop().expect("still pending");
+            assert_eq!((at.as_ns(), id), (et, eid));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_and_refill_cycles_keep_slot_table_bounded() {
+        // Fill-drain-fill: after a full drain every slot is on the free
+        // list, and the next burst must reuse all of them.
+        let mut q = EventQueue::new();
+        for cycle in 0..4u64 {
+            for i in 0..16u64 {
+                q.push(Time::from_ns(cycle * 100 + i), (cycle, i));
+            }
+            for i in 0..16u64 {
+                assert_eq!(q.pop(), Some((Time::from_ns(cycle * 100 + i), (cycle, i))));
+            }
+            assert!(q.is_empty());
+            assert_eq!(q.payloads.len(), 16, "cycle {cycle} leaked slots");
+        }
+    }
 }

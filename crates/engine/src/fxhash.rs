@@ -1,0 +1,141 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! The std `HashMap` default (SipHash with per-process random keys) costs
+//! tens of nanoseconds per lookup and shows up prominently in profiles:
+//! the page table, the TLB, a directory header map, and the pending-fill
+//! map are all probed on (nearly) every memory operation. None of those
+//! maps needs DoS resistance — the keys are simulated addresses, not
+//! attacker-controlled input — so they use this multiplicative hasher
+//! (the Firefox/rustc "Fx" scheme) instead: one rotate, one xor, and one
+//! multiply per word.
+//!
+//! Determinism note: the hash function is fixed (no random seed), so map
+//! *iteration order* is stable across runs of the same binary. The
+//! simulator still must not depend on iteration order for any
+//! schedule-visible decision — bit-identical results across *builds* are
+//! part of the workspace contract — so the rule remains: hot maps are
+//! only probed point-wise, or iterated where the selection key is
+//! provably unique (e.g. the TLB's strictly monotonic LRU ticks).
+
+use core::hash::{BuildHasherDefault, Hasher};
+use std::collections::HashMap;
+
+/// Multiplier from the Fx scheme: a 64-bit constant with good bit
+/// dispersion under wrapping multiplication.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A word-at-a-time multiplicative hasher (not cryptographic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// The `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]. Drop-in for `std::collections::
+/// HashMap` wherever the map is hot and its keys are simulator-internal.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl FnOnce(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_of(|h| h.write_u64(0xdead_beef));
+        let b = hash_of(|h| h.write_u64(0xdead_beef));
+        assert_eq!(a, b);
+        assert_ne!(a, hash_of(|h| h.write_u64(0xdead_bef0)));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_only_in_length() {
+        // write() must consume arbitrary lengths without panicking and
+        // distinguish different inputs.
+        let a = hash_of(|h| h.write(b"abc"));
+        let b = hash_of(|h| h.write(b"abd"));
+        let c = hash_of(|h| h.write(b"abcdefghij"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn map_works_as_a_drop_in() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&k), Some(&(k * 3)));
+        }
+        assert_eq!(m.remove(&500), Some(1500));
+        assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Sequential line addresses are the common key pattern; make sure
+        // they don't collapse onto a few buckets' worth of high bits.
+        let mut top7 = std::collections::HashSet::new();
+        for k in 0..128u64 {
+            top7.insert(hash_of(|h| h.write_u64(k * 64)) >> 57);
+        }
+        assert!(top7.len() > 32, "only {} distinct top-bytes", top7.len());
+    }
+}

@@ -13,6 +13,8 @@
 //!   protocol processor, memory banks, network links, and the R10000
 //!   secondary-cache interface,
 //! - [`event`]: a deterministic time-ordered event queue,
+//! - [`sched`]: an indexed min-heap over node clocks for laggard-first
+//!   scheduling with a linear-scan-identical tie-break,
 //! - [`rng`]: a pinned, reproducible PRNG for workload data and hardware
 //!   run-to-run jitter,
 //! - [`stats`]: counters, histograms, and labelled stat sets,
@@ -49,8 +51,10 @@
 pub mod account;
 pub mod event;
 pub mod fault;
+pub mod fxhash;
 pub mod resource;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -58,8 +62,10 @@ pub mod trace;
 pub use account::{Accounting, NodeAccount, Profiler, StallClass};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan, MessageFate};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
+pub use sched::LaggardHeap;
 pub use stats::{Counter, Histogram, StatSet};
 pub use time::{Clock, Time, TimeDelta};
 pub use trace::{CategoryMask, Trace, TraceCategory, TraceEvent, Tracer};

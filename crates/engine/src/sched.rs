@@ -1,0 +1,292 @@
+//! Laggard selection for conservative multiprocessor scheduling.
+//!
+//! The machine driver repeatedly asks "which node has the smallest local
+//! clock?" — once per scheduling quantum. A linear scan makes that O(nodes)
+//! per decision; [`LaggardHeap`] is an indexed binary min-heap over node
+//! clocks, giving O(log nodes) updates and O(1) access to both the laggard
+//! and the runner-up (the runner-up bounds how far the laggard may run
+//! before a rescheduling decision is due).
+//!
+//! Ordering is lexicographic on `(clock, node index)`, which reproduces the
+//! tie-break of a first-minimum linear scan exactly: among nodes at equal
+//! clocks, the lowest-numbered node wins. This is what makes a heap-driven
+//! schedule bit-identical to the historical `min_by_key` scan.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_engine::sched::LaggardHeap;
+//! use flashsim_engine::time::Time;
+//!
+//! let mut h = LaggardHeap::new(3);
+//! h.insert(0, Time::from_ns(30));
+//! h.insert(1, Time::from_ns(10));
+//! h.insert(2, Time::from_ns(10));
+//! // Node 1 wins the tie with node 2 (lower index), and the runner-up
+//! // after popping it is node 2.
+//! assert_eq!(h.pop(), Some((1, Time::from_ns(10))));
+//! assert_eq!(h.peek(), Some((2, Time::from_ns(10))));
+//! ```
+
+use crate::time::Time;
+
+/// Sentinel position for "not in the heap".
+const ABSENT: usize = usize::MAX;
+
+/// An indexed binary min-heap of `(clock, node)` keys over a fixed set of
+/// node ids `0..n`, with `(Time, node index)` lexicographic ordering.
+///
+/// "Indexed" means the heap tracks each node's position, so a node's key
+/// can be updated or the node removed in O(log n) without scanning.
+#[derive(Debug, Clone)]
+pub struct LaggardHeap {
+    /// Heap-ordered node ids.
+    heap: Vec<u32>,
+    /// Node id → position in `heap`, or [`ABSENT`].
+    pos: Vec<usize>,
+    /// Node id → clock key (valid only while the node is present).
+    key: Vec<Time>,
+}
+
+impl LaggardHeap {
+    /// Creates an empty heap for node ids `0..n`.
+    pub fn new(n: usize) -> LaggardHeap {
+        LaggardHeap {
+            heap: Vec::with_capacity(n),
+            pos: vec![ABSENT; n],
+            key: vec![Time::ZERO; n],
+        }
+    }
+
+    /// Number of nodes currently in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no node is in the heap.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True if `node` is currently in the heap.
+    pub fn contains(&self, node: u32) -> bool {
+        self.pos[node as usize] != ABSENT
+    }
+
+    /// Removes every node.
+    pub fn clear(&mut self) {
+        for &n in &self.heap {
+            self.pos[n as usize] = ABSENT;
+        }
+        self.heap.clear();
+    }
+
+    /// True if key of node `a` orders before key of node `b`.
+    fn before(&self, a: u32, b: u32) -> bool {
+        (self.key[a as usize], a) < (self.key[b as usize], b)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.before(self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let mut best = l;
+            if r < self.heap.len() && self.before(self.heap[r], self.heap[l]) {
+                best = r;
+            }
+            if self.before(self.heap[best], self.heap[i]) {
+                self.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+
+    /// Inserts `node` with clock `t`, or updates its key if present.
+    pub fn insert(&mut self, node: u32, t: Time) {
+        let i = self.pos[node as usize];
+        self.key[node as usize] = t;
+        if i == ABSENT {
+            let at = self.heap.len();
+            self.heap.push(node);
+            self.pos[node as usize] = at;
+            self.sift_up(at);
+        } else {
+            // Key changed in place: restore heap order in whichever
+            // direction the new key violates it.
+            self.sift_up(i);
+            self.sift_down(self.pos[node as usize]);
+        }
+    }
+
+    /// Removes `node` if present.
+    pub fn remove(&mut self, node: u32) {
+        let i = self.pos[node as usize];
+        if i == ABSENT {
+            return;
+        }
+        let last = self.heap.len() - 1;
+        self.swap(i, last);
+        self.heap.pop();
+        self.pos[node as usize] = ABSENT;
+        if i < self.heap.len() {
+            let moved = self.heap[i];
+            self.sift_up(i);
+            self.sift_down(self.pos[moved as usize]);
+        }
+    }
+
+    /// The laggard — smallest `(clock, node)` — without removing it.
+    pub fn peek(&self) -> Option<(u32, Time)> {
+        self.heap.first().map(|&n| (n, self.key[n as usize]))
+    }
+
+    /// Removes and returns the laggard.
+    pub fn pop(&mut self) -> Option<(u32, Time)> {
+        let &n = self.heap.first()?;
+        self.remove(n);
+        Some((n, self.key[n as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(t: u64) -> Time {
+        Time::from_ns(t)
+    }
+
+    #[test]
+    fn pops_in_clock_order() {
+        let mut h = LaggardHeap::new(5);
+        for (n, t) in [(0, 50), (1, 10), (2, 40), (3, 20), (4, 30)] {
+            h.insert(n, ns(t));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(n, _)| n)).collect();
+        assert_eq!(order, vec![1, 3, 4, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn equal_clocks_break_ties_by_lowest_node() {
+        let mut h = LaggardHeap::new(4);
+        for n in [3, 1, 2, 0] {
+            h.insert(n, ns(7));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(n, _)| n)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "linear-scan tie-break order");
+    }
+
+    #[test]
+    fn update_moves_node_both_directions() {
+        let mut h = LaggardHeap::new(3);
+        h.insert(0, ns(10));
+        h.insert(1, ns(20));
+        h.insert(2, ns(30));
+        h.insert(0, ns(40)); // was the min, now the max
+        assert_eq!(h.peek(), Some((1, ns(20))));
+        h.insert(2, ns(5)); // was the max, now the min
+        assert_eq!(h.peek(), Some((2, ns(5))));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn remove_arbitrary_node_keeps_order() {
+        let mut h = LaggardHeap::new(6);
+        for (n, t) in [(0, 60), (1, 10), (2, 50), (3, 20), (4, 40), (5, 30)] {
+            h.insert(n, ns(t));
+        }
+        h.remove(3);
+        h.remove(0);
+        h.remove(3); // double-remove is a no-op
+        assert!(!h.contains(3));
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(n, _)| n)).collect();
+        assert_eq!(order, vec![1, 5, 4, 2]);
+    }
+
+    #[test]
+    fn peek_after_pop_exposes_the_runner_up() {
+        let mut h = LaggardHeap::new(3);
+        h.insert(0, ns(15));
+        h.insert(1, ns(10));
+        h.insert(2, ns(20));
+        assert_eq!(h.pop(), Some((1, ns(10))));
+        assert_eq!(h.peek(), Some((0, ns(15))));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut h = LaggardHeap::new(4);
+        for n in 0..4 {
+            h.insert(n, ns(u64::from(n)));
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(0));
+        h.insert(2, ns(1));
+        assert_eq!(h.pop(), Some((2, ns(1))));
+    }
+
+    #[test]
+    fn matches_linear_scan_reference_on_random_churn() {
+        // Mirror of the machine driver's usage pattern: insert/update/pop
+        // under a seeded churn, checked against a naive scan.
+        let mut rng = crate::Rng::seeded(0x5EED_CAFE);
+        let n = 9u32;
+        let mut h = LaggardHeap::new(n as usize);
+        let mut model: Vec<Option<Time>> = vec![None; n as usize];
+        for _ in 0..4000 {
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    let node = (rng.gen_range(u64::from(n))) as u32;
+                    let t = ns(rng.gen_range(64));
+                    h.insert(node, t);
+                    model[node as usize] = Some(t);
+                }
+                2 => {
+                    let node = (rng.gen_range(u64::from(n))) as u32;
+                    h.remove(node);
+                    model[node as usize] = None;
+                }
+                _ => {
+                    let want = model
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, t)| t.map(|t| (t, i as u32)))
+                        .min()
+                        .map(|(t, i)| (i, t));
+                    assert_eq!(h.peek(), want);
+                    assert_eq!(h.pop(), want);
+                    if let Some((i, _)) = want {
+                        model[i as usize] = None;
+                    }
+                }
+            }
+            assert_eq!(h.len(), model.iter().flatten().count());
+        }
+    }
+}

@@ -560,6 +560,14 @@ impl MemorySystem for FlashLite {
     fn model_name(&self) -> &'static str {
         "flashlite"
     }
+
+    fn min_shared_latency(&self) -> TimeDelta {
+        // Every demand path charges miss detection, the requester MAGIC's
+        // PI handler, and at least the local directory handler before any
+        // reply can exist; occupancy waits only lengthen it.
+        let p = &self.params;
+        p.proc_miss_detect + p.pp(p.pp_pi_request + p.pp_dir_local)
+    }
 }
 
 #[cfg(test)]

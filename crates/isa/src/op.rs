@@ -136,6 +136,14 @@ impl OpClass {
     pub const fn is_fp(self) -> bool {
         matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
     }
+
+    /// True for classes that touch only node-private state — compute and
+    /// branches. Local ops never reach the memory system, the sync layer,
+    /// or the fault injector, so a node may execute a run of them without
+    /// a scheduling decision and every shared timeline stays untouched.
+    pub const fn is_local(self) -> bool {
+        !self.is_memory() && !self.is_sync()
+    }
 }
 
 impl fmt::Display for OpClass {
@@ -336,6 +344,10 @@ mod tests {
         assert!(!OpClass::Store.is_sync());
         assert!(OpClass::FpDiv.is_fp());
         assert!(!OpClass::IntDiv.is_fp());
+        assert!(OpClass::IntAlu.is_local());
+        assert!(OpClass::Branch.is_local());
+        assert!(!OpClass::Load.is_local());
+        assert!(!OpClass::Barrier.is_local());
     }
 
     #[test]

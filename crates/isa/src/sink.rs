@@ -30,7 +30,6 @@
 //! ```
 
 use crate::op::{Op, OpClass, Reg, VAddr};
-use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
@@ -227,7 +226,8 @@ impl Sink {
 #[derive(Debug)]
 pub struct ThreadStream {
     rx: Option<Receiver<Vec<Op>>>,
-    current: VecDeque<Op>,
+    chunk: Vec<Op>,
+    cursor: usize,
     handle: Option<JoinHandle<()>>,
     consumed: u64,
 }
@@ -235,21 +235,44 @@ pub struct ThreadStream {
 impl ThreadStream {
     /// Pulls the next op, or `None` when the kernel has finished.
     pub fn next_op(&mut self) -> Option<Op> {
-        loop {
-            if let Some(op) = self.current.pop_front() {
-                self.consumed += 1;
-                return Some(op);
-            }
+        let op = *self.peek_op()?;
+        self.cursor += 1;
+        self.consumed += 1;
+        Some(op)
+    }
+
+    /// The next op without consuming it, or `None` when the kernel has
+    /// finished. Refills the cursor chunk from the channel as needed, so a
+    /// peek followed by [`next_op`](ThreadStream::next_op) (or
+    /// [`advance`](ThreadStream::advance)) is the hot path: the second call
+    /// is a bounds-checked slice index, no channel traffic.
+    pub fn peek_op(&mut self) -> Option<&Op> {
+        while self.cursor >= self.chunk.len() {
             let rx = self.rx.as_ref()?;
             match rx.recv() {
-                Ok(chunk) => self.current = VecDeque::from(chunk),
+                Ok(chunk) => {
+                    self.chunk = chunk;
+                    self.cursor = 0;
+                }
                 Err(_) => {
                     self.rx = None;
+                    self.chunk = Vec::new();
+                    self.cursor = 0;
                     self.join_generator();
                     return None;
                 }
             }
         }
+        Some(&self.chunk[self.cursor])
+    }
+
+    /// Consumes the op most recently returned by
+    /// [`peek_op`](ThreadStream::peek_op). Must only be called while a
+    /// peeked op is pending; debug builds assert this.
+    pub fn advance(&mut self) {
+        debug_assert!(self.cursor < self.chunk.len(), "advance without a peek");
+        self.cursor += 1;
+        self.consumed += 1;
     }
 
     /// Ops consumed so far.
@@ -282,7 +305,8 @@ impl Drop for ThreadStream {
         // Detach the channel first so a still-running generator unblocks,
         // notices the dead sink, and finishes quickly.
         self.rx = None;
-        self.current.clear();
+        self.chunk.clear();
+        self.cursor = 0;
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -309,7 +333,8 @@ where
         .expect("spawning an op-generator thread");
     ThreadStream {
         rx: Some(rx),
-        current: VecDeque::new(),
+        chunk: Vec::new(),
+        cursor: 0,
         handle: Some(handle),
         consumed: 0,
     }
@@ -400,6 +425,58 @@ mod tests {
             panic!("kernel boom");
         });
         while s.next_op().is_some() {}
+    }
+
+    #[test]
+    fn peek_then_advance_matches_next_op_across_chunk_boundaries() {
+        // Spans several CHUNK_OPS boundaries so the cursor refill path and
+        // the in-chunk fast path both get exercised.
+        let total = (CHUNK_OPS * 3 + 17) as u64;
+        let mut s = spawn_stream(move |sink| {
+            for i in 0..total {
+                sink.load(VAddr(i * 8));
+            }
+        });
+        let mut n = 0u64;
+        while let Some(&peeked) = s.peek_op() {
+            // Peeking again is idempotent and consumes nothing.
+            assert_eq!(s.peek_op(), Some(&peeked));
+            assert_eq!(s.consumed(), n);
+            if n.is_multiple_of(2) {
+                s.advance();
+            } else {
+                assert_eq!(s.next_op(), Some(peeked));
+            }
+            assert_eq!(peeked.addr, VAddr(n * 8));
+            n += 1;
+        }
+        assert_eq!(n, total);
+        assert_eq!(s.consumed(), total);
+        assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn empty_generator_yields_no_ops() {
+        let mut s = spawn_stream(|_sink| {});
+        assert_eq!(s.peek_op(), None);
+        assert_eq!(s.next_op(), None);
+        // Repeated polls after exhaustion stay None and don't panic.
+        assert_eq!(s.peek_op(), None);
+        assert_eq!(s.consumed(), 0);
+    }
+
+    #[test]
+    fn exact_chunk_multiple_ends_cleanly() {
+        let total = (CHUNK_OPS * 2) as u64;
+        let mut s = spawn_stream(move |sink| {
+            sink.alu(total);
+        });
+        let mut n = 0u64;
+        while s.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, total);
+        assert_eq!(s.peek_op(), None);
     }
 
     #[test]

@@ -184,6 +184,24 @@ impl MachineGeometry {
     }
 }
 
+/// How the machine driver schedules node execution.
+///
+/// Both policies produce bit-identical results — `tests/sched_equivalence.rs`
+/// asserts it on every platform. `Reference` exists as the oracle for that
+/// proof and for debugging; `Batched` is the production hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Conservative lookahead batching over a laggard min-heap: the
+    /// trailing node executes a run of ops per scheduling decision
+    /// (bounded by shared-resource touches and the runner-up's clock plus
+    /// the memory model's minimum shared-interaction latency).
+    #[default]
+    Batched,
+    /// The historical one-op-per-decision schedule (`quantum = 1`,
+    /// linear `min_by_key` laggard scan).
+    Reference,
+}
+
 /// A complete machine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -207,6 +225,8 @@ pub struct MachineConfig {
     pub watchdog: Watchdog,
     /// Fault plan injected into the run (default: none).
     pub faults: Option<FaultPlan>,
+    /// Scheduling policy (default: lookahead-batched).
+    pub sched: SchedPolicy,
 }
 
 impl MachineConfig {
@@ -230,6 +250,7 @@ impl MachineConfig {
             barrier_per_node: TimeDelta::from_ns(300),
             watchdog: Watchdog::default(),
             faults: None,
+            sched: SchedPolicy::default(),
         }
     }
 

@@ -50,7 +50,7 @@ pub mod config;
 pub mod error;
 pub mod machine;
 
-pub use config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind};
+pub use config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind, SchedPolicy};
 pub use error::{NodeSnapshot, NodeState, SimError, Watchdog};
 pub use machine::{run_program, Machine, MachineError, RunManifest, RunResult};
 

@@ -8,6 +8,19 @@
 //! shared occupancy timelines (MAGIC, banks, links) causally consistent
 //! across nodes.
 //!
+//! Two scheduling policies implement that discipline (see
+//! [`SchedPolicy`]): the `Reference` policy re-derives the laggard by
+//! linear scan before every single op, while the default `Batched` policy
+//! keeps node clocks in a [`LaggardHeap`] and lets the popped laggard
+//! execute a *run* of ops per decision — ending the run before any op
+//! that touches shared state unless the node is still the strict schedule
+//! winner, and bounding private-op overrun by the runner-up's clock plus
+//! the memory model's minimum shared-interaction latency (conservative
+//! lookahead). Every shared interaction therefore happens in exactly the
+//! order the reference policy would produce, and the two policies are
+//! bit-identical in stats, accounting, and times (asserted by
+//! `tests/sched_equivalence.rs`; DESIGN.md details the argument).
+//!
 //! Synchronization is handled here, not in the cores: barriers collect all
 //! nodes and release them together (with a size-dependent overhead), and
 //! locks serialize holders, with every hand-off performing a *real*
@@ -15,11 +28,12 @@
 //! and barrier costs scale with the memory system being simulated, as on
 //! the real machine.
 
-use crate::config::{MachineConfig, MemSysKind};
+use crate::config::{MachineConfig, MemSysKind, SchedPolicy};
 use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
+use flashsim_engine::fxhash::FxHashMap;
 use flashsim_engine::{
-    Accounting, Clock, FaultInjector, Profiler, StallClass, StatSet, Time, TimeDelta,
+    Accounting, Clock, FaultInjector, LaggardHeap, Profiler, StallClass, StatSet, Time, TimeDelta,
     TraceCategory, Tracer,
 };
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
@@ -30,13 +44,6 @@ use flashsim_mem::{
 use flashsim_os::TlbModel;
 use std::collections::HashMap;
 use std::fmt;
-
-/// Ops executed per scheduling quantum before re-evaluating which node is
-/// the laggard. One op per quantum keeps the nodes' local clocks as close
-/// as the model allows, which matters: shared occupancy timelines (MAGIC,
-/// links) amplify clock skew into phantom queueing if a node is allowed
-/// to run far ahead between scheduling decisions.
-const QUANTUM_OPS: usize = 1;
 
 /// Error constructing or running a machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +82,9 @@ struct NodeMem {
     /// The breakdown of the originating transaction rides along so an
     /// exposed wait (e.g. a demand load catching up to its prefetch) can
     /// be attributed to the same stall classes pro rata.
-    pending: HashMap<LineAddr, (Time, LatencyBreakdown)>,
+    // Checked on every memory reference; point lookups only (never
+    // iterated), so the fast fixed-seed hasher is behaviour-neutral.
+    pending: FxHashMap<LineAddr, (Time, LatencyBreakdown)>,
     page_faults: u64,
     tlb_refills: u64,
     next_tick: Time,
@@ -89,6 +98,20 @@ enum NodeStatus {
     /// Halted by stalled-node fault injection; never scheduled again.
     Stalled,
     Done,
+}
+
+/// Why a batched run of ops on one node ended (see
+/// [`Machine::run_batch`]). Budget exhaustion and program faults surface
+/// as errors instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchEnd {
+    /// The node is still runnable but no longer the schedule winner.
+    Reschedule,
+    /// The node hit a sync op (executed by the caller's arm): barrier or
+    /// lock state changed, possibly waking other nodes.
+    Sync,
+    /// The node left the Running set (stream end or injected stall).
+    Parked,
 }
 
 #[derive(Debug, Default)]
@@ -345,8 +368,25 @@ impl MemEnv for MachineEnv<'_> {
         // core-internal stalls the core models charge themselves.
         let demand_read = kind == MemAccessKind::Read;
 
-        let line = self.mems[self.node].hier.l2_line(paddr);
         let probe = self.mems[self.node].hier.probe(paddr, write);
+
+        // Fast path for the overwhelmingly common case: an L1 hit with no
+        // in-flight fills to wait on and no memory tracing charges
+        // nothing and completes at `t` — skip line math, the pending-fill
+        // lookup, and trace plumbing. Bit-identical to the general path
+        // below by construction.
+        if matches!(probe, HierProbe::L1Hit)
+            && self.mems[self.node].pending.is_empty()
+            && !self.tracer.enabled(TraceCategory::Mem)
+        {
+            return Resolution {
+                done_at: t,
+                level: AccessLevel::L1,
+                tlb_refill: refill,
+            };
+        }
+
+        let line = self.mems[self.node].hier.l2_line(paddr);
 
         let (mut done_at, level) = match probe {
             HierProbe::L1Hit => (t, AccessLevel::L1),
@@ -592,7 +632,7 @@ impl Machine {
             .map(|_| NodeMem {
                 hier: CacheHierarchy::new(cfg.geometry.l1, cfg.geometry.l2),
                 tlb: tlb_entries.map(|e| Tlb::new(e, cfg.geometry.page_bytes)),
-                pending: HashMap::new(),
+                pending: FxHashMap::default(),
                 page_faults: 0,
                 tlb_refills: 0,
                 next_tick: Time::ZERO + cfg.os.timer_interval.unwrap_or(TimeDelta::ZERO),
@@ -730,7 +770,18 @@ impl Machine {
                 0,
             );
         }
+        match self.cfg.sched {
+            SchedPolicy::Batched => self.run_batched()?,
+            SchedPolicy::Reference => self.run_reference()?,
+        }
+        Ok(self.collect_result(wall_start.elapsed().as_secs_f64()))
+    }
 
+    /// The historical schedule: one op per decision, linear laggard scan.
+    /// Kept as the oracle the batched policy is proven bit-identical
+    /// against, and as a debugging fallback.
+    fn run_reference(&mut self) -> Result<(), SimError> {
+        let nodes = self.cfg.nodes as usize;
         let inject_stalls = self.injector.is_active();
         let mut executed: u64 = 0;
         loop {
@@ -752,7 +803,7 @@ impl Machine {
                 .min_by_key(|n| self.cores[*n].now());
             let Some(n) = next else {
                 if self.status.iter().all(|s| *s == NodeStatus::Done) {
-                    break;
+                    return Ok(());
                 }
                 // A stalled node is the root cause when present: the
                 // others are merely waiting for it at barriers/locks.
@@ -771,8 +822,233 @@ impl Machine {
             executed += 1;
             self.step_node(n)?;
         }
+    }
 
-        Ok(self.collect_result(wall_start.elapsed().as_secs_f64()))
+    /// The production schedule: laggard selection through a min-heap, and
+    /// a *batch* of ops per decision under conservative lookahead.
+    ///
+    /// The heap mirrors the set of `Running` nodes keyed by their clocks,
+    /// ordered `(clock, node)` — the reference scan's tie-break. A popped
+    /// laggard runs until [`Machine::run_batch`]'s continuation rules
+    /// fail; the runner-up's key is a valid bound for the whole batch
+    /// because no other node's clock, status, or stream can change while
+    /// only the laggard executes.
+    fn run_batched(&mut self) -> Result<(), SimError> {
+        let nodes = self.cfg.nodes as usize;
+        let inject_stalls = self.injector.is_active();
+        let lookahead = self.memsys.min_shared_latency();
+        let mut executed: u64 = 0;
+        let mut heap = LaggardHeap::new(nodes);
+        for n in 0..nodes {
+            heap.insert(n as u32, self.cores[n].now());
+        }
+        loop {
+            if inject_stalls {
+                for n in 0..nodes {
+                    if self.status[n] == NodeStatus::Running
+                        && self
+                            .injector
+                            .node_stalled(n as u32, self.streams[n].consumed())
+                    {
+                        self.status[n] = NodeStatus::Stalled;
+                        heap.remove(n as u32);
+                    }
+                }
+            }
+
+            let Some((n, _)) = heap.pop() else {
+                if self.status.iter().all(|s| *s == NodeStatus::Done) {
+                    return Ok(());
+                }
+                if self.status.contains(&NodeStatus::Stalled) {
+                    return Err(self.stall_error(executed));
+                }
+                return Err(SimError::Deadlock {
+                    nodes: self.snapshots(),
+                });
+            };
+            let limit = heap.peek();
+            match self.run_batch(n as usize, limit, lookahead, &mut executed)? {
+                BatchEnd::Reschedule => heap.insert(n, self.cores[n as usize].now()),
+                // The node left the Running set (done or stalled); it
+                // re-enters the heap only via a sync-op rebuild.
+                BatchEnd::Parked => {}
+                BatchEnd::Sync => {
+                    // Sync ops can wake any set of parked nodes at new
+                    // clocks (barrier release, lock hand-off) or park the
+                    // executor; rebuild the heap from the Running set.
+                    heap.clear();
+                    for m in 0..nodes {
+                        if self.status[m] == NodeStatus::Running {
+                            heap.insert(m as u32, self.cores[m].now());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes a run of ops on node `n` — the popped laggard — until a
+    /// continuation rule fails. `limit` is the runner-up's `(node, clock)`
+    /// heap key, or `None` when no other node is runnable (then nothing
+    /// can contest the schedule and the batch runs to a sync op, stream
+    /// end, stall, fault, or budget exhaustion).
+    ///
+    /// Per-op admission reproduces the reference loop's decision order
+    /// exactly: (1) the injector stall check the reference sweep would
+    /// have run before this op; (2) the schedule test — any op may run
+    /// while `(clock, n)` still beats the runner-up (the reference scan
+    /// would pick `n`), and past that point only node-private ops within
+    /// the lookahead window; (3) the watchdog budget; (4) dispatch, with
+    /// OS timer ticks charged inline (per-node state, not a batch
+    /// breaker). Sync ops end the batch *unconsumed* and are executed by
+    /// the caller-visible [`BatchEnd::Sync`] arm so barrier/lock state
+    /// changes happen outside the borrow of the execution environment.
+    fn run_batch(
+        &mut self,
+        n: usize,
+        limit: Option<(u32, Time)>,
+        lookahead: TimeDelta,
+        executed: &mut u64,
+    ) -> Result<BatchEnd, SimError> {
+        enum InnerEnd {
+            Reschedule,
+            Sync,
+            Parked,
+            Budget,
+            Fault(SimError),
+        }
+        let budget = self.cfg.watchdog.max_ops;
+        let inject_stalls = self.injector.is_active();
+        let end;
+        {
+            // Split borrows: the core is disjoint from the memory state.
+            // One environment serves the whole batch — the per-op cost is
+            // the loop body, not borrow + Arc traffic.
+            let Machine {
+                cores,
+                mems,
+                memsys,
+                pt,
+                alloc,
+                segments,
+                cfg,
+                tracer,
+                profiler,
+                injector,
+                fault,
+                streams,
+                status,
+                ..
+            } = self;
+            let mut env = MachineEnv {
+                node: n,
+                mems,
+                memsys: &mut **memsys,
+                pt,
+                alloc,
+                segments,
+                cfg,
+                clock: cfg.cpu.clock(),
+                tracer: tracer.clone(),
+                faults: injector,
+                profiler: profiler.clone(),
+                in_op: true,
+                fault,
+            };
+            loop {
+                // (1) The stall sweep the reference loop runs before every
+                // op. Only the executing node's consumed count moves
+                // inside a batch, so checking just `n` here plus all
+                // Running nodes per scheduling decision is equivalent.
+                if inject_stalls && env.faults.node_stalled(n as u32, streams[n].consumed()) {
+                    status[n] = NodeStatus::Stalled;
+                    end = InnerEnd::Parked;
+                    break;
+                }
+                // (2) Would the reference scan still pick `n`?
+                let now = cores[n].now();
+                let strict_win = match limit {
+                    None => true,
+                    Some((m, lim)) => (now, n as u32) < (lim, m),
+                };
+                if !strict_win {
+                    // Past the strict win, only node-private ops may run
+                    // (they touch no shared timeline, so they commute
+                    // with the runner-up's ops), and only within the
+                    // conservative lookahead window.
+                    let Some((_, lim)) = limit else {
+                        unreachable!()
+                    };
+                    let overrun_ok = now < lim + lookahead
+                        && streams[n].peek_op().is_some_and(|op| op.class.is_local());
+                    if !overrun_ok {
+                        end = InnerEnd::Reschedule;
+                        break;
+                    }
+                }
+                // (3) The watchdog budget, checked per dispatch as in the
+                // reference loop (sync ops and end-of-stream discovery
+                // both count as dispatches there).
+                if let Some(b) = budget {
+                    if *executed >= b {
+                        end = InnerEnd::Budget;
+                        break;
+                    }
+                }
+                // (4) Dispatch.
+                let Some(&op) = streams[n].peek_op() else {
+                    *executed += 1;
+                    let t = cores[n].drain();
+                    cores[n].set_time(t);
+                    status[n] = NodeStatus::Done;
+                    end = InnerEnd::Parked;
+                    break;
+                };
+                if op.class.is_sync() {
+                    // Consumed and executed by the caller, outside this
+                    // environment's borrows.
+                    end = InnerEnd::Sync;
+                    break;
+                }
+                *executed += 1;
+                streams[n].advance();
+                let op_start = cores[n].now();
+                cores[n].execute(&op, &mut env);
+                profiler.mark_op(
+                    n as u32,
+                    op_start,
+                    cores[n].now().saturating_since(op_start),
+                );
+                if let Some(e) = env.fault.take() {
+                    end = InnerEnd::Fault(e);
+                    break;
+                }
+                // OS timer ticks touch only per-node state; charge them
+                // inline exactly as `charge_ticks` would.
+                if let Some(interval) = env.cfg.os.timer_interval {
+                    let now = cores[n].now();
+                    while env.mems[n].next_tick <= now {
+                        env.mems[n].next_tick += interval;
+                        let at = cores[n].now();
+                        profiler.charge_wall(n as u32, StallClass::Os, at, env.cfg.os.timer_cost);
+                        cores[n].set_time(at + env.cfg.os.timer_cost);
+                    }
+                }
+            }
+        }
+        match end {
+            InnerEnd::Reschedule => Ok(BatchEnd::Reschedule),
+            InnerEnd::Parked => Ok(BatchEnd::Parked),
+            InnerEnd::Budget => Err(self.stall_error(*executed)),
+            InnerEnd::Fault(e) => Err(e),
+            InnerEnd::Sync => {
+                *executed += 1;
+                let op = self.streams[n].next_op().expect("peeked sync op vanished");
+                self.handle_sync(n, &op)?;
+                Ok(BatchEnd::Sync)
+            }
+        }
     }
 
     /// Per-node state snapshots for failure reports.
@@ -817,65 +1093,60 @@ impl Machine {
         }
     }
 
+    /// Executes exactly one op on node `n` (reference policy).
     fn step_node(&mut self, n: usize) -> Result<(), SimError> {
-        for _ in 0..QUANTUM_OPS {
-            let Some(op) = self.streams[n].next_op() else {
-                let t = self.cores[n].drain();
-                self.cores[n].set_time(t);
-                self.status[n] = NodeStatus::Done;
-                return Ok(());
-            };
+        let Some(op) = self.streams[n].next_op() else {
+            let t = self.cores[n].drain();
+            self.cores[n].set_time(t);
+            self.status[n] = NodeStatus::Done;
+            return Ok(());
+        };
 
-            if op.class.is_sync() {
-                self.handle_sync(n, &op)?;
-                if self.status[n] != NodeStatus::Running {
-                    return Ok(());
-                }
-                continue;
-            }
-
-            // Split borrows: the core is disjoint from the memory state.
-            let Machine {
-                cores,
-                mems,
-                memsys,
-                pt,
-                alloc,
-                segments,
-                cfg,
-                tracer,
-                profiler,
-                injector,
-                fault,
-                ..
-            } = self;
-            let mut env = MachineEnv {
-                node: n,
-                mems,
-                memsys: &mut **memsys,
-                pt,
-                alloc,
-                segments,
-                cfg,
-                clock: cfg.cpu.clock(),
-                tracer: tracer.clone(),
-                faults: injector,
-                profiler: profiler.clone(),
-                in_op: true,
-                fault,
-            };
-            let op_start = cores[n].now();
-            cores[n].execute(&op, &mut env);
-            profiler.mark_op(
-                n as u32,
-                op_start,
-                cores[n].now().saturating_since(op_start),
-            );
-            if let Some(e) = self.fault.take() {
-                return Err(e);
-            }
-            self.charge_ticks(n);
+        if op.class.is_sync() {
+            return self.handle_sync(n, &op);
         }
+
+        // Split borrows: the core is disjoint from the memory state.
+        let Machine {
+            cores,
+            mems,
+            memsys,
+            pt,
+            alloc,
+            segments,
+            cfg,
+            tracer,
+            profiler,
+            injector,
+            fault,
+            ..
+        } = self;
+        let mut env = MachineEnv {
+            node: n,
+            mems,
+            memsys: &mut **memsys,
+            pt,
+            alloc,
+            segments,
+            cfg,
+            clock: cfg.cpu.clock(),
+            tracer: tracer.clone(),
+            faults: injector,
+            profiler: profiler.clone(),
+            in_op: true,
+            fault,
+        };
+        let op_start = cores[n].now();
+        cores[n].execute(&op, &mut env);
+        profiler.mark_op(
+            n as u32,
+            op_start,
+            cores[n].now().saturating_since(op_start),
+        );
+        if let Some(e) = self.fault.take() {
+            return Err(e);
+        }
+        self.charge_ticks(n);
         Ok(())
     }
 

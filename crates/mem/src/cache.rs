@@ -116,10 +116,19 @@ pub struct Victim {
 }
 
 /// A physically-indexed set-associative write-back cache.
+///
+/// Storage is one flat `Vec<Way>` of `sets × ways` slots (invalid slots
+/// are pre-filled), not a `Vec` per set: probes and fills are the hottest
+/// operations in the whole simulator, and the flat layout avoids a second
+/// pointer chase plus thousands of tiny allocations per cache. Set
+/// indexing uses precomputed shift/mask instead of division.
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: CacheGeometry,
-    sets: Vec<Vec<Way>>,
+    ways: Vec<Way>,
+    /// `line.get() >> line_shift` = line number; `& set_mask` = set index.
+    line_shift: u32,
+    set_mask: u64,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -132,12 +141,22 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(geom: CacheGeometry) -> Cache {
-        let sets = (0..geom.sets())
-            .map(|_| Vec::with_capacity(geom.ways as usize))
-            .collect();
+        assert!(
+            geom.line_bytes.is_power_of_two() && geom.sets().is_power_of_two(),
+            "cache geometry must have power-of-two line size and set count"
+        );
+        let slots = (geom.sets() * u64::from(geom.ways)) as usize;
+        let empty = Way {
+            line: LineAddr(0),
+            state: LineState::Shared,
+            last_used: 0,
+            valid: false,
+        };
         Cache {
             geom,
-            sets,
+            ways: vec![empty; slots],
+            line_shift: geom.line_bytes.trailing_zeros(),
+            set_mask: geom.sets() - 1,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -146,6 +165,15 @@ impl Cache {
             dirty_evictions: 0,
             invalidations_received: 0,
         }
+    }
+
+    /// The slot range of the set holding `line`.
+    #[inline]
+    fn set_slots(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = ((line.get() >> self.line_shift) & self.set_mask) as usize;
+        let ways = self.geom.ways as usize;
+        let base = set * ways;
+        base..base + ways
     }
 
     /// The cache geometry.
@@ -168,7 +196,8 @@ impl Cache {
     pub fn probe(&mut self, line: LineAddr, write: bool) -> Probe {
         self.tick += 1;
         let tick = self.tick;
-        let set = &mut self.sets[self.geom.set_of(line)];
+        let slots = self.set_slots(line);
+        let set = &mut self.ways[slots];
         for way in set.iter_mut() {
             if way.valid && way.line == line {
                 way.last_used = tick;
@@ -193,7 +222,7 @@ impl Cache {
 
     /// Probes without updating LRU or statistics.
     pub fn peek(&self, line: LineAddr) -> Option<LineState> {
-        let set = &self.sets[self.geom.set_of(line)];
+        let set = &self.ways[self.set_slots(line)];
         set.iter()
             .find(|w| w.valid && w.line == line)
             .map(|w| w.state)
@@ -208,8 +237,8 @@ impl Cache {
     pub fn fill(&mut self, line: LineAddr, state: LineState) -> Option<Victim> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.geom.ways as usize;
-        let set = &mut self.sets[self.geom.set_of(line)];
+        let slots = self.set_slots(line);
+        let set = &mut self.ways[slots];
         assert!(
             !set.iter().any(|w| w.valid && w.line == line),
             "fill of already-present line {line}"
@@ -222,10 +251,6 @@ impl Cache {
         };
         if let Some(slot) = set.iter_mut().find(|w| !w.valid) {
             *slot = new_way;
-            return None;
-        }
-        if set.len() < ways {
-            set.push(new_way);
             return None;
         }
         let (idx, _) = set
@@ -252,8 +277,8 @@ impl Cache {
     ///
     /// Panics if the line is not present.
     pub fn grant_ownership(&mut self, line: LineAddr) {
-        let set = &mut self.sets[self.geom.set_of(line)];
-        let way = set
+        let slots = self.set_slots(line);
+        let way = self.ways[slots]
             .iter_mut()
             .find(|w| w.valid && w.line == line)
             .expect("ownership grant for absent line");
@@ -265,8 +290,8 @@ impl Cache {
     /// is normal, since caches may have silently evicted a Shared line the
     /// directory still lists.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
-        let set = &mut self.sets[self.geom.set_of(line)];
-        for way in set.iter_mut() {
+        let slots = self.set_slots(line);
+        for way in self.ways[slots].iter_mut() {
             if way.valid && way.line == line {
                 way.valid = false;
                 self.invalidations_received += 1;
@@ -279,8 +304,8 @@ impl Cache {
     /// Demotes `line` to Shared (directory-initiated intervention on a
     /// dirty line). Returns true if the line was present and dirty.
     pub fn downgrade(&mut self, line: LineAddr) -> bool {
-        let set = &mut self.sets[self.geom.set_of(line)];
-        for way in set.iter_mut() {
+        let slots = self.set_slots(line);
+        for way in self.ways[slots].iter_mut() {
             if way.valid && way.line == line {
                 let was_dirty = way.state.is_dirty();
                 way.state = LineState::Shared;

@@ -21,8 +21,8 @@
 //!   to Solo's packing — the paper's surprise).
 
 use crate::addr::PAddr;
+use flashsim_engine::fxhash::FxHashMap;
 use flashsim_isa::VAddr;
-use std::collections::HashMap;
 
 /// How an operating system (or Solo's backdoor) chooses physical frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -151,7 +151,9 @@ impl FrameAllocator {
 /// The per-run virtual-to-physical mapping, filled in on first touch.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    map: HashMap<u64, u64>,
+    // Probed on every translation; point lookups only (never iterated), so
+    // the fast fixed-seed hasher cannot affect simulated behaviour.
+    map: FxHashMap<u64, u64>,
 }
 
 impl PageTable {

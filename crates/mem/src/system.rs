@@ -217,6 +217,16 @@ pub trait MemorySystem {
     fn attach_faults(&mut self, faults: FaultInjector) {
         let _ = faults;
     }
+
+    /// A conservative lower bound on the latency of *any* demand
+    /// transaction this model can serve — the scheduler's lookahead in the
+    /// Chandy/Misra sense. A node whose clock trails every other node's by
+    /// less than this bound cannot be affected by shared interactions they
+    /// have not yet started. `ZERO` (the default) disables lookahead batching
+    /// beyond strict laggard wins, which is always safe.
+    fn min_shared_latency(&self) -> TimeDelta {
+        TimeDelta::ZERO
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 //! effect. This module models the reach structure; refill *cost* is owned
 //! by the environment model in `flashsim-os`.
 
+use flashsim_engine::fxhash::FxHashMap;
 use flashsim_isa::VAddr;
-use std::collections::HashMap;
 
 /// A fully-associative, LRU-replacement TLB mapping virtual page numbers to
 /// physical frame numbers.
@@ -17,7 +17,10 @@ use std::collections::HashMap;
 pub struct Tlb {
     entries: usize,
     page_bytes: u64,
-    map: HashMap<u64, (u64, u64)>, // vpn -> (pfn, last_used)
+    // vpn -> (pfn, last_used). LRU ticks are strictly monotonic, so the
+    // eviction scan below has a unique minimum and never depends on map
+    // iteration order — which makes the fast fixed-seed hasher safe here.
+    map: FxHashMap<u64, (u64, u64)>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -38,7 +41,7 @@ impl Tlb {
         Tlb {
             entries,
             page_bytes,
-            map: HashMap::with_capacity(entries),
+            map: FxHashMap::with_capacity_and_hasher(entries, Default::default()),
             tick: 0,
             hits: 0,
             misses: 0,

@@ -232,8 +232,14 @@ impl Network {
         let mut t = now;
         let mut cur = from;
         let mut waited = TimeDelta::ZERO;
-        for next in self.topo.route(from, to) {
-            let dim = (cur ^ next).trailing_zeros();
+        // Walk the e-cube route inline (least- to most-significant differing
+        // bit) rather than materializing it: deliver() runs once per protocol
+        // message and a per-call route Vec was measurable in profiles.
+        for dim in 0..self.topo.dims {
+            let bit = 1u32 << dim;
+            if (cur ^ to) & bit == 0 {
+                continue;
+            }
             if self.params.contention {
                 let idx = self.topo.link_index(cur, dim);
                 let occupancy = self.params.occupancy(bytes);
@@ -255,7 +261,7 @@ impl Network {
                 t += self.params.hop_latency;
             }
             self.total_hops += 1;
-            cur = next;
+            cur ^= bit;
         }
         Delivery {
             arrival: t,

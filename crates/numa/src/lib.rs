@@ -434,6 +434,13 @@ impl MemorySystem for Numa {
     fn model_name(&self) -> &'static str {
         "numa"
     }
+
+    fn min_shared_latency(&self) -> TimeDelta {
+        // Cheapest demand transaction: miss detection + controller decode
+        // + local directory lookup, all unconditionally on the path.
+        let p = &self.params;
+        p.miss_detect + p.ctrl_request + p.dir_local
+    }
 }
 
 #[cfg(test)]

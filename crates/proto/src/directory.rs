@@ -15,9 +15,9 @@
 //! behaviour is identical, mirroring the paper's "the same protocol is
 //! used in FlashLite and on the real hardware".
 
+use flashsim_engine::fxhash::FxHashMap;
 use flashsim_mem::addr::LineAddr;
 use flashsim_mem::system::NodeId;
-use std::collections::HashMap;
 
 /// Directory-visible state of a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +72,9 @@ pub struct DirResponse {
 /// node's pointer/link store.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    headers: HashMap<LineAddr, Header>,
+    // Probed twice per home transaction; point lookups only (never
+    // iterated), so the fast fixed-seed hasher is behaviour-neutral.
+    headers: FxHashMap<LineAddr, Header>,
     pool: Vec<PoolSlot>,
     free: Option<u32>,
     pool_capacity: u32,
@@ -84,7 +86,7 @@ impl Directory {
     /// Creates a directory with a pointer store of `pool_capacity` slots.
     pub fn new(pool_capacity: u32) -> Directory {
         Directory {
-            headers: HashMap::new(),
+            headers: FxHashMap::default(),
             pool: Vec::new(),
             free: None,
             pool_capacity,

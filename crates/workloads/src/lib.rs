@@ -40,6 +40,6 @@ pub mod radix;
 pub use fft::{Fft, FftBlocking};
 pub use layout::{table2, ProblemScale, Table2Row};
 pub use lu::Lu;
-pub use micro::{RestartProbe, SnCase, Snbench, TlbTimer};
+pub use micro::{RestartProbe, SnCase, Snbench, SyncStorm, TlbTimer};
 pub use ocean::Ocean;
 pub use radix::Radix;

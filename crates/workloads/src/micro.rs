@@ -1,5 +1,5 @@
 //! Microbenchmarks: snbench-style dependent loads, the TLB-miss timer,
-//! and the restart-time probe.
+//! the restart-time probe, and a synchronization stressor.
 //!
 //! These are the instruments of the paper's §3.1.2 tuning methodology:
 //!
@@ -14,6 +14,11 @@
 //!   is how the 25/35-cycle models get corrected to the measured 65).
 //! - [`RestartProbe`] chases pointers inside one cache line, exposing the
 //!   core's load-to-use/restart time (Hristea-style).
+//! - [`SyncStorm`] is not a tuning instrument but a machine-layer
+//!   stressor: every thread contends on a ring of locks and meets
+//!   barriers every round, maximizing lock hand-offs, queueing, and
+//!   barrier wakes per op — the workload the scheduler-equivalence suite
+//!   uses to exercise the sync paths of the batched scheduler.
 
 use crate::layout::{page_round, SEG_A};
 use flashsim_isa::{Placement, Program, Segment, Sink};
@@ -297,6 +302,88 @@ impl Program for RestartProbe {
     }
 }
 
+/// A synchronization stressor: `rounds` rounds in which every thread
+/// walks a ring of `locks` locks (each starting at its own offset, so
+/// hand-off chains and queueing both occur), does a tiny critical section
+/// on a shared line under each lock, and then meets a barrier.
+///
+/// The op mix is dominated by sync classes and lock-line coherence
+/// traffic rather than compute, which is exactly the regime where a
+/// batched scheduler earns nothing and must merely stay correct.
+#[derive(Debug, Clone)]
+pub struct SyncStorm {
+    threads: usize,
+    rounds: u32,
+    locks: u32,
+}
+
+impl SyncStorm {
+    /// Creates a storm of `threads` threads over `locks` locks for
+    /// `rounds` rounds.
+    pub fn new(threads: usize, rounds: u32, locks: u32) -> SyncStorm {
+        SyncStorm {
+            threads,
+            rounds,
+            locks: locks.max(1),
+        }
+    }
+
+    /// Lock `l`'s flag address (one line per lock).
+    fn lock_addr(l: u32) -> flashsim_isa::VAddr {
+        SEG_A.offset(u64::from(l) * LINE)
+    }
+
+    /// The shared counter line guarded by lock `l`.
+    fn counter_addr(&self, l: u32) -> flashsim_isa::VAddr {
+        SEG_A.offset((u64::from(self.locks) + u64::from(l)) * LINE)
+    }
+}
+
+impl Program for SyncStorm {
+    fn name(&self) -> String {
+        format!("sync-storm-{}l{}r", self.locks, self.rounds)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn segments(&self) -> Vec<Segment> {
+        vec![Segment::new(
+            "locks",
+            SEG_A,
+            page_round(2 * u64::from(self.locks) * LINE, 4096),
+            Placement::Interleaved,
+        )]
+    }
+
+    fn thread_body(&self, tid: usize) -> Box<dyn FnOnce(&mut Sink) + Send + 'static> {
+        let storm = self.clone();
+        Box::new(move |sink| {
+            sink.barrier(); // barrier 0: timing starts
+            for round in 0..storm.rounds {
+                for i in 0..storm.locks {
+                    // Each thread starts the ring at its own offset so
+                    // some hand-offs chain and some queue up.
+                    let l = (i + tid as u32 + round) % storm.locks;
+                    sink.lock(l, SyncStorm::lock_addr(l));
+                    // Critical section: bump the shared counter.
+                    let v = sink.load(storm.counter_addr(l));
+                    sink.alu(4);
+                    sink.store_dep(storm.counter_addr(l), flashsim_isa::Reg::ZERO, v);
+                    sink.unlock(l, SyncStorm::lock_addr(l));
+                    sink.alu(16);
+                }
+                sink.barrier();
+            }
+        })
+    }
+
+    fn timing_barrier(&self) -> Option<u32> {
+        Some(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +464,32 @@ mod tests {
         }
         assert_eq!(pages.len(), 64);
         assert_eq!(t.loads(), 64 * 8);
+    }
+
+    #[test]
+    fn sync_storm_is_sync_heavy_and_balanced() {
+        let s = SyncStorm::new(3, 2, 4);
+        for tid in 0..3 {
+            let ops: Vec<_> = s.stream(tid).collect();
+            let locks = ops
+                .iter()
+                .filter(|o| o.class == OpClass::LockAcquire)
+                .count();
+            let unlocks = ops
+                .iter()
+                .filter(|o| o.class == OpClass::LockRelease)
+                .count();
+            let barriers = ops.iter().filter(|o| o.class == OpClass::Barrier).count();
+            assert_eq!(locks, 8, "2 rounds x 4 locks");
+            assert_eq!(locks, unlocks, "every acquire has a release");
+            assert_eq!(barriers, 3, "timing barrier + one per round");
+            let sync = locks + unlocks + barriers;
+            assert!(
+                sync * 12 > ops.len(),
+                "thread {tid}: sync ops must stay a large fraction ({sync} of {})",
+                ops.len()
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,27 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+echo "== simspeed perf gate (events/sec vs committed baseline) =="
+# Best-of-N snbench throughput per platform, emitted as JSON, schema-
+# validated, and compared against results/BENCH_simspeed_baseline.json:
+# any platform more than 30% below its baseline events/sec fails the
+# gate. Wall-clock numbers are host-dependent and noisy — on a loaded or
+# much slower machine, skip with FLASHSIM_SKIP_PERF=1 (the benchmark
+# still runs as a smoke test; only the comparison is skipped).
+cargo build --release -q -p flashsim-bench --bin simspeed
+perf_json="$(mktemp)"
+if [ "${FLASHSIM_SKIP_PERF:-0}" = "1" ]; then
+    ./target/release/simspeed --app snbench --iters 3 --json "$perf_json" > /dev/null
+    ./target/release/simspeed --validate "$perf_json"
+    echo "FLASHSIM_SKIP_PERF=1: baseline comparison skipped"
+else
+    ./target/release/simspeed --app snbench --iters 10 --json "$perf_json" \
+        --baseline results/BENCH_simspeed_baseline.json --tolerance 0.30 > /dev/null
+    ./target/release/simspeed --validate "$perf_json"
+    echo "within 30% of committed baseline"
+fi
+rm -f "$perf_json"
+
 echo "== chaos smoke (fault-injection survival) =="
 # 20 seeded fault plans x all platforms; exits nonzero if any cell
 # panics or the sweep hangs past the watchdog.

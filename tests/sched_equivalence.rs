@@ -1,0 +1,180 @@
+//! The batched-lookahead scheduler's correctness contract: on every
+//! platform, a run under the default `Batched` policy is *bit-identical*
+//! to the same run under the `Reference` policy (one op per scheduling
+//! decision, linear laggard scan) — same stats JSON, same accounting,
+//! same parallel/total times, same barrier releases, same per-node op
+//! counts. The batching, the laggard heap, the flat stream cursor, and
+//! the L1-hit fast path are all pure host-side optimizations; nothing
+//! about the simulated machine may move.
+
+use flashsim::attrib::run_profiled;
+use flashsim::engine::FaultPlan;
+use flashsim::machine::{run_program, MachineConfig, RunResult, SchedPolicy};
+use flashsim::platform::{MemModel, Sim, Study};
+use flashsim::workloads::{Fft, FftBlocking, ProblemScale, SnCase, Snbench, SyncStorm};
+
+/// Every platform of the study, at a small node count.
+fn platforms(study: &Study, nodes: u32) -> Vec<(String, MachineConfig)> {
+    let mut out = vec![("hardware".to_owned(), study.hardware(nodes))];
+    for sim in [Sim::SimosMipsy(150), Sim::SoloMipsy(150), Sim::SimosMxs] {
+        for mem in [MemModel::FlashLite, MemModel::Numa] {
+            let cfg = study.sim(sim, nodes, mem);
+            out.push((cfg.label(), cfg));
+        }
+    }
+    out
+}
+
+fn with_policy(mut cfg: MachineConfig, sched: SchedPolicy) -> MachineConfig {
+    cfg.sched = sched;
+    cfg
+}
+
+/// Asserts every schedule-sensitive observable of two runs is identical.
+fn assert_identical(label: &str, batched: &RunResult, reference: &RunResult) {
+    assert_eq!(
+        batched.stats.to_json(),
+        reference.stats.to_json(),
+        "{label}: stats JSON must be byte-identical"
+    );
+    assert_eq!(
+        batched.parallel_time, reference.parallel_time,
+        "{label}: parallel time must match"
+    );
+    assert_eq!(
+        batched.total_time, reference.total_time,
+        "{label}: total time must match"
+    );
+    assert_eq!(
+        batched.ops_per_node, reference.ops_per_node,
+        "{label}: per-node op counts must match"
+    );
+    assert_eq!(
+        batched.barrier_releases, reference.barrier_releases,
+        "{label}: barrier release times must match"
+    );
+    match (&batched.accounting, &reference.accounting) {
+        (None, None) => {}
+        (Some(b), Some(r)) => assert_eq!(
+            b.to_json(),
+            r.to_json(),
+            "{label}: accounting must be byte-identical"
+        ),
+        _ => panic!("{label}: one run profiled, the other not"),
+    }
+}
+
+#[test]
+fn batched_matches_reference_on_every_platform() {
+    let study = Study::scaled();
+    let prog = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
+    for (label, cfg) in platforms(&study, 2) {
+        let b = run_program(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+            .expect("batched run completes");
+        let r = run_program(with_policy(cfg, SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        assert_identical(&label, &b, &r);
+    }
+}
+
+#[test]
+fn batched_matches_reference_with_profiler_attached() {
+    // The profiler widens the observable surface (per-op marks, wall vs
+    // in-op charges, time-phase buckets), so equivalence is asserted
+    // under it too.
+    let study = Study::scaled();
+    let prog = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
+    for (label, cfg) in platforms(&study, 2) {
+        let b = run_profiled(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+            .expect("batched run completes");
+        let r = run_profiled(with_policy(cfg, SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        assert_identical(&label, &b, &r);
+    }
+}
+
+#[test]
+fn batched_matches_reference_on_sync_heavy_storm() {
+    // Lock hand-off chains, queueing, and per-round barriers: the batch
+    // breaker and the post-sync heap rebuild get exercised constantly.
+    let study = Study::scaled();
+    let prog = SyncStorm::new(4, 6, 5);
+    for (label, cfg) in platforms(&study, 4) {
+        let b = run_profiled(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+            .expect("batched run completes");
+        let r = run_profiled(with_policy(cfg, SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        assert_identical(&label, &b, &r);
+    }
+}
+
+#[test]
+fn batched_matches_reference_on_snbench_chase() {
+    // The single-runnable-node regime (node 0 chasing alone between
+    // barriers) is where batching earns its speedup; prove it changes
+    // nothing.
+    let study = Study::scaled();
+    let prog = Snbench::new(SnCase::all()[2], study.geometry.l2.bytes);
+    for (label, cfg) in [
+        ("hardware".to_owned(), study.hardware(4)),
+        (
+            "simos-mipsy".to_owned(),
+            study.sim(Sim::SimosMipsy(150), 4, MemModel::FlashLite),
+        ),
+    ] {
+        let b = run_program(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+            .expect("batched run completes");
+        let r = run_program(with_policy(cfg, SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        assert_identical(&label, &b, &r);
+    }
+}
+
+#[test]
+fn batched_matches_reference_under_fault_injection() {
+    // Latency perturbation draws from the injector's shared RNG on every
+    // memory transaction, so the *order* of shared interactions is
+    // directly observable: any schedule divergence scrambles the draws
+    // and the stats.
+    let study = Study::scaled();
+    let prog = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
+    let plan = FaultPlan {
+        seed: 0xFA57,
+        latency_prob: 0.25,
+        latency_spread: 1.5,
+        ..FaultPlan::none()
+    };
+    for (label, mut cfg) in platforms(&study, 2) {
+        cfg.faults = Some(plan);
+        let b = run_profiled(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+            .expect("batched run completes");
+        let r = run_profiled(with_policy(cfg, SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        assert_identical(&label, &b, &r);
+    }
+}
+
+#[test]
+fn batched_matches_reference_on_injected_stall_failure() {
+    // A stalled node starves the machine; both policies must fail with
+    // the same structured error (same op count, same node snapshots).
+    let study = Study::scaled();
+    let prog = SyncStorm::new(2, 4, 3);
+    let plan = FaultPlan {
+        seed: 7,
+        stall_node: Some(1),
+        stall_after_ops: 120,
+        ..FaultPlan::none()
+    };
+    let mut cfg = study.sim(Sim::SimosMipsy(150), 2, MemModel::FlashLite);
+    cfg.faults = Some(plan);
+    let b = run_program(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+        .expect_err("stalled run must fail");
+    let r = run_program(with_policy(cfg, SchedPolicy::Reference), &prog)
+        .expect_err("stalled run must fail");
+    assert_eq!(
+        format!("{b:?}"),
+        format!("{r:?}"),
+        "structured stall failures must be identical"
+    );
+}
