@@ -1,0 +1,247 @@
+//! Unified run report: run the gold-standard hardware and a simulator
+//! over the same workload through the supervised run matrix with
+//! cycle-accounting *and* sim-time telemetry attached, then stitch each
+//! cell's manifest + accounting + telemetry series into one report
+//! (text, optionally HTML), with machine-readable exports.
+//!
+//! Usage:
+//!
+//! ```text
+//! report [SIM] [--mem numa|flashlite] [--nodes N] [--cadence-us N]
+//!        [--heartbeat MS] [--out PATH] [--html PATH] [--jsonl PATH]
+//!        [--prom PATH] [--full]
+//! report --validate PATH
+//! ```
+//!
+//! `SIM` is one of `simos-mipsy` (default), `solo-mipsy`, `simos-mxs`.
+//! `--cadence-us` sets the telemetry bucket width (default 1 µs of sim
+//! time; buckets merge-double as the run grows). `--heartbeat MS`
+//! enables the live stderr progress line. `--jsonl` / `--prom` write the
+//! simulator cell's telemetry series in the `flashsim-telemetry-v1`
+//! JSONL and Prometheus text formats.
+//!
+//! `--validate PATH` runs nothing: it checks an existing JSONL export
+//! against the schema and exits nonzero on violation — `scripts/check.sh`
+//! uses it as a gate.
+//!
+//! The report itself gates on conservation: cycle accounting must be
+//! conserved on both platforms, every telemetry occupancy integral must
+//! equal its bucket sum exactly (integer picoseconds), and the JSONL
+//! export must validate. Any violation exits nonzero.
+
+use flashsim_bench::{header, setup_from_args};
+use flashsim_core::platform::{MemModel, Sim};
+use flashsim_core::runner::{run_matrix, CellOutcome, MatrixCell};
+use flashsim_engine::{telemetry, TimeDelta};
+use flashsim_isa::Program;
+use flashsim_workloads::{Fft, FftBlocking};
+use std::sync::Arc;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Renders one matrix cell's section of the report.
+fn render_cell(outcome: &CellOutcome, failures: &mut Vec<String>) -> String {
+    let mut out = String::new();
+    let m = outcome.manifest();
+    out.push_str(&format!("-- {} --\n", m.config));
+    out.push_str(&format!("manifest: {}\n", m.to_json()));
+    let Some(result) = outcome.result() else {
+        let err = outcome.error().expect("failed cell carries its error");
+        failures.push(format!("{}: run failed: {err}", m.config));
+        out.push_str(&format!("RUN FAILED: {err}\n\n"));
+        return out;
+    };
+    out.push_str(&format!(
+        "sim time {:.3} ms over {} ops ({:.2} simulated MIPS on this host)\n\n",
+        m.simulated_seconds * 1e3,
+        m.total_ops,
+        m.sim_mips,
+    ));
+    match &result.accounting {
+        Some(acc) => {
+            out.push_str(&acc.render());
+            if !acc.conserved() {
+                failures.push(format!("{}: cycle accounting not conserved", m.config));
+            }
+        }
+        None => failures.push(format!("{}: no accounting attached", m.config)),
+    }
+    out.push('\n');
+    match &result.telemetry {
+        Some(series) => {
+            out.push_str(&series.render());
+            if !series.conserved() {
+                failures.push(format!(
+                    "{}: telemetry occupancy integrals not conserved",
+                    m.config
+                ));
+            }
+            if let Err(e) = telemetry::validate_jsonl(&series.to_jsonl()) {
+                failures.push(format!("{}: telemetry JSONL invalid: {e}", m.config));
+            }
+        }
+        None => failures.push(format!("{}: no telemetry attached", m.config)),
+    }
+    out.push('\n');
+    out
+}
+
+/// Wraps the text report in a minimal self-contained HTML page.
+fn to_html(text: &str) -> String {
+    let mut body = String::with_capacity(text.len() + 256);
+    for c in text.chars() {
+        match c {
+            '&' => body.push_str("&amp;"),
+            '<' => body.push_str("&lt;"),
+            '>' => body.push_str("&gt;"),
+            _ => body.push(c),
+        }
+    }
+    format!(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
+         <title>flashsim run report</title></head>\n\
+         <body><h1>flashsim run report</h1>\n<pre>\n{body}</pre></body></html>\n"
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Validation-only mode: no simulation, just the schema gate.
+    if let Some(path) = flag_value(&args, "--validate") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        match telemetry::validate_jsonl(&text) {
+            Ok(()) => println!("telemetry schema OK: {path}"),
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let setup = setup_from_args();
+    header(
+        "unified run report (manifest + accounting + telemetry)",
+        &setup,
+    );
+
+    let value_flags = [
+        "--mem",
+        "--nodes",
+        "--cadence-us",
+        "--heartbeat",
+        "--out",
+        "--html",
+        "--jsonl",
+        "--prom",
+    ];
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        if value_flags.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            positional = Some(args[i].as_str());
+            break;
+        }
+    }
+    let sim = match positional {
+        None | Some("simos-mipsy") => Sim::SimosMipsy(150),
+        Some("solo-mipsy") => Sim::SoloMipsy(150),
+        Some("simos-mxs") => Sim::SimosMxs,
+        Some(other) => panic!("unknown simulator {other} (simos-mipsy|solo-mipsy|simos-mxs)"),
+    };
+    let mem = match flag_value(&args, "--mem").as_deref() {
+        None | Some("flashlite") => MemModel::FlashLite,
+        Some("numa") => MemModel::Numa,
+        Some(other) => panic!("unknown memory model {other} (flashlite|numa)"),
+    };
+    let nodes: u32 = flag_value(&args, "--nodes")
+        .map(|s| s.parse().expect("--nodes takes a number"))
+        .unwrap_or(4);
+    let cadence_us: u64 = flag_value(&args, "--cadence-us")
+        .map(|s| s.parse().expect("--cadence-us takes a number"))
+        .unwrap_or(1);
+    let heartbeat_ms: Option<u64> = flag_value(&args, "--heartbeat")
+        .map(|s| s.parse().expect("--heartbeat takes milliseconds"));
+
+    let fft = Fft::sized(setup.scale, nodes as usize, FftBlocking::Cache);
+    println!("workload: {} over {nodes} nodes", fft.name());
+    println!();
+
+    // Both cells carry telemetry + profiling through the supervised
+    // matrix; the report is stitched from whatever the cells return.
+    let mut cells: Vec<MatrixCell> = Vec::new();
+    for cfg in [
+        setup.study.hardware(nodes),
+        setup.study.sim(sim, nodes, mem),
+    ] {
+        let mut cfg = cfg;
+        cfg.telemetry = Some(TimeDelta::from_us(cadence_us.max(1)));
+        cfg.profile = true;
+        if let Some(ms) = heartbeat_ms {
+            cfg.heartbeat = Some(std::time::Duration::from_millis(ms.max(1)));
+        }
+        cells.push((
+            cfg,
+            Arc::new(Fft::sized(setup.scale, nodes as usize, FftBlocking::Cache))
+                as Arc<dyn Program>,
+        ));
+    }
+    let outcomes = run_matrix(cells, Some(500_000_000));
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut report = String::new();
+    for outcome in &outcomes {
+        report.push_str(&render_cell(outcome, &mut failures));
+    }
+    report.push_str("-- gates --\n");
+    if failures.is_empty() {
+        report.push_str("conservation OK: accounting and telemetry integrals closed exactly\n");
+        report.push_str("schema OK: telemetry JSONL validates as flashsim-telemetry-v1\n");
+    } else {
+        for f in &failures {
+            report.push_str(&format!("FAIL: {f}\n"));
+        }
+    }
+
+    match flag_value(&args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &report).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+    if let Some(path) = flag_value(&args, "--html") {
+        std::fs::write(&path, to_html(&report)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    // Machine-readable exports come from the simulator cell (the last
+    // one); the hardware cell is the reference platform in the report.
+    if let Some(series) = outcomes.last().and_then(|o| o.telemetry()) {
+        if let Some(path) = flag_value(&args, "--jsonl") {
+            std::fs::write(&path, series.to_jsonl())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {path}");
+        }
+        if let Some(path) = flag_value(&args, "--prom") {
+            std::fs::write(&path, series.to_prometheus())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

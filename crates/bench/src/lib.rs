@@ -19,6 +19,7 @@
 //! | `simspeed` | simulator throughput (events/sec, simulated MIPS) |
 //! | `chaos` | fault-injection survival matrix (seeded fault plans × platforms) |
 //! | `profile` | cycle-accounting breakdown + per-class error attribution vs hardware |
+//! | `report` | unified run report: manifest + accounting + sim-time telemetry (text/HTML/JSONL/Prometheus) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -114,6 +114,13 @@ impl CellOutcome {
             CellOutcome::Failed { manifest, .. } => manifest,
         }
     }
+
+    /// The cell's sampled telemetry series, if the cell completed with a
+    /// telemetry registry attached (see
+    /// [`flashsim_machine::MachineConfig::telemetry`]).
+    pub fn telemetry(&self) -> Option<&flashsim_engine::TelemetrySeries> {
+        self.result().and_then(|r| r.telemetry.as_ref())
+    }
 }
 
 /// A provenance manifest for a cell that never produced a result.
@@ -123,6 +130,12 @@ fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
         nodes: cfg.nodes,
         workload: program.name(),
         seed: program.seed(),
+        sched: cfg.sched.key().to_owned(),
+        faults: cfg
+            .faults
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| p.summary()),
         wall_seconds: 0.0,
         total_ops: 0,
         simulated_seconds: 0.0,

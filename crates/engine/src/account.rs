@@ -526,26 +526,30 @@ impl Accounting {
     }
 
     /// Prometheus text-exposition export: one gauge per (node, class)
-    /// plus per-node totals, all in picoseconds.
+    /// plus per-node totals, all in picoseconds. Formatting goes
+    /// through the shared [`crate::prom`] helper so this exporter and
+    /// the telemetry exporter cannot drift apart.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        out.push_str("# TYPE flashsim_accounted_ps gauge\n");
+        crate::prom::push_type(&mut out, "flashsim_accounted_ps", "gauge");
         for n in &self.nodes {
             for class in StallClass::ALL {
-                out.push_str(&format!(
-                    "flashsim_accounted_ps{{node=\"{}\",class=\"{}\"}} {}\n",
-                    n.node,
-                    class.key(),
-                    n.get(class)
-                ));
+                crate::prom::push_sample(
+                    &mut out,
+                    "flashsim_accounted_ps",
+                    &[("node", &n.node.to_string()), ("class", class.key())],
+                    n.get(class),
+                );
             }
         }
-        out.push_str("# TYPE flashsim_node_total_ps gauge\n");
+        crate::prom::push_type(&mut out, "flashsim_node_total_ps", "gauge");
         for n in &self.nodes {
-            out.push_str(&format!(
-                "flashsim_node_total_ps{{node=\"{}\"}} {}\n",
-                n.node, n.total_ps
-            ));
+            crate::prom::push_sample(
+                &mut out,
+                "flashsim_node_total_ps",
+                &[("node", &n.node.to_string())],
+                n.total_ps,
+            );
         }
         out
     }

@@ -19,6 +19,7 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+use crate::telemetry::{MetricId, Telemetry};
 use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -30,6 +31,8 @@ pub struct EventQueue<T> {
     payloads: Vec<Option<T>>,
     free: Vec<usize>,
     seq: u64,
+    telemetry: Telemetry,
+    depth_metric: MetricId,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -46,7 +49,18 @@ impl<T> EventQueue<T> {
             payloads: Vec::new(),
             free: Vec::new(),
             seq: 0,
+            telemetry: Telemetry::disabled(),
+            depth_metric: MetricId::NONE,
         }
+    }
+
+    /// Attaches sim-time telemetry: `metric` (typically a volatile
+    /// gauge — delivery order is a scheduling artifact) tracks the
+    /// pending-event depth at every push and pop. Costs one branch per
+    /// operation while detached.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry, metric: MetricId) {
+        self.telemetry = telemetry;
+        self.depth_metric = metric;
     }
 
     /// Schedules `payload` at time `at`.
@@ -63,6 +77,8 @@ impl<T> EventQueue<T> {
         };
         self.heap.push(Reverse((at, self.seq, slot)));
         self.seq += 1;
+        self.telemetry
+            .gauge(self.depth_metric, at, self.heap.len() as u64);
     }
 
     /// Removes and returns the earliest event.
@@ -70,6 +86,8 @@ impl<T> EventQueue<T> {
         let Reverse((at, _, slot)) = self.heap.pop()?;
         let payload = self.payloads[slot].take().expect("slot holds a payload");
         self.free.push(slot);
+        self.telemetry
+            .gauge(self.depth_metric, at, self.heap.len() as u64);
         Some((at, payload))
     }
 
@@ -202,5 +220,24 @@ mod tests {
             assert!(q.is_empty());
             assert_eq!(q.payloads.len(), 16, "cycle {cycle} leaked slots");
         }
+    }
+
+    #[test]
+    fn attached_telemetry_tracks_depth() {
+        use crate::telemetry::{MetricKind, Telemetry};
+        use crate::time::TimeDelta;
+
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(100));
+        let id = tel.register_volatile("engine.event_queue_depth", MetricKind::Gauge);
+        let mut q = EventQueue::new();
+        q.attach_telemetry(tel.clone(), id);
+        q.push(Time::from_ns(10), 'a');
+        q.push(Time::from_ns(20), 'b');
+        q.push(Time::from_ns(30), 'c');
+        q.pop();
+        let series = tel.snapshot(Time::from_ns(40)).expect("enabled");
+        let m = series.get("engine.event_queue_depth").expect("registered");
+        assert_eq!(m.total, 3, "peak depth was three pending events");
+        assert!(m.volatile, "delivery order is a scheduling artifact");
     }
 }

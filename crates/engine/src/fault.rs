@@ -89,6 +89,51 @@ impl FaultPlan {
             || self.stall_node.is_some()
     }
 
+    /// Deterministic one-line summary of the armed fault classes, for
+    /// run manifests: every telemetry/report artifact must be
+    /// attributable to the exact fault configuration that produced it.
+    /// Includes the construction-time clamps `is_active` excludes.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.latency_prob > 0.0 {
+            parts.push(format!(
+                "latency p={:.3} spread={:.2}",
+                self.latency_prob, self.latency_spread
+            ));
+        }
+        if self.drop_prob > 0.0 {
+            parts.push(format!(
+                "drop p={:.3} timeout={}ns",
+                self.drop_prob,
+                self.drop_timeout.as_ns()
+            ));
+        }
+        if self.delay_prob > 0.0 {
+            parts.push(format!(
+                "delay p={:.3} +{}ns",
+                self.delay_prob,
+                self.delay.as_ns()
+            ));
+        }
+        if let Some(node) = self.stall_node {
+            parts.push(format!(
+                "stall node {} after {} ops",
+                node, self.stall_after_ops
+            ));
+        }
+        if let Some(cap) = self.dir_pool_cap {
+            parts.push(format!("dir_pool<={cap}"));
+        }
+        if let Some(ns) = self.magic_queue_ns {
+            parts.push(format!("magic_queue<={ns}ns"));
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            format!("seed={}: {}", self.seed, parts.join("; "))
+        }
+    }
+
     /// A seeded chaos recipe: the seed deterministically picks which
     /// fault classes are armed and how hard. Used by the `chaos` bench to
     /// sweep the failure space reproducibly.

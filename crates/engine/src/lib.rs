@@ -27,7 +27,13 @@
 //! - [`account`]: a cycle-accounting profiler attributing every simulated
 //!   picosecond on every node to a stall class (compute, cache misses,
 //!   TLB, occupancy, network, sync, OS), sampled into time phases — the
-//!   substrate for per-class error attribution between platforms.
+//!   substrate for per-class error attribution between platforms,
+//! - [`telemetry`]: a sim-time metrics registry (counters, gauges,
+//!   occupancy integrators in integer picoseconds) sampled into bounded
+//!   time series with JSONL/Prometheus export — how queue depths and
+//!   utilization *evolve* over a run, not just where the cycles went,
+//! - [`prom`]: the single shared Prometheus text-exposition formatter
+//!   used by every exporter in the workspace.
 //!
 //! # Examples
 //!
@@ -52,10 +58,12 @@ pub mod account;
 pub mod event;
 pub mod fault;
 pub mod fxhash;
+pub mod prom;
 pub mod resource;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -67,5 +75,6 @@ pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
 pub use sched::LaggardHeap;
 pub use stats::{Counter, Histogram, StatSet};
+pub use telemetry::{MetricId, MetricKind, MetricSeries, Telemetry, TelemetrySeries};
 pub use time::{Clock, Time, TimeDelta};
 pub use trace::{CategoryMask, Trace, TraceCategory, TraceEvent, Tracer};

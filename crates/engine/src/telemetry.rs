@@ -1,0 +1,852 @@
+//! Sim-time telemetry: a typed metrics registry sampled into a bounded
+//! time-series buffer.
+//!
+//! The paper's central diagnostic is *occupancy* — FLASH's performance
+//! cliffs come from MAGIC inbound-queue depth and hot-spotted
+//! directories, and the simulators err exactly where they omit that
+//! queueing (PAPER §3, hotspot study). The accounting profiler
+//! ([`crate::account`]) attributes cycles after the fact; this module
+//! shows how queue depths, utilization, and hit rates *evolve over
+//! simulated time*, so a run report can display the occupancy ramp the
+//! paper describes instead of a single end-of-run number.
+//!
+//! # Model
+//!
+//! Three metric kinds, all integer-valued in the engine's native units:
+//!
+//! - **Counter** — monotone event tally (cache hits, NACKs, messages).
+//!   Buckets hold per-window increments; `total` is the run sum.
+//! - **Gauge** — instantaneous level sampled at update sites (pending
+//!   -miss depth, directory-pool fill, clock skew). Buckets hold the
+//!   per-window *maximum*; `total` is the run-wide maximum. Max is
+//!   commutative, so gauges tolerate the intra-window reordering that
+//!   laggard-batched scheduling permits for node-local work.
+//! - **Occupancy** — a time-weighted integrator exactly like
+//!   [`crate::account`]'s books: each update integrates the previous
+//!   level over the elapsed picoseconds, splitting the integral exactly
+//!   at bucket boundaries. `total` is the full integral in value·ps, so
+//!   `total / elapsed_ps` is the time-weighted mean with no rounding
+//!   loss (conservation is asserted in `tests/telemetry_determinism.rs`).
+//!
+//! Series are bounded the same way as accounting phases: a fixed
+//! [`BUCKETS`]-slot buffer whose window width starts at the configured
+//! cadence and doubles (merging adjacent buckets — sums for counters
+//! and occupancy, maxes for gauges) whenever simulated time outgrows
+//! the buffer. Memory is therefore constant regardless of run length,
+//! and because `floor(floor(t/w)/2) == floor(t/2w)` the final series
+//! depends only on the recorded samples and the final width, not on
+//! when the doublings happened.
+//!
+//! # Determinism
+//!
+//! Metrics registered with [`Telemetry::register`] must be driven only
+//! by scheduling-policy-invariant state (see `tests/sched_equivalence.rs`);
+//! they appear in the stable JSONL export and are byte-identical across
+//! `SchedPolicy::Batched` and `Reference`. Scheduler-internal series
+//! (laggard-heap occupancy, batch lengths, event-queue depth) are
+//! registered with [`Telemetry::register_volatile`] and are excluded
+//! from the stable export — they are meaningful per policy but not
+//! comparable across policies.
+//!
+//! # Disabled path
+//!
+//! [`Telemetry`] follows the [`crate::trace::Tracer`] /
+//! [`crate::account::Profiler`] handle pattern: a disabled handle is
+//! `None` inside, and every record call is a single branch. The
+//! `simspeed` perf gate runs with telemetry compiled in but off.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim_engine::telemetry::{MetricKind, Telemetry};
+//! use flashsim_engine::time::{Time, TimeDelta};
+//!
+//! let tel = Telemetry::with_cadence(TimeDelta::from_ns(100));
+//! let depth = tel.register("magic.queue_ps", MetricKind::Occupancy);
+//! tel.occupy(depth, Time::ZERO, 3); // level 3 from t=0
+//! tel.occupy(depth, Time::from_ns(200), 1); // level 1 from t=200ns
+//! let series = tel.snapshot(Time::from_ns(300)).unwrap();
+//! let m = series.get("magic.queue_ps").unwrap();
+//! // 3·200ns + 1·100ns = 700 000 value·ps
+//! assert_eq!(m.total, 700_000);
+//! assert!(series.conserved());
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use crate::prom;
+use crate::time::{Time, TimeDelta};
+use crate::trace::push_json_escaped;
+
+/// Schema identifier stamped on the JSONL header line.
+pub const SCHEMA: &str = "flashsim-telemetry-v1";
+
+/// Number of time buckets per series; fixed so telemetry memory is
+/// constant regardless of run length (mirrors `account::PHASES`).
+pub const BUCKETS: usize = 64;
+
+/// Default initial bucket width (~1 µs), matching the accounting
+/// profiler's initial phase width.
+const DEFAULT_BUCKET_PS: u64 = 1 << 20;
+
+/// What a metric measures, fixed at registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event tally; buckets sum.
+    Counter,
+    /// Instantaneous level; buckets hold the per-window maximum.
+    Gauge,
+    /// Time-weighted integrator in value·picoseconds; buckets hold
+    /// exact per-window integrals.
+    Occupancy,
+}
+
+impl MetricKind {
+    /// Stable lower-case key used in exports.
+    pub const fn key(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Occupancy => "occupancy",
+        }
+    }
+}
+
+/// Handle to a registered metric. Cheap to copy and store in hot
+/// structs; recording through an id on a disabled registry is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// Sentinel id held by instrumented structs before/without
+    /// registration; all record calls through it are no-ops.
+    pub const NONE: MetricId = MetricId(u32::MAX);
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: &'static str,
+    kind: MetricKind,
+    volatile: bool,
+    total: u64,
+    /// Occupancy only: current level and the time it was established.
+    last_value: u64,
+    last_at: u64,
+    buckets: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Registry {
+    bucket_ps: u64,
+    /// High-water mark of any recorded timestamp, so a snapshot taken
+    /// at the final core clock still covers late memory-system events.
+    high_ps: u64,
+    metrics: Vec<Metric>,
+}
+
+impl Registry {
+    fn new(cadence_ps: u64) -> Registry {
+        Registry {
+            bucket_ps: cadence_ps.max(1),
+            high_ps: 0,
+            metrics: Vec::new(),
+        }
+    }
+
+    fn register(&mut self, name: &'static str, kind: MetricKind, volatile: bool) -> MetricId {
+        if let Some(i) = self.metrics.iter().position(|m| m.name == name) {
+            return MetricId(i as u32);
+        }
+        self.metrics.push(Metric {
+            name,
+            kind,
+            volatile,
+            total: 0,
+            last_value: 0,
+            last_at: 0,
+            buckets: vec![0; BUCKETS],
+        });
+        MetricId((self.metrics.len() - 1) as u32)
+    }
+
+    /// Doubles the bucket width (merging adjacent pairs) until `ps`
+    /// fits inside the buffer. Counter/occupancy pairs sum; gauge
+    /// pairs take the max.
+    fn grow_to(&mut self, ps: u64) {
+        self.high_ps = self.high_ps.max(ps);
+        while ps / self.bucket_ps >= BUCKETS as u64 {
+            for m in &mut self.metrics {
+                for i in 0..BUCKETS / 2 {
+                    let (a, b) = (m.buckets[2 * i], m.buckets[2 * i + 1]);
+                    m.buckets[i] = match m.kind {
+                        MetricKind::Gauge => a.max(b),
+                        _ => a.saturating_add(b),
+                    };
+                }
+                for b in &mut m.buckets[BUCKETS / 2..] {
+                    *b = 0;
+                }
+            }
+            self.bucket_ps = self.bucket_ps.saturating_mul(2);
+        }
+    }
+
+    fn count(&mut self, id: MetricId, at: Time, n: u64) {
+        let ps = at.as_ps();
+        self.grow_to(ps);
+        let idx = (ps / self.bucket_ps) as usize;
+        if let Some(m) = self.metrics.get_mut(id.0 as usize) {
+            m.total = m.total.saturating_add(n);
+            m.buckets[idx] = m.buckets[idx].saturating_add(n);
+        }
+    }
+
+    fn gauge(&mut self, id: MetricId, at: Time, value: u64) {
+        let ps = at.as_ps();
+        self.grow_to(ps);
+        let idx = (ps / self.bucket_ps) as usize;
+        if let Some(m) = self.metrics.get_mut(id.0 as usize) {
+            m.total = m.total.max(value);
+            m.buckets[idx] = m.buckets[idx].max(value);
+        }
+    }
+
+    fn occupy(&mut self, id: MetricId, at: Time, value: u64) {
+        let ps = at.as_ps();
+        self.grow_to(ps);
+        let bucket_ps = self.bucket_ps;
+        if let Some(m) = self.metrics.get_mut(id.0 as usize) {
+            if ps > m.last_at {
+                integrate(bucket_ps, m, ps);
+            }
+            m.last_value = value;
+        }
+    }
+
+    /// Closes all occupancy integrals at `end` and freezes the registry
+    /// into an exportable series. Non-destructive (works on a clone),
+    /// so a snapshot can be taken mid-run.
+    fn snapshot(&self, end: Time) -> TelemetrySeries {
+        let mut reg = self.clone();
+        let end_ps = end.as_ps().max(reg.high_ps);
+        reg.grow_to(end_ps);
+        let bucket_ps = reg.bucket_ps;
+        for m in &mut reg.metrics {
+            if m.kind == MetricKind::Occupancy && end_ps > m.last_at {
+                integrate(bucket_ps, m, end_ps);
+            }
+        }
+        TelemetrySeries {
+            bucket_ps,
+            end_ps,
+            metrics: reg
+                .metrics
+                .into_iter()
+                .map(|m| MetricSeries {
+                    name: m.name.to_string(),
+                    kind: m.kind,
+                    volatile: m.volatile,
+                    total: m.total,
+                    buckets: m.buckets,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Integrates `m.last_value` over `[m.last_at, to_ps)`, splitting the
+/// integral exactly at bucket boundaries so per-bucket integrals always
+/// sum to the running total. Caller guarantees `to_ps` fits the buffer.
+fn integrate(bucket_ps: u64, m: &mut Metric, to_ps: u64) {
+    let mut cur = m.last_at;
+    while cur < to_ps {
+        let idx = (cur / bucket_ps) as usize;
+        let bucket_end = (idx as u64 + 1).saturating_mul(bucket_ps);
+        let stop = bucket_end.min(to_ps);
+        let area = m.last_value.saturating_mul(stop - cur);
+        m.buckets[idx] = m.buckets[idx].saturating_add(area);
+        m.total = m.total.saturating_add(area);
+        cur = stop;
+    }
+    m.last_at = to_ps;
+}
+
+/// Handle to the sim-time telemetry registry. Clones share one
+/// registry (like [`crate::trace::Tracer`]); the default handle is
+/// disabled and every record call through it costs exactly one branch.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: registration returns [`MetricId::NONE`] and
+    /// all record calls are one-branch no-ops.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled registry with the default ~1 µs initial bucket width.
+    pub fn new() -> Telemetry {
+        Telemetry::with_cadence(TimeDelta::from_ps(DEFAULT_BUCKET_PS))
+    }
+
+    /// An enabled registry whose initial bucket width is `cadence`
+    /// (clamped to ≥ 1 ps); the width doubles as simulated time
+    /// outgrows the [`BUCKETS`]-slot buffer.
+    pub fn with_cadence(cadence: TimeDelta) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(Registry::new(cadence.as_ps())))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or looks up, by name) a policy-invariant metric.
+    /// Returns [`MetricId::NONE`] on a disabled handle.
+    pub fn register(&self, name: &'static str, kind: MetricKind) -> MetricId {
+        match &self.inner {
+            Some(inner) => inner
+                .lock()
+                .expect("telemetry registry poisoned")
+                .register(name, kind, false),
+            None => MetricId::NONE,
+        }
+    }
+
+    /// Registers a scheduler-dependent metric, excluded from the stable
+    /// JSONL export (see the module docs on determinism).
+    pub fn register_volatile(&self, name: &'static str, kind: MetricKind) -> MetricId {
+        match &self.inner {
+            Some(inner) => inner
+                .lock()
+                .expect("telemetry registry poisoned")
+                .register(name, kind, true),
+            None => MetricId::NONE,
+        }
+    }
+
+    /// Adds `n` to a counter at simulated time `at`.
+    #[inline]
+    pub fn count(&self, id: MetricId, at: Time, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("telemetry registry poisoned")
+            .count(id, at, n);
+    }
+
+    /// Records an instantaneous gauge level at simulated time `at`.
+    #[inline]
+    pub fn gauge(&self, id: MetricId, at: Time, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("telemetry registry poisoned")
+            .gauge(id, at, value);
+    }
+
+    /// Establishes a new occupancy level at simulated time `at`,
+    /// integrating the previous level over the elapsed picoseconds.
+    /// Updates with `at` earlier than the integrator's clock only take
+    /// effect going forward (the integral never runs backwards).
+    #[inline]
+    pub fn occupy(&self, id: MetricId, at: Time, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("telemetry registry poisoned")
+            .occupy(id, at, value);
+    }
+
+    /// Freezes the registry into an exportable series, closing all
+    /// occupancy integrals at `end` (or at the latest recorded sample,
+    /// whichever is later). `None` on a disabled handle.
+    pub fn snapshot(&self, end: Time) -> Option<TelemetrySeries> {
+        self.inner.as_ref().map(|inner| {
+            inner
+                .lock()
+                .expect("telemetry registry poisoned")
+                .snapshot(end)
+        })
+    }
+}
+
+/// One exported metric: its registration metadata, run total, and the
+/// [`BUCKETS`]-slot time series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSeries {
+    /// Registered name, e.g. `magic.queue_ps`.
+    pub name: String,
+    /// Counter, gauge, or occupancy — fixes bucket/total semantics.
+    pub kind: MetricKind,
+    /// Scheduler-dependent; excluded from the stable JSONL export.
+    pub volatile: bool,
+    /// Counter: run sum. Gauge: run max. Occupancy: full integral in
+    /// value·picoseconds.
+    pub total: u64,
+    /// Per-window values; window `i` covers `[i·bucket_ps, (i+1)·bucket_ps)`.
+    pub buckets: Vec<u64>,
+}
+
+/// A frozen telemetry snapshot: every registered metric's bounded time
+/// series plus the common bucket geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySeries {
+    /// Final bucket width in picoseconds (after any doublings).
+    pub bucket_ps: u64,
+    /// The instant the snapshot was closed at, in picoseconds.
+    pub end_ps: u64,
+    /// All registered metrics, in registration order.
+    pub metrics: Vec<MetricSeries>,
+}
+
+impl TelemetrySeries {
+    /// Looks a metric up by registered name.
+    pub fn get(&self, name: &str) -> Option<&MetricSeries> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Checks the bucketing invariant for every metric: counter and
+    /// occupancy buckets sum exactly to `total`; the gauge bucket max
+    /// equals `total`. This is what makes "time-weighted mean ×
+    /// elapsed == integral" exact in integer arithmetic.
+    pub fn conserved(&self) -> bool {
+        self.metrics.iter().all(|m| match m.kind {
+            MetricKind::Gauge => m.buckets.iter().copied().max().unwrap_or(0) == m.total,
+            _ => m.buckets.iter().fold(0u64, |acc, &b| acc.saturating_add(b)) == m.total,
+        })
+    }
+
+    /// Stable JSONL export (`flashsim-telemetry-v1`): volatile metrics
+    /// are excluded, so the output is byte-identical across scheduling
+    /// policies and reruns. One header line, then one line per
+    /// non-empty bucket.
+    pub fn to_jsonl(&self) -> String {
+        self.jsonl(false)
+    }
+
+    /// Full JSONL export including volatile (scheduler-dependent)
+    /// metrics; same schema, comparable only within one `SchedPolicy`.
+    pub fn to_jsonl_full(&self) -> String {
+        self.jsonl(true)
+    }
+
+    fn jsonl(&self, include_volatile: bool) -> String {
+        let included: Vec<&MetricSeries> = self
+            .metrics
+            .iter()
+            .filter(|m| include_volatile || !m.volatile)
+            .collect();
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str(&format!(
+            "\",\"bucket_ps\":{},\"end_ps\":{},\"metrics\":[",
+            self.bucket_ps, self.end_ps
+        ));
+        for (i, m) in included.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            push_json_escaped(&mut out, &m.name);
+            out.push_str(&format!(
+                "\",\"kind\":\"{}\",\"total\":{}}}",
+                m.kind.key(),
+                m.total
+            ));
+        }
+        out.push_str("]}\n");
+        for b in 0..BUCKETS {
+            if included.iter().all(|m| m.buckets[b] == 0) {
+                continue;
+            }
+            out.push_str(&format!(
+                "{{\"bucket\":{},\"start_ps\":{},\"values\":{{",
+                b,
+                b as u64 * self.bucket_ps
+            ));
+            let mut first = true;
+            for m in &included {
+                if m.buckets[b] == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                push_json_escaped(&mut out, &m.name);
+                out.push_str(&format!("\":{}", m.buckets[b]));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Prometheus text export via the shared [`crate::prom`] helper:
+    /// run totals plus non-empty bucket samples, all metrics included
+    /// (this surface is for humans and scrapes, not the determinism
+    /// contract — use [`TelemetrySeries::to_jsonl`] for that).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        prom::push_type(&mut out, "flashsim_telemetry_total", "gauge");
+        for m in &self.metrics {
+            prom::push_sample(
+                &mut out,
+                "flashsim_telemetry_total",
+                &[("metric", &m.name), ("kind", m.kind.key())],
+                m.total,
+            );
+        }
+        prom::push_type(&mut out, "flashsim_telemetry_bucket", "gauge");
+        for m in &self.metrics {
+            for (i, &v) in m.buckets.iter().enumerate() {
+                if v == 0 {
+                    continue;
+                }
+                prom::push_sample(
+                    &mut out,
+                    "flashsim_telemetry_bucket",
+                    &[
+                        ("metric", &m.name),
+                        ("bucket", &i.to_string()),
+                        ("start_ps", &(i as u64 * self.bucket_ps).to_string()),
+                    ],
+                    v,
+                );
+            }
+        }
+        out
+    }
+
+    /// Human-readable table: one row per metric with its total and a
+    /// 64-column ASCII sparkline of the bucket series (each column
+    /// scaled to the metric's own peak bucket).
+    pub fn render(&self) -> String {
+        const RAMP: [char; 6] = [' ', '.', ':', '=', '#', '@'];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry: bucket {} ns, end {} ns\n",
+            self.bucket_ps / 1000,
+            self.end_ps / 1000
+        ));
+        let name_w = self
+            .metrics
+            .iter()
+            .map(|m| m.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        out.push_str(&format!(
+            "{:<name_w$}  {:<9}  {:>20}  series\n",
+            "metric", "kind", "total"
+        ));
+        for m in &self.metrics {
+            let peak = m.buckets.iter().copied().max().unwrap_or(0);
+            let spark: String = m
+                .buckets
+                .iter()
+                .map(|&v| {
+                    if peak == 0 {
+                        ' '
+                    } else {
+                        RAMP[((v as u128 * (RAMP.len() as u128 - 1)).div_ceil(peak as u128))
+                            as usize]
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "{:<name_w$}  {:<9}  {:>20}  |{}|{}\n",
+                m.name,
+                m.kind.key(),
+                m.total,
+                spark,
+                if m.volatile { "  (volatile)" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// Validates `flashsim-telemetry-v1` JSONL structure: schema header,
+/// metric declarations, strictly increasing in-range bucket lines whose
+/// value keys all refer to declared metrics. Returns a description of
+/// the first violation. This is the `report --validate` / `check.sh`
+/// gate, hand-rolled like the rest of the JSON layer.
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header)) = lines.next() else {
+        return Err("empty telemetry file".to_string());
+    };
+    let schema_prefix = format!("{{\"schema\":\"{SCHEMA}\"");
+    if !header.starts_with(&schema_prefix) {
+        return Err(format!("line 1: header must start with {schema_prefix}"));
+    }
+    for key in ["\"bucket_ps\":", "\"end_ps\":", "\"metrics\":["] {
+        if !header.contains(key) {
+            return Err(format!("line 1: header missing {key}"));
+        }
+    }
+    let declared = scan_strings_after(header, "\"name\":");
+    let mut prev_bucket: Option<u64> = None;
+    for (i, line) in lines {
+        let n = i + 1;
+        let Some(rest) = line.strip_prefix("{\"bucket\":") else {
+            return Err(format!("line {n}: expected a {{\"bucket\":…}} line"));
+        };
+        let Some(bucket) = leading_u64(rest) else {
+            return Err(format!("line {n}: bucket index is not an integer"));
+        };
+        if bucket >= BUCKETS as u64 {
+            return Err(format!(
+                "line {n}: bucket {bucket} out of range (<{BUCKETS})"
+            ));
+        }
+        if let Some(p) = prev_bucket {
+            if bucket <= p {
+                return Err(format!("line {n}: bucket {bucket} not after {p}"));
+            }
+        }
+        prev_bucket = Some(bucket);
+        if !line.contains("\"start_ps\":") || !line.contains("\"values\":{") {
+            return Err(format!("line {n}: missing start_ps or values"));
+        }
+        let Some(values) = line.split("\"values\":{").nth(1) else {
+            return Err(format!("line {n}: malformed values object"));
+        };
+        for key in scan_strings_after(values, "") {
+            if !declared.contains(&key) {
+                return Err(format!("line {n}: undeclared metric {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects every JSON string literal in `text` that directly follows
+/// `prefix` (pass `""` to collect all string literals), honouring
+/// backslash escapes. Good enough for the flat, machine-written lines
+/// this validator sees.
+fn scan_strings_after(text: &str, prefix: &str) -> Vec<String> {
+    let needle = format!("{prefix}\"");
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find(&needle) {
+        let body_start = start + pos + needle.len();
+        let mut s = String::new();
+        let mut iter = text[body_start..].char_indices();
+        let mut end = None;
+        while let Some((j, c)) = iter.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, escaped)) = iter.next() {
+                        s.push(escaped);
+                    }
+                }
+                '"' => {
+                    end = Some(body_start + j + 1);
+                    break;
+                }
+                _ => s.push(c),
+            }
+        }
+        let Some(e) = end else { break };
+        out.push(s);
+        start = e;
+    }
+    out
+}
+
+/// Parses the leading decimal digits of `s`, if any.
+fn leading_u64(s: &str) -> Option<u64> {
+    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        let id = tel.register("x", MetricKind::Counter);
+        assert_eq!(id, MetricId::NONE);
+        tel.count(id, Time::from_ns(1), 5);
+        tel.gauge(id, Time::from_ns(2), 5);
+        tel.occupy(id, Time::from_ns(3), 5);
+        assert!(tel.snapshot(Time::from_ns(10)).is_none());
+    }
+
+    #[test]
+    fn register_is_idempotent_by_name() {
+        let tel = Telemetry::new();
+        let a = tel.register("m", MetricKind::Counter);
+        let b = tel.register("m", MetricKind::Counter);
+        assert_eq!(a, b);
+        let c = tel.register("n", MetricKind::Gauge);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counters_bucket_and_conserve() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(10));
+        let id = tel.register("hits", MetricKind::Counter);
+        tel.count(id, Time::from_ns(1), 2);
+        tel.count(id, Time::from_ns(15), 3);
+        tel.count(id, Time::from_ns(15), 1);
+        let s = tel.snapshot(Time::from_ns(20)).expect("enabled");
+        let m = s.get("hits").expect("registered");
+        assert_eq!(m.total, 6);
+        assert_eq!(m.buckets[0], 2);
+        assert_eq!(m.buckets[1], 4);
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn gauges_take_window_maxima() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(10));
+        let id = tel.register("depth", MetricKind::Gauge);
+        tel.gauge(id, Time::from_ns(1), 4);
+        tel.gauge(id, Time::from_ns(2), 9);
+        tel.gauge(id, Time::from_ns(3), 1);
+        tel.gauge(id, Time::from_ns(11), 5);
+        let s = tel.snapshot(Time::from_ns(20)).expect("enabled");
+        let m = s.get("depth").expect("registered");
+        assert_eq!(m.buckets[0], 9);
+        assert_eq!(m.buckets[1], 5);
+        assert_eq!(m.total, 9);
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn occupancy_integral_is_exact_across_boundaries() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ps(100));
+        let id = tel.register("occ", MetricKind::Occupancy);
+        tel.occupy(id, Time::from_ps(0), 7); // 7 over [0,250)
+        tel.occupy(id, Time::from_ps(250), 2); // 2 over [250,400)
+        let s = tel.snapshot(Time::from_ps(400)).expect("enabled");
+        let m = s.get("occ").expect("registered");
+        assert_eq!(m.buckets[0], 700);
+        assert_eq!(m.buckets[1], 700);
+        assert_eq!(m.buckets[2], 7 * 50 + 2 * 50);
+        assert_eq!(m.buckets[3], 200);
+        assert_eq!(m.total, 7 * 250 + 2 * 150);
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn occupancy_ignores_backwards_time() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ps(100));
+        let id = tel.register("occ", MetricKind::Occupancy);
+        tel.occupy(id, Time::from_ps(200), 5);
+        // Earlier than the integrator clock: only the level changes.
+        tel.occupy(id, Time::from_ps(100), 3);
+        let s = tel.snapshot(Time::from_ps(300)).expect("enabled");
+        let m = s.get("occ").expect("registered");
+        assert_eq!(m.total, 3 * 100);
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn doubling_merge_preserves_totals_and_placement() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ps(1));
+        let c = tel.register("c", MetricKind::Counter);
+        let g = tel.register("g", MetricKind::Gauge);
+        tel.count(c, Time::from_ps(3), 10);
+        tel.gauge(g, Time::from_ps(3), 10);
+        // Force several doublings: 1 ps buckets can only cover 64 ps.
+        tel.count(c, Time::from_ps(1000), 1);
+        tel.gauge(g, Time::from_ps(1000), 4);
+        let s = tel.snapshot(Time::from_ps(1000)).expect("enabled");
+        assert_eq!(s.bucket_ps, 16); // 1 → 16 covers 1000 in 64 buckets
+        let cm = s.get("c").expect("counter");
+        assert_eq!(cm.buckets[3 / 16], 10);
+        assert_eq!(cm.buckets[1000 / 16], 1);
+        assert_eq!(cm.total, 11);
+        let gm = s.get("g").expect("gauge");
+        assert_eq!(gm.buckets[0], 10);
+        assert_eq!(gm.buckets[1000 / 16], 4);
+        assert_eq!(gm.total, 10);
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn stable_jsonl_excludes_volatile_and_validates() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(1));
+        let stable = tel.register("mem.l1_hits", MetricKind::Counter);
+        let vol = tel.register_volatile("sched.heap", MetricKind::Gauge);
+        tel.count(stable, Time::from_ns(2), 3);
+        tel.gauge(vol, Time::from_ns(2), 9);
+        let s = tel.snapshot(Time::from_ns(10)).expect("enabled");
+        let stable_out = s.to_jsonl();
+        assert!(stable_out.contains("mem.l1_hits"));
+        assert!(!stable_out.contains("sched.heap"));
+        let full_out = s.to_jsonl_full();
+        assert!(full_out.contains("sched.heap"));
+        validate_jsonl(&stable_out).expect("stable export validates");
+        validate_jsonl(&full_out).expect("full export validates");
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        let tel = Telemetry::new();
+        let id = tel.register("m", MetricKind::Counter);
+        tel.count(id, Time::from_ns(5), 1);
+        let good = tel.snapshot(Time::from_ns(10)).expect("enabled").to_jsonl();
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("{\"schema\":\"other\"}").is_err());
+        let bad_metric = good.replacen("\"m\":", "\"zzz\":", 1);
+        assert!(validate_jsonl(&bad_metric).is_err());
+        let mut out_of_range = good.clone();
+        out_of_range.push_str("{\"bucket\":99,\"start_ps\":0,\"values\":{\"m\":1}}\n");
+        assert!(validate_jsonl(&out_of_range).is_err());
+        let mut not_increasing = good.clone();
+        let bucket_line = good
+            .lines()
+            .nth(1)
+            .expect("series has one bucket line")
+            .to_string();
+        not_increasing.push_str(&bucket_line);
+        not_increasing.push('\n');
+        assert!(validate_jsonl(&not_increasing).is_err());
+    }
+
+    #[test]
+    fn prometheus_export_goes_through_shared_helper() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(1));
+        let id = tel.register("net.messages", MetricKind::Counter);
+        tel.count(id, Time::from_ns(0), 2);
+        let s = tel.snapshot(Time::from_ns(4)).expect("enabled");
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE flashsim_telemetry_total gauge\n"));
+        assert!(
+            prom.contains("flashsim_telemetry_total{metric=\"net.messages\",kind=\"counter\"} 2\n")
+        );
+        assert!(prom.contains(
+            "flashsim_telemetry_bucket{metric=\"net.messages\",bucket=\"0\",start_ps=\"0\"} 2\n"
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_not_destructive() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(10));
+        let id = tel.register("occ", MetricKind::Occupancy);
+        tel.occupy(id, Time::ZERO, 4);
+        let first = tel.snapshot(Time::from_ns(10)).expect("enabled");
+        // Recording continues after a mid-run snapshot.
+        tel.occupy(id, Time::from_ns(20), 0);
+        let second = tel.snapshot(Time::from_ns(20)).expect("enabled");
+        assert_eq!(first.get("occ").expect("occ").total, 4 * 10_000);
+        assert_eq!(second.get("occ").expect("occ").total, 4 * 20_000);
+    }
+}

@@ -45,8 +45,8 @@ pub mod params;
 pub use params::FlashLiteParams;
 
 use flashsim_engine::{
-    FaultInjector, MessageFate, Resource, ResourcePool, StatSet, Time, TimeDelta, TraceCategory,
-    Tracer,
+    FaultInjector, MessageFate, MetricId, MetricKind, Resource, ResourcePool, StatSet, Telemetry,
+    Time, TimeDelta, TraceCategory, Tracer,
 };
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
@@ -72,6 +72,13 @@ pub struct FlashLite {
     case_latency_ns: BTreeMap<ProtocolCase, f64>,
     tracer: Tracer,
     faults: FaultInjector,
+    telemetry: Telemetry,
+    tel_queue: MetricId,
+    tel_pool: MetricId,
+    tel_reclaims: MetricId,
+    tel_nacks: MetricId,
+    tel_retries: MetricId,
+    tel_bank_wait: MetricId,
     nacks: u64,
     retries: u64,
     nack_backoff: TimeDelta,
@@ -112,6 +119,13 @@ impl FlashLite {
             case_latency_ns: BTreeMap::new(),
             tracer: Tracer::disabled(),
             faults: FaultInjector::inert(),
+            telemetry: Telemetry::disabled(),
+            tel_queue: MetricId::NONE,
+            tel_pool: MetricId::NONE,
+            tel_reclaims: MetricId::NONE,
+            tel_nacks: MetricId::NONE,
+            tel_retries: MetricId::NONE,
+            tel_bank_wait: MetricId::NONE,
             nacks: 0,
             retries: 0,
             nack_backoff: TimeDelta::ZERO,
@@ -132,6 +146,7 @@ impl FlashLite {
         self.params = params;
         self.net = Network::new(self.net.topology(), params.net);
         self.net.attach_tracer(self.tracer.clone());
+        self.net.attach_telemetry(self.telemetry.clone());
     }
 
     /// Charges a protocol handler: the full cycle count contributes to the
@@ -164,6 +179,8 @@ impl FlashLite {
 
     fn mem_acquire(&mut self, node: NodeId, t: Time) -> Time {
         let grant = self.mem[node as usize].acquire(t, self.params.mem_busy);
+        self.telemetry
+            .count(self.tel_bank_wait, grant.start, grant.wait.as_ps());
         grant.start + self.params.mem_access
     }
 
@@ -204,6 +221,7 @@ impl FlashLite {
         let mut retries: u32 = 0;
         while self.pp[home as usize].wait_at(t) > p.nack_threshold && retries < p.nack_max_retries {
             self.nacks += 1;
+            self.telemetry.count(self.tel_nacks, t, 1);
             retries += 1;
             let mut rt = self.send(home, requester, p.header_bytes, t);
             let backoff = p.nack_retry_base * (1u64 << (retries - 1).min(6));
@@ -216,6 +234,10 @@ impl FlashLite {
             t = self.send(requester, home, p.header_bytes, rt);
         }
         self.retries += u64::from(retries);
+        if retries > 0 {
+            self.telemetry
+                .count(self.tel_retries, t, u64::from(retries));
+        }
         t
     }
 
@@ -316,13 +338,25 @@ impl FlashLite {
         } else {
             p.pp_dir_remote
         };
+        // MAGIC inbound-queue occupancy at the home, sampled as each
+        // demand reaches the directory handler: the queued work (in ps)
+        // ahead of this request. This is the series the paper's hotspot
+        // study turns on — the latency-only NUMA model has no such queue.
+        self.telemetry
+            .occupy(self.tel_queue, t, self.pp[home as usize].wait_at(t).as_ps());
         t = self.pp_acquire(home, dir_cycles, t);
 
+        let reclaims_before = self.dirs[home as usize].reclaims();
         let resp = if exclusive_intent {
             self.dirs[home as usize].read_exclusive(req.line, requester)
         } else {
             self.dirs[home as usize].read(req.line, requester)
         };
+        let dir_occ = self.dirs[home as usize].occupancy_sample();
+        self.telemetry
+            .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        self.telemetry
+            .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         let case = classify_read(requester, home, resp.source);
 
         // Invalidations (read-exclusive on a shared line, or pointer
@@ -429,9 +463,17 @@ impl FlashLite {
         } else {
             p.pp_dir_remote
         };
+        self.telemetry
+            .occupy(self.tel_queue, t, self.pp[home as usize].wait_at(t).as_ps());
         t = self.pp_acquire(home, dir_cycles, t);
 
+        let reclaims_before = self.dirs[home as usize].reclaims();
         let resp = self.dirs[home as usize].upgrade(req.line, requester);
+        let dir_occ = self.dirs[home as usize].occupancy_sample();
+        self.telemetry
+            .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        self.telemetry
+            .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         // For an upgrade, the invalidation round IS the critical path;
         // its whole duration is exposed protocol work at the home, so it
         // is charged wholesale as occupancy (per-leg charges inside the
@@ -555,6 +597,19 @@ impl MemorySystem for FlashLite {
 
     fn attach_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        // `magic.queue_ps` is the paper's omitted-queueing signature:
+        // FlashLite registers it, the NUMA model does not.
+        self.tel_queue = telemetry.register("magic.queue_ps", MetricKind::Occupancy);
+        self.tel_pool = telemetry.register("proto.dir_pool_used", MetricKind::Gauge);
+        self.tel_reclaims = telemetry.register("proto.dir_reclaims", MetricKind::Counter);
+        self.tel_nacks = telemetry.register("magic.nacks", MetricKind::Counter);
+        self.tel_retries = telemetry.register("magic.retries", MetricKind::Counter);
+        self.tel_bank_wait = telemetry.register("mem.bank_wait_ps", MetricKind::Counter);
+        self.net.attach_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     fn model_name(&self) -> &'static str {

@@ -202,6 +202,17 @@ pub enum SchedPolicy {
     Reference,
 }
 
+impl SchedPolicy {
+    /// A short machine-readable label (`"batched"` / `"reference"`),
+    /// recorded in run manifests.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SchedPolicy::Batched => "batched",
+            SchedPolicy::Reference => "reference",
+        }
+    }
+}
+
 /// A complete machine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -227,6 +238,17 @@ pub struct MachineConfig {
     pub faults: Option<FaultPlan>,
     /// Scheduling policy (default: lookahead-batched).
     pub sched: SchedPolicy,
+    /// Sim-time telemetry sampling cadence (default: disabled). When set,
+    /// the machine attaches an enabled [`flashsim_engine::Telemetry`] with
+    /// this bucket width at construction and the run result carries the
+    /// sampled series.
+    pub telemetry: Option<TimeDelta>,
+    /// Attach a cycle-accounting profiler at construction (default:
+    /// off), so matrix-driven runs can carry accounting without the
+    /// caller holding the [`crate::Machine`].
+    pub profile: bool,
+    /// Live stderr heartbeat interval (host wall-clock; default: off).
+    pub heartbeat: Option<std::time::Duration>,
 }
 
 impl MachineConfig {
@@ -251,6 +273,9 @@ impl MachineConfig {
             watchdog: Watchdog::default(),
             faults: None,
             sched: SchedPolicy::default(),
+            telemetry: None,
+            profile: false,
+            heartbeat: None,
         }
     }
 

@@ -33,8 +33,8 @@ use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_engine::{
-    Accounting, Clock, FaultInjector, LaggardHeap, Profiler, StallClass, StatSet, Time, TimeDelta,
-    TraceCategory, Tracer,
+    Accounting, Clock, FaultInjector, LaggardHeap, MetricId, MetricKind, Profiler, StallClass,
+    StatSet, Telemetry, TelemetrySeries, Time, TimeDelta, TraceCategory, Tracer,
 };
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
@@ -122,6 +122,53 @@ struct LockState {
     queue: Vec<(usize, Time)>,
 }
 
+/// Metric ids for the machine layer's own telemetry probes. All
+/// [`MetricId::NONE`] until [`Machine::attach_telemetry`]; each probe
+/// site then costs exactly the registry handle's disabled-path branch.
+#[derive(Debug, Clone, Copy)]
+struct TelIds {
+    l1_hits: MetricId,
+    l1_misses: MetricId,
+    l2_hits: MetricId,
+    l2_misses: MetricId,
+    pending_depth: MetricId,
+    barrier_skew: MetricId,
+    /// Scheduler-internal (volatile: excluded from the stable export
+    /// because batching reshapes it by design).
+    sched_batches: MetricId,
+    /// Scheduler-internal (volatile): ops admitted per batch.
+    sched_batch_ops: MetricId,
+    /// Scheduler-internal (volatile): runnable nodes in the laggard heap.
+    sched_heap: MetricId,
+}
+
+impl TelIds {
+    fn none() -> TelIds {
+        TelIds {
+            l1_hits: MetricId::NONE,
+            l1_misses: MetricId::NONE,
+            l2_hits: MetricId::NONE,
+            l2_misses: MetricId::NONE,
+            pending_depth: MetricId::NONE,
+            barrier_skew: MetricId::NONE,
+            sched_batches: MetricId::NONE,
+            sched_batch_ops: MetricId::NONE,
+            sched_heap: MetricId::NONE,
+        }
+    }
+}
+
+/// Live progress line on stderr, throttled by host wall-clock time. The
+/// scheduling loops tick it once per decision; the `Instant` read is
+/// amortized to once per 4096 ticks so an attached-but-quiet heartbeat
+/// stays off the hot path.
+struct Heartbeat {
+    every: std::time::Duration,
+    started: std::time::Instant,
+    last_emit: std::time::Instant,
+    ticks: u64,
+}
+
 /// The environment one node's core executes against (see
 /// [`flashsim_cpu::env::MemEnv`]).
 struct MachineEnv<'a> {
@@ -136,6 +183,8 @@ struct MachineEnv<'a> {
     tracer: Tracer,
     faults: &'a FaultInjector,
     profiler: Profiler,
+    telemetry: Telemetry,
+    tel: TelIds,
     /// Whether the current resolution happens inside a core op (charges
     /// subtract from that op's compute residual) or between ops (lock
     /// hand-offs: wall charges).
@@ -332,6 +381,11 @@ impl MachineEnv<'_> {
         self.mems[self.node]
             .pending
             .insert(line, (out.done_at, out.breakdown));
+        self.telemetry.gauge(
+            self.tel.pending_depth,
+            t,
+            self.mems[self.node].pending.len() as u64,
+        );
         (out.done_at, AccessLevel::Memory(out.case), out.breakdown)
     }
 }
@@ -369,6 +423,21 @@ impl MemEnv for MachineEnv<'_> {
         let demand_read = kind == MemAccessKind::Read;
 
         let probe = self.mems[self.node].hier.probe(paddr, write);
+
+        // Hit/miss telemetry counters are bucket-summed, so recording
+        // them here — covering the fast path below too — is safe under
+        // either scheduling policy (per-window sums commute).
+        match probe {
+            HierProbe::L1Hit => self.telemetry.count(self.tel.l1_hits, t, 1),
+            HierProbe::L2Hit => {
+                self.telemetry.count(self.tel.l1_misses, t, 1);
+                self.telemetry.count(self.tel.l2_hits, t, 1);
+            }
+            HierProbe::L2Upgrade | HierProbe::L2Miss => {
+                self.telemetry.count(self.tel.l1_misses, t, 1);
+                self.telemetry.count(self.tel.l2_misses, t, 1);
+            }
+        }
 
         // Fast path for the overwhelmingly common case: an L1 hit with no
         // in-flight fills to wait on and no memory tracing charges
@@ -474,6 +543,11 @@ pub struct RunManifest {
     pub workload: String,
     /// Workload base seed, if the program has one.
     pub seed: Option<u64>,
+    /// Active scheduling policy (`"batched"` / `"reference"`).
+    pub sched: String,
+    /// Human-readable fault-plan summary; `None` when no faults were
+    /// injected.
+    pub faults: Option<String>,
     /// Host wall-clock seconds spent inside [`Machine::run`].
     pub wall_seconds: f64,
     /// Ops executed across all nodes.
@@ -513,6 +587,17 @@ impl RunManifest {
         out.push_str("\",\"seed\":");
         match self.seed {
             Some(s) => out.push_str(&s.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"sched\":\"");
+        flashsim_engine::trace::push_json_escaped(&mut out, &self.sched);
+        out.push_str("\",\"faults\":");
+        match &self.faults {
+            Some(f) => {
+                out.push('"');
+                flashsim_engine::trace::push_json_escaped(&mut out, f);
+                out.push('"');
+            }
             None => out.push_str("null"),
         }
         out.push_str(",\"wall_seconds\":");
@@ -568,6 +653,9 @@ pub struct RunResult {
     /// Cycle-accounting snapshot (per-node stall-class totals plus the
     /// time-phase view); `None` when no profiler was attached.
     pub accounting: Option<Accounting>,
+    /// Sim-time telemetry series (occupancy/utilization over simulated
+    /// time); `None` when no telemetry registry was attached.
+    pub telemetry: Option<TelemetrySeries>,
 }
 
 impl RunResult {
@@ -596,6 +684,9 @@ pub struct Machine {
     tracer: Tracer,
     profiler: Profiler,
     injector: FaultInjector,
+    telemetry: Telemetry,
+    tel: TelIds,
+    heartbeat: Option<Heartbeat>,
     fault: Option<SimError>,
     workload: String,
     workload_seed: Option<u64>,
@@ -665,7 +756,7 @@ impl Machine {
         let cores = (0..cfg.nodes).map(|_| cfg.cpu.build()).collect();
         let streams = (0..cfg.nodes as usize).map(|t| program.stream(t)).collect();
 
-        Ok(Machine {
+        let mut machine = Machine {
             cfg,
             cores,
             mems,
@@ -683,10 +774,23 @@ impl Machine {
             tracer: Tracer::disabled(),
             profiler: Profiler::disabled(),
             injector,
+            telemetry: Telemetry::disabled(),
+            tel: TelIds::none(),
+            heartbeat: None,
             fault: None,
             workload: program.name(),
             workload_seed: program.seed(),
-        })
+        };
+        if let Some(cadence) = machine.cfg.telemetry {
+            machine.attach_telemetry(Telemetry::with_cadence(cadence));
+        }
+        if machine.cfg.profile {
+            machine.attach_profiler(Profiler::new());
+        }
+        if let Some(every) = machine.cfg.heartbeat {
+            machine.attach_heartbeat(every);
+        }
+        Ok(machine)
     }
 
     /// The configuration.
@@ -723,6 +827,94 @@ impl Machine {
             core.attach_profiler(profiler.clone(), n as u32);
         }
         self.profiler = profiler;
+    }
+
+    /// Attaches a sim-time telemetry registry to every layer of the
+    /// machine: cache hit/miss counters, pending-miss depth, and barrier
+    /// clock skew here, plus whatever the memory-system model registers
+    /// (directory-pool occupancy, MAGIC inbound queue, NACK/retry rates,
+    /// link utilization, …). Scheduler-internal metrics are registered
+    /// volatile: available for inspection, excluded from the stable
+    /// export because batching reshapes them by design.
+    ///
+    /// Attach *before* [`Machine::run`]; a disabled registry (the
+    /// default) costs one branch per potential sample. Setting
+    /// [`MachineConfig::telemetry`] attaches one automatically at
+    /// construction.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.tel = TelIds {
+            l1_hits: telemetry.register("mem.l1_hits", MetricKind::Counter),
+            l1_misses: telemetry.register("mem.l1_misses", MetricKind::Counter),
+            l2_hits: telemetry.register("mem.l2_hits", MetricKind::Counter),
+            l2_misses: telemetry.register("mem.l2_misses", MetricKind::Counter),
+            pending_depth: telemetry.register("mem.pending_depth", MetricKind::Gauge),
+            barrier_skew: telemetry.register("machine.barrier_skew_ps", MetricKind::Gauge),
+            sched_batches: telemetry.register_volatile("sched.batches", MetricKind::Counter),
+            sched_batch_ops: telemetry.register_volatile("sched.batch_ops", MetricKind::Counter),
+            sched_heap: telemetry.register_volatile("sched.heap_nodes", MetricKind::Gauge),
+        };
+        self.memsys.attach_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry registry (disabled until
+    /// [`Machine::attach_telemetry`] — directly or via
+    /// [`MachineConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Enables a live stderr heartbeat: at most one line per `every` of
+    /// host wall-clock time reporting sim time, ops executed, host
+    /// throughput, watchdog-budget progress, and the current spread
+    /// between the fastest and slowest node clocks.
+    pub fn attach_heartbeat(&mut self, every: std::time::Duration) {
+        let now = std::time::Instant::now();
+        self.heartbeat = Some(Heartbeat {
+            every,
+            started: now,
+            last_emit: now,
+            ticks: 0,
+        });
+    }
+
+    /// One scheduling-decision tick of the heartbeat. One branch when no
+    /// heartbeat is attached; when attached, the wall clock is read once
+    /// per 4096 ticks and a line is emitted at most once per interval.
+    fn heartbeat_tick(&mut self, executed: u64) {
+        let Some(hb) = self.heartbeat.as_mut() else {
+            return;
+        };
+        hb.ticks += 1;
+        if hb.ticks & 0xFFF != 0 {
+            return;
+        }
+        let now = std::time::Instant::now();
+        if now.duration_since(hb.last_emit) < hb.every {
+            return;
+        }
+        hb.last_emit = now;
+        let wall = now.duration_since(hb.started).as_secs_f64();
+        let lead = self
+            .cores
+            .iter()
+            .map(|c| c.now())
+            .fold(Time::ZERO, Time::max);
+        let lag = self.cores.iter().map(|c| c.now()).fold(lead, Time::min);
+        let rate = if wall > 0.0 {
+            executed as f64 / wall
+        } else {
+            0.0
+        };
+        let budget = match self.cfg.watchdog.max_ops {
+            Some(b) if b > 0 => format!("{:.1}%", 100.0 * executed as f64 / b as f64),
+            _ => "-".to_owned(),
+        };
+        eprintln!(
+            "[flashsim] sim={:.3}ms ops={executed} rate={rate:.0}/s budget={budget} skew={}ns",
+            (lead - Time::ZERO).as_ns_f64() / 1e6,
+            (lead - lag).as_ns_f64(),
+        );
     }
 
     /// Charges pending OS timer ticks to node `n` up to its current time.
@@ -785,6 +977,7 @@ impl Machine {
         let inject_stalls = self.injector.is_active();
         let mut executed: u64 = 0;
         loop {
+            self.heartbeat_tick(executed);
             if inject_stalls {
                 for n in 0..nodes {
                     if self.status[n] == NodeStatus::Running
@@ -843,6 +1036,7 @@ impl Machine {
             heap.insert(n as u32, self.cores[n].now());
         }
         loop {
+            self.heartbeat_tick(executed);
             if inject_stalls {
                 for n in 0..nodes {
                     if self.status[n] == NodeStatus::Running
@@ -868,6 +1062,14 @@ impl Machine {
                 });
             };
             let limit = heap.peek();
+            // Scheduler-internal telemetry (volatile: the reference
+            // policy has no batches, so these are policy-shaped by
+            // construction and excluded from the stable export).
+            let decision_at = self.cores[n as usize].now();
+            let ops_before = executed;
+            self.telemetry.count(self.tel.sched_batches, decision_at, 1);
+            self.telemetry
+                .gauge(self.tel.sched_heap, decision_at, heap.len() as u64 + 1);
             match self.run_batch(n as usize, limit, lookahead, &mut executed)? {
                 BatchEnd::Reschedule => heap.insert(n, self.cores[n as usize].now()),
                 // The node left the Running set (done or stalled); it
@@ -885,6 +1087,8 @@ impl Machine {
                     }
                 }
             }
+            self.telemetry
+                .count(self.tel.sched_batch_ops, decision_at, executed - ops_before);
         }
     }
 
@@ -936,6 +1140,8 @@ impl Machine {
                 tracer,
                 profiler,
                 injector,
+                telemetry,
+                tel,
                 fault,
                 streams,
                 status,
@@ -953,6 +1159,8 @@ impl Machine {
                 tracer: tracer.clone(),
                 faults: injector,
                 profiler: profiler.clone(),
+                telemetry: telemetry.clone(),
+                tel: *tel,
                 in_op: true,
                 fault,
             };
@@ -1118,6 +1326,8 @@ impl Machine {
             tracer,
             profiler,
             injector,
+            telemetry,
+            tel,
             fault,
             ..
         } = self;
@@ -1133,6 +1343,8 @@ impl Machine {
             tracer: tracer.clone(),
             faults: injector,
             profiler: profiler.clone(),
+            telemetry: telemetry.clone(),
+            tel: *tel,
             in_op: true,
             fault,
         };
@@ -1164,6 +1376,17 @@ impl Machine {
                     let woken: Vec<(usize, Time)> = arrivals.clone();
                     self.barrier_arrivals.remove(&op.id);
                     self.barrier_releases.push((op.id, release));
+                    // Per-node clock skew at the barrier: spread between
+                    // the first and last arrival over the released set.
+                    // Arrival times and the release instant are
+                    // policy-invariant, so the gauge is too.
+                    let first = woken.iter().map(|(_, t)| *t).fold(release, Time::min);
+                    let last = woken.iter().map(|(_, t)| *t).fold(Time::ZERO, Time::max);
+                    self.telemetry.gauge(
+                        self.tel.barrier_skew,
+                        release,
+                        last.saturating_since(first).as_ps(),
+                    );
                     if self.tracer.enabled(TraceCategory::Machine) {
                         self.tracer.emit(
                             release,
@@ -1286,6 +1509,8 @@ impl Machine {
             tracer,
             profiler,
             injector,
+            telemetry,
+            tel,
             fault,
             ..
         } = self;
@@ -1301,6 +1526,8 @@ impl Machine {
             tracer: tracer.clone(),
             faults: injector,
             profiler: profiler.clone(),
+            telemetry: telemetry.clone(),
+            tel: *tel,
             in_op: false,
             fault,
         };
@@ -1392,6 +1619,13 @@ impl Machine {
             nodes: self.cfg.nodes,
             workload: self.workload.clone(),
             seed: self.workload_seed,
+            sched: self.cfg.sched.key().to_owned(),
+            faults: self
+                .cfg
+                .faults
+                .as_ref()
+                .filter(|p| p.is_active())
+                .map(flashsim_engine::FaultPlan::summary),
             wall_seconds,
             total_ops,
             simulated_seconds: (end - Time::ZERO).as_ns_f64() / 1e9,
@@ -1410,6 +1644,7 @@ impl Machine {
             stats,
             manifest,
             accounting,
+            telemetry: self.telemetry.snapshot(end),
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::addr::LineAddr;
 use core::fmt;
-use flashsim_engine::{FaultInjector, StatSet, Time, TimeDelta, Tracer};
+use flashsim_engine::{FaultInjector, StatSet, Telemetry, Time, TimeDelta, Tracer};
 
 /// A node identifier (0-based).
 pub type NodeId = u32;
@@ -216,6 +216,17 @@ pub trait MemorySystem {
     /// perturbation centrally. Default: ignored.
     fn attach_faults(&mut self, faults: FaultInjector) {
         let _ = faults;
+    }
+
+    /// Attaches a sim-time telemetry registry. Implementations register
+    /// the occupancy series that carry the paper's story — MAGIC
+    /// inbound-queue occupancy, directory-pool fill, NACK/retry rates —
+    /// and forward the handle to their network. A model that *omits* a
+    /// metric is itself a diagnostic: the latency-only NUMA model
+    /// registers no `magic.queue_ps`, which is exactly the queueing the
+    /// paper shows it cannot see. Default: no instrumentation.
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        let _ = telemetry;
     }
 
     /// A conservative lower bound on the latency of *any* demand

@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 use core::fmt;
-use flashsim_engine::{Resource, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{
+    MetricId, MetricKind, Resource, StatSet, Telemetry, Time, TimeDelta, TraceCategory, Tracer,
+};
 
 /// A hypercube topology over a power-of-two number of nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +178,14 @@ pub struct Network {
     total_hops: u64,
     total_wait: TimeDelta,
     tracer: Tracer,
+    telemetry: Telemetry,
+    tel_messages: MetricId,
+    tel_link_busy: MetricId,
+    tel_link_wait: MetricId,
+    tel_inflight: MetricId,
+    /// Arrival times of messages still in flight; maintained only while
+    /// telemetry is attached (pruned against each send's start time).
+    inflight: Vec<Time>,
 }
 
 impl Network {
@@ -189,6 +199,12 @@ impl Network {
             total_hops: 0,
             total_wait: TimeDelta::ZERO,
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
+            tel_messages: MetricId::NONE,
+            tel_link_busy: MetricId::NONE,
+            tel_link_wait: MetricId::NONE,
+            tel_inflight: MetricId::NONE,
+            inflight: Vec::new(),
         }
     }
 
@@ -196,6 +212,19 @@ impl Network {
     /// `net`-category `"link"` event (payload: wait, occupancy, both ps).
     pub fn attach_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches sim-time telemetry: message rate (`net.messages`),
+    /// per-window link utilization in busy picoseconds
+    /// (`net.link_busy_ps`), peak per-hop queueing (`net.link_wait_ps`),
+    /// and in-flight message depth (`net.inflight`). All are driven from
+    /// protocol-message order, which is scheduling-policy-invariant.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.tel_messages = telemetry.register("net.messages", MetricKind::Counter);
+        self.tel_link_busy = telemetry.register("net.link_busy_ps", MetricKind::Counter);
+        self.tel_link_wait = telemetry.register("net.link_wait_ps", MetricKind::Gauge);
+        self.tel_inflight = telemetry.register("net.inflight", MetricKind::Gauge);
+        self.telemetry = telemetry;
     }
 
     /// The topology.
@@ -223,6 +252,7 @@ impl Network {
     /// can decompose the delivery for cycle accounting.
     pub fn deliver(&mut self, from: u32, to: u32, bytes: u64, now: Time) -> Delivery {
         self.messages += 1;
+        self.telemetry.count(self.tel_messages, now, 1);
         if from == to {
             return Delivery {
                 arrival: now,
@@ -246,6 +276,10 @@ impl Network {
                 let grant = self.links[idx].acquire(t, occupancy);
                 self.total_wait += grant.wait;
                 waited += grant.wait;
+                self.telemetry
+                    .count(self.tel_link_busy, grant.start, occupancy.as_ps());
+                self.telemetry
+                    .gauge(self.tel_link_wait, grant.start, grant.wait.as_ps());
                 if self.tracer.enabled(TraceCategory::Net) {
                     self.tracer.emit(
                         grant.start,
@@ -262,6 +296,15 @@ impl Network {
             }
             self.total_hops += 1;
             cur ^= bit;
+        }
+        if self.telemetry.enabled() {
+            // In-flight depth: messages sent but not yet arrived as of
+            // this send's start. The vec exists only while telemetry is
+            // attached, so the disabled path stays one branch.
+            self.inflight.retain(|&arrival| arrival > now);
+            self.inflight.push(t);
+            self.telemetry
+                .gauge(self.tel_inflight, now, self.inflight.len() as u64);
         }
         Delivery {
             arrival: t,
@@ -410,5 +453,28 @@ mod tests {
         let net = Network::new(Topology::hypercube(16).unwrap(), NetworkParams::flash());
         assert_eq!(net.uncontended_latency(4).as_ns(), 200);
         assert_eq!(net.uncontended_latency(0), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn telemetry_tracks_messages_links_and_inflight() {
+        let tel = Telemetry::new();
+        let mut net = Network::new(Topology::hypercube(8).unwrap(), NetworkParams::flash());
+        net.attach_telemetry(tel.clone());
+        // Two overlapping messages over the same first link contend.
+        net.send(0, 7, 64, Time::ZERO);
+        net.send(0, 1, 64, Time::from_ns(1));
+        let s = tel.snapshot(Time::from_ns(1000)).expect("enabled");
+        assert_eq!(s.get("net.messages").expect("counter").total, 2);
+        assert!(s.get("net.link_busy_ps").expect("counter").total > 0);
+        assert!(
+            s.get("net.link_wait_ps").expect("gauge").total > 0,
+            "second message queued behind the first"
+        );
+        assert_eq!(
+            s.get("net.inflight").expect("gauge").total,
+            2,
+            "both messages in flight at the second send"
+        );
+        assert!(s.conserved());
     }
 }

@@ -40,7 +40,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use flashsim_engine::{ResourcePool, StatSet, Time, TimeDelta, TraceCategory, Tracer};
+use flashsim_engine::{
+    MetricId, MetricKind, ResourcePool, StatSet, Telemetry, Time, TimeDelta, TraceCategory, Tracer,
+};
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
     ProtocolCase,
@@ -127,6 +129,10 @@ pub struct Numa {
     case_counts: BTreeMap<ProtocolCase, u64>,
     case_latency_ns: BTreeMap<ProtocolCase, f64>,
     tracer: Tracer,
+    telemetry: Telemetry,
+    tel_pool: MetricId,
+    tel_reclaims: MetricId,
+    tel_bank_wait: MetricId,
 }
 
 impl Numa {
@@ -152,6 +158,10 @@ impl Numa {
             case_counts: BTreeMap::new(),
             case_latency_ns: BTreeMap::new(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
+            tel_pool: MetricId::NONE,
+            tel_reclaims: MetricId::NONE,
+            tel_bank_wait: MetricId::NONE,
         }
     }
 
@@ -178,6 +188,8 @@ impl Numa {
 
     fn mem_acquire(&mut self, node: NodeId, t: Time) -> Time {
         let grant = self.mem[node as usize].acquire(t, self.params.mem_busy);
+        self.telemetry
+            .count(self.tel_bank_wait, grant.start, grant.wait.as_ps());
         grant.start + self.params.mem_access
     }
 
@@ -234,11 +246,17 @@ impl Numa {
             occ += p.dir_local;
         }
 
+        let reclaims_before = self.dirs[home as usize].reclaims();
         let resp = if exclusive_intent {
             self.dirs[home as usize].read_exclusive(req.line, requester)
         } else {
             self.dirs[home as usize].read(req.line, requester)
         };
+        let dir_occ = self.dirs[home as usize].occupancy_sample();
+        self.telemetry
+            .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        self.telemetry
+            .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         let case = classify_read(requester, home, resp.source);
 
         // Invalidation round trips, pure latency.
@@ -328,7 +346,13 @@ impl Numa {
             t += p.dir_local;
             occ += p.dir_local;
         }
+        let reclaims_before = self.dirs[home as usize].reclaims();
         let resp = self.dirs[home as usize].upgrade(req.line, requester);
+        let dir_occ = self.dirs[home as usize].occupancy_sample();
+        self.telemetry
+            .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        self.telemetry
+            .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         let mut ack_done = t;
         for &v in &resp.invalidate {
             let tv = t
@@ -429,6 +453,17 @@ impl MemorySystem for Numa {
 
     fn attach_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        // Deliberately NO `magic.queue_ps` registration: this model has
+        // no controller inbound queue to measure. Its absence from the
+        // telemetry series is the paper's omitted-queueing signature
+        // (asserted by `tests/telemetry_hotspot.rs`).
+        self.tel_pool = telemetry.register("proto.dir_pool_used", MetricKind::Gauge);
+        self.tel_reclaims = telemetry.register("proto.dir_reclaims", MetricKind::Counter);
+        self.tel_bank_wait = telemetry.register("mem.bank_wait_ps", MetricKind::Counter);
+        self.telemetry = telemetry;
     }
 
     fn model_name(&self) -> &'static str {

@@ -68,6 +68,17 @@ pub struct DirResponse {
     pub downgrade: Option<NodeId>,
 }
 
+/// A telemetry-oriented snapshot of a directory's pointer-pool state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOccupancy {
+    /// Pointer-store slots currently in use.
+    pub used: u32,
+    /// Pointer-store capacity.
+    pub capacity: u32,
+    /// Cumulative sharer-invalidating reclaims so far.
+    pub reclaims: u64,
+}
+
 /// One node's directory: headers for lines homed at this node plus the
 /// node's pointer/link store.
 #[derive(Debug, Clone)]
@@ -108,6 +119,18 @@ impl Directory {
     /// Pointer-store capacity this directory was built with.
     pub fn pool_capacity(&self) -> u32 {
         self.pool_capacity
+    }
+
+    /// One coherent view of the pointer-pool state (fill, capacity,
+    /// cumulative reclaims) for sim-time telemetry: callers record the
+    /// fill as a gauge and reclaim deltas as a counter after each
+    /// directory operation.
+    pub fn occupancy_sample(&self) -> DirOccupancy {
+        DirOccupancy {
+            used: self.pool_used,
+            capacity: self.pool_capacity,
+            reclaims: self.reclaims,
+        }
     }
 
     fn alloc_slot(&mut self, node: NodeId, next: Option<u32>) -> Option<u32> {
@@ -506,6 +529,30 @@ mod tests {
         d.read_exclusive(L, 3); // ownership moved to 3
         d.writeback(L, 2); // stale
         assert_eq!(d.owner(L), Some(3));
+    }
+
+    #[test]
+    fn occupancy_sample_tracks_pool_state() {
+        let mut d = Directory::new(2);
+        assert_eq!(
+            d.occupancy_sample(),
+            DirOccupancy {
+                used: 0,
+                capacity: 2,
+                reclaims: 0
+            }
+        );
+        d.read(L, 0); // first sharer is inline in the header
+        d.read(L, 1); // chained: one pool slot
+        d.read(L, 2); // chained: pool full
+        let filled = d.occupancy_sample();
+        assert_eq!(filled.used, 2);
+        // A fourth sharer exhausts the two-slot pool and reclaims one.
+        d.read(L, 3);
+        let after = d.occupancy_sample();
+        assert_eq!(after.capacity, 2);
+        assert_eq!(after.used, 2);
+        assert_eq!(after.reclaims, filled.reclaims + 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 pub mod directory;
 
-pub use directory::{DataSource, DirResponse, Directory};
+pub use directory::{DataSource, DirOccupancy, DirResponse, Directory};
 
 use flashsim_mem::system::{NodeId, ProtocolCase};
 

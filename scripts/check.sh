@@ -41,7 +41,9 @@ echo "== simspeed perf gate (events/sec vs committed baseline) =="
 # Best-of-N snbench throughput per platform, emitted as JSON, schema-
 # validated, and compared against results/BENCH_simspeed_baseline.json:
 # any platform more than 30% below its baseline events/sec fails the
-# gate. Wall-clock numbers are host-dependent and noisy — on a loaded or
+# gate. These configs leave telemetry compiled in but disabled, so the
+# comparison also asserts the telemetry disabled path (one branch per
+# probe site) has not regressed the hot loop. Wall-clock numbers are host-dependent and noisy — on a loaded or
 # much slower machine, skip with FLASHSIM_SKIP_PERF=1 (the benchmark
 # still runs as a smoke test; only the comparison is skipped).
 cargo build --release -q -p flashsim-bench --bin simspeed
@@ -70,5 +72,18 @@ echo "== profile smoke (cycle-accounting conservation) =="
 # per-class contributions sum to the total relative error, exiting
 # nonzero on any violation.
 cargo run --release -q -p flashsim-bench --bin profile
+
+echo "== report smoke (manifest + accounting + telemetry stitching) =="
+# Unified run report over a 2-node FFT through the supervised matrix:
+# the binary gates on accounting conservation, exact integer-ps
+# telemetry conservation, and flashsim-telemetry-v1 schema validity,
+# exiting nonzero on any violation. The JSONL export is then re-checked
+# through the standalone --validate mode (the same entry point external
+# consumers get).
+report_jsonl="$(mktemp)"
+cargo run --release -q -p flashsim-bench --bin report -- --nodes 2 \
+    --jsonl "$report_jsonl" > /dev/null
+cargo run --release -q -p flashsim-bench --bin report -- --validate "$report_jsonl"
+rm -f "$report_jsonl"
 
 echo "== all checks passed =="
