@@ -13,20 +13,28 @@
 //! `--case` picks the snbench protocol case (default `remote_clean`).
 //! `--json PREFIX` additionally writes `PREFIX-a.json` / `PREFIX-b.json`
 //! Chrome trace files for chrome://tracing or Perfetto.
+//!
+//! Both runs attach a seeded span sampler, so the per-category delta
+//! table includes span flow-event counts (`span` category) alongside
+//! the protocol/network/machine deltas, and the Chrome traces carry the
+//! sampled transactions' flow arrows.
 
 use flashsim_bench::{header, setup_from_args};
 use flashsim_core::diverge::diff_traces;
 use flashsim_core::platform::{MemModel, Sim};
-use flashsim_engine::{CategoryMask, Trace, Tracer};
+use flashsim_engine::{CategoryMask, SpanPlan, Trace, Tracer};
 use flashsim_isa::Program;
 use flashsim_machine::{Machine, MachineConfig, RunManifest};
 use flashsim_workloads::micro::{SnCase, Snbench};
 
 fn traced_run(
-    cfg: MachineConfig,
+    mut cfg: MachineConfig,
     prog: &dyn Program,
     capacity: usize,
 ) -> (Trace, RunManifest, String) {
+    // Sample every transaction: the diff wants the platforms' span
+    // populations to be comparable, not statistically thinned.
+    cfg.spans = Some(SpanPlan::all(7));
     let label = cfg.label();
     let tracer = Tracer::new(capacity, CategoryMask::ALL);
     let mut machine = Machine::new(cfg, prog).expect("valid microbenchmark configuration");

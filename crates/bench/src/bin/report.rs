@@ -9,7 +9,7 @@
 //! ```text
 //! report [SIM] [--mem numa|flashlite] [--nodes N] [--cadence-us N]
 //!        [--heartbeat MS] [--out PATH] [--html PATH] [--jsonl PATH]
-//!        [--prom PATH] [--full]
+//!        [--prom PATH] [--spans-jsonl PATH] [--full]
 //! report --validate PATH
 //! ```
 //!
@@ -18,7 +18,10 @@
 //! time; buckets merge-double as the run grows). `--heartbeat MS`
 //! enables the live stderr progress line. `--jsonl` / `--prom` write the
 //! simulator cell's telemetry series in the `flashsim-telemetry-v1`
-//! JSONL and Prometheus text formats.
+//! JSONL and Prometheus text formats. `--spans-jsonl` writes the
+//! simulator cell's sampled span trees as `flashsim-span-v1` JSONL
+//! (the run attaches a seeded span sampler to both cells, recorded in
+//! each manifest).
 //!
 //! `--validate PATH` runs nothing: it checks an existing JSONL export
 //! against the schema and exits nonzero on violation — `scripts/check.sh`
@@ -32,7 +35,7 @@
 use flashsim_bench::{header, setup_from_args};
 use flashsim_core::platform::{MemModel, Sim};
 use flashsim_core::runner::{run_matrix, CellOutcome, MatrixCell};
-use flashsim_engine::{telemetry, TimeDelta};
+use flashsim_engine::{span, telemetry, SpanPlan, TimeDelta};
 use flashsim_isa::Program;
 use flashsim_workloads::{Fft, FftBlocking};
 use std::sync::Arc;
@@ -139,6 +142,7 @@ fn main() {
         "--html",
         "--jsonl",
         "--prom",
+        "--spans-jsonl",
     ];
     let mut positional = None;
     let mut i = 0;
@@ -186,6 +190,7 @@ fn main() {
         let mut cfg = cfg;
         cfg.telemetry = Some(TimeDelta::from_us(cadence_us.max(1)));
         cfg.profile = true;
+        cfg.spans = Some(SpanPlan::sampled(7, 64));
         if let Some(ms) = heartbeat_ms {
             cfg.heartbeat = Some(std::time::Duration::from_millis(ms.max(1)));
         }
@@ -235,6 +240,19 @@ fn main() {
             std::fs::write(&path, series.to_prometheus())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("wrote {path}");
+        }
+    }
+    if let Some(path) = flag_value(&args, "--spans-jsonl") {
+        match outcomes.last().and_then(|o| o.spans()) {
+            Some(set) => {
+                let jsonl = set.to_jsonl();
+                if let Err(e) = span::validate_jsonl(&jsonl) {
+                    failures.push(format!("span JSONL invalid: {e}"));
+                }
+                std::fs::write(&path, jsonl).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("wrote {path}");
+            }
+            None => failures.push("no span trees attached to the simulator cell".to_owned()),
         }
     }
 

@@ -20,6 +20,7 @@
 //! | `chaos` | fault-injection survival matrix (seeded fault plans × platforms) |
 //! | `profile` | cycle-accounting breakdown + per-class error attribution vs hardware |
 //! | `report` | unified run report: manifest + accounting + sim-time telemetry (text/HTML/JSONL/Prometheus) |
+//! | `spans` | span diff: the same sampled transaction traced causally on FlashLite vs NUMA |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -121,6 +121,12 @@ impl CellOutcome {
     pub fn telemetry(&self) -> Option<&flashsim_engine::TelemetrySeries> {
         self.result().and_then(|r| r.telemetry.as_ref())
     }
+
+    /// The cell's sampled span trees, if the cell completed with a span
+    /// tracer attached (see [`flashsim_machine::MachineConfig::spans`]).
+    pub fn spans(&self) -> Option<&flashsim_engine::SpanSet> {
+        self.result().and_then(|r| r.spans.as_ref())
+    }
 }
 
 /// A provenance manifest for a cell that never produced a result.
@@ -142,6 +148,7 @@ fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
         events_per_sec: f64::NAN,
         sim_mips: f64::NAN,
         account: None,
+        spans: cfg.spans.as_ref().map(|p| p.describe()),
     }
 }
 

@@ -24,6 +24,18 @@ pub enum MemAccessKind {
     Prefetch,
 }
 
+impl MemAccessKind {
+    /// Stable lower-case key; the machine layer roots causal span trees
+    /// at the issuing access kind.
+    pub const fn key(self) -> &'static str {
+        match self {
+            MemAccessKind::Read => "read",
+            MemAccessKind::Write => "write",
+            MemAccessKind::Prefetch => "prefetch",
+        }
+    }
+}
+
 /// Where an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessLevel {

@@ -28,6 +28,11 @@
 //!   picosecond on every node to a stall class (compute, cache misses,
 //!   TLB, occupancy, network, sync, OS), sampled into time phases — the
 //!   substrate for per-class error attribution between platforms,
+//! - [`span`]: causal span trees for sampled memory transactions — a
+//!   deterministic seeded sampler plus per-leg charges that reconcile
+//!   exactly against the latency breakdowns, with critical-path
+//!   extraction and a schema-validated JSONL export — the substrate for
+//!   diffing one transaction's legs between platforms,
 //! - [`telemetry`]: a sim-time metrics registry (counters, gauges,
 //!   occupancy integrators in integer picoseconds) sampled into bounded
 //!   time series with JSONL/Prometheus export — how queue depths and
@@ -62,6 +67,7 @@ pub mod prom;
 pub mod resource;
 pub mod rng;
 pub mod sched;
+pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -74,6 +80,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
 pub use sched::LaggardHeap;
+pub use span::{SpanClass, SpanPlan, SpanRecord, SpanSet, SpanTracer, SpanTxn};
 pub use stats::{Counter, Histogram, StatSet};
 pub use telemetry::{MetricId, MetricKind, MetricSeries, Telemetry, TelemetrySeries};
 pub use time::{Clock, Time, TimeDelta};

@@ -126,6 +126,9 @@ impl MetricId {
 #[derive(Debug, Clone)]
 struct Metric {
     name: &'static str,
+    /// Per-node variant of `name` (e.g. `magic.queue_ps` broken out by
+    /// home node). `None` is the aggregate.
+    node: Option<u32>,
     kind: MetricKind,
     volatile: bool,
     total: u64,
@@ -153,12 +156,23 @@ impl Registry {
         }
     }
 
-    fn register(&mut self, name: &'static str, kind: MetricKind, volatile: bool) -> MetricId {
-        if let Some(i) = self.metrics.iter().position(|m| m.name == name) {
+    fn register(
+        &mut self,
+        name: &'static str,
+        node: Option<u32>,
+        kind: MetricKind,
+        volatile: bool,
+    ) -> MetricId {
+        if let Some(i) = self
+            .metrics
+            .iter()
+            .position(|m| m.name == name && m.node == node)
+        {
             return MetricId(i as u32);
         }
         self.metrics.push(Metric {
             name,
+            node,
             kind,
             volatile,
             total: 0,
@@ -244,6 +258,7 @@ impl Registry {
                 .into_iter()
                 .map(|m| MetricSeries {
                     name: m.name.to_string(),
+                    node: m.node,
                     kind: m.kind,
                     volatile: m.volatile,
                     total: m.total,
@@ -312,7 +327,24 @@ impl Telemetry {
             Some(inner) => inner
                 .lock()
                 .expect("telemetry registry poisoned")
-                .register(name, kind, false),
+                .register(name, None, kind, false),
+            None => MetricId::NONE,
+        }
+    }
+
+    /// Registers a per-node variant of `name` — a bounded-cardinality
+    /// `node` label, so e.g. `magic.queue_ps` can name *which* home node
+    /// melted under a hotspot. The aggregate metric keeps the bare name;
+    /// callers bound the label set (one id per node, registered up
+    /// front), never one per transaction.
+    pub fn register_node(&self, name: &'static str, node: u32, kind: MetricKind) -> MetricId {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("telemetry registry poisoned").register(
+                name,
+                Some(node),
+                kind,
+                false,
+            ),
             None => MetricId::NONE,
         }
     }
@@ -324,7 +356,7 @@ impl Telemetry {
             Some(inner) => inner
                 .lock()
                 .expect("telemetry registry poisoned")
-                .register(name, kind, true),
+                .register(name, None, kind, true),
             None => MetricId::NONE,
         }
     }
@@ -381,6 +413,8 @@ impl Telemetry {
 pub struct MetricSeries {
     /// Registered name, e.g. `magic.queue_ps`.
     pub name: String,
+    /// Per-node variant; `None` is the aggregate across nodes.
+    pub node: Option<u32>,
     /// Counter, gauge, or occupancy — fixes bucket/total semantics.
     pub kind: MetricKind,
     /// Scheduler-dependent; excluded from the stable JSONL export.
@@ -404,10 +438,32 @@ pub struct TelemetrySeries {
     pub metrics: Vec<MetricSeries>,
 }
 
+impl MetricSeries {
+    /// The unique export key: the bare name for aggregates, a
+    /// Prometheus-style `name{node="N"}` for per-node variants.
+    pub fn key(&self) -> String {
+        match self.node {
+            Some(n) => format!("{}{{node=\"{n}\"}}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
 impl TelemetrySeries {
-    /// Looks a metric up by registered name.
+    /// Looks the *aggregate* metric up by registered name (per-node
+    /// variants share the base name; use
+    /// [`get_node`](TelemetrySeries::get_node) for those).
     pub fn get(&self, name: &str) -> Option<&MetricSeries> {
-        self.metrics.iter().find(|m| m.name == name)
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.node.is_none())
+    }
+
+    /// Looks a per-node metric variant up.
+    pub fn get_node(&self, name: &str, node: u32) -> Option<&MetricSeries> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.node == Some(node))
     }
 
     /// Checks the bucketing invariant for every metric: counter and
@@ -453,7 +509,7 @@ impl TelemetrySeries {
                 out.push(',');
             }
             out.push_str("{\"name\":\"");
-            push_json_escaped(&mut out, &m.name);
+            push_json_escaped(&mut out, &m.key());
             out.push_str(&format!(
                 "\",\"kind\":\"{}\",\"total\":{}}}",
                 m.kind.key(),
@@ -480,7 +536,7 @@ impl TelemetrySeries {
                 }
                 first = false;
                 out.push('"');
-                push_json_escaped(&mut out, &m.name);
+                push_json_escaped(&mut out, &m.key());
                 out.push_str(&format!("\":{}", m.buckets[b]));
             }
             out.push_str("}}\n");
@@ -496,29 +552,31 @@ impl TelemetrySeries {
         let mut out = String::new();
         prom::push_type(&mut out, "flashsim_telemetry_total", "gauge");
         for m in &self.metrics {
-            prom::push_sample(
-                &mut out,
-                "flashsim_telemetry_total",
-                &[("metric", &m.name), ("kind", m.kind.key())],
-                m.total,
-            );
+            let node = m.node.map(|n| n.to_string());
+            let mut labels: Vec<(&str, &str)> = vec![("metric", &m.name), ("kind", m.kind.key())];
+            if let Some(n) = &node {
+                labels.push(("node", n));
+            }
+            prom::push_sample(&mut out, "flashsim_telemetry_total", &labels, m.total);
         }
         prom::push_type(&mut out, "flashsim_telemetry_bucket", "gauge");
         for m in &self.metrics {
+            let node = m.node.map(|n| n.to_string());
             for (i, &v) in m.buckets.iter().enumerate() {
                 if v == 0 {
                     continue;
                 }
-                prom::push_sample(
-                    &mut out,
-                    "flashsim_telemetry_bucket",
-                    &[
-                        ("metric", &m.name),
-                        ("bucket", &i.to_string()),
-                        ("start_ps", &(i as u64 * self.bucket_ps).to_string()),
-                    ],
-                    v,
-                );
+                let bucket = i.to_string();
+                let start = (i as u64 * self.bucket_ps).to_string();
+                let mut labels: Vec<(&str, &str)> = vec![
+                    ("metric", &m.name),
+                    ("bucket", &bucket),
+                    ("start_ps", &start),
+                ];
+                if let Some(n) = &node {
+                    labels.push(("node", n));
+                }
+                prom::push_sample(&mut out, "flashsim_telemetry_bucket", &labels, v);
             }
         }
         out
@@ -538,7 +596,7 @@ impl TelemetrySeries {
         let name_w = self
             .metrics
             .iter()
-            .map(|m| m.name.len())
+            .map(|m| m.key().len())
             .max()
             .unwrap_or(6)
             .max(6);
@@ -562,7 +620,7 @@ impl TelemetrySeries {
                 .collect();
             out.push_str(&format!(
                 "{:<name_w$}  {:<9}  {:>20}  |{}|{}\n",
-                m.name,
+                m.key(),
                 m.kind.key(),
                 m.total,
                 spark,
@@ -795,6 +853,37 @@ mod tests {
         assert!(full_out.contains("sched.heap"));
         validate_jsonl(&stable_out).expect("stable export validates");
         validate_jsonl(&full_out).expect("full export validates");
+    }
+
+    #[test]
+    fn node_variants_coexist_with_the_aggregate() {
+        let tel = Telemetry::with_cadence(TimeDelta::from_ns(10));
+        let agg = tel.register("magic.queue_ps", MetricKind::Occupancy);
+        let n0 = tel.register_node("magic.queue_ps", 0, MetricKind::Occupancy);
+        let n3 = tel.register_node("magic.queue_ps", 3, MetricKind::Occupancy);
+        assert_ne!(agg, n0);
+        assert_ne!(n0, n3);
+        assert_eq!(
+            tel.register_node("magic.queue_ps", 0, MetricKind::Occupancy),
+            n0
+        );
+        tel.occupy(agg, Time::ZERO, 7);
+        tel.occupy(n3, Time::ZERO, 7);
+        let s = tel.snapshot(Time::from_ns(10)).expect("enabled");
+        // `get` finds the aggregate, never a node variant.
+        assert_eq!(s.get("magic.queue_ps").expect("aggregate").node, None);
+        assert_eq!(s.get("magic.queue_ps").expect("aggregate").total, 70_000);
+        let per_node = s.get_node("magic.queue_ps", 3).expect("node 3");
+        assert_eq!(per_node.total, 70_000);
+        assert_eq!(per_node.key(), "magic.queue_ps{node=\"3\"}");
+        assert_eq!(s.get_node("magic.queue_ps", 1), None);
+        // Exports stay well-formed with the labelled key.
+        let jsonl = s.to_jsonl();
+        assert!(jsonl.contains("magic.queue_ps{node=\\\"3\\\"}"));
+        validate_jsonl(&jsonl).expect("labelled export validates");
+        let prom = s.to_prometheus();
+        assert!(prom.contains("metric=\"magic.queue_ps\",kind=\"occupancy\",node=\"3\"} 70000\n"));
+        assert!(s.conserved());
     }
 
     #[test]

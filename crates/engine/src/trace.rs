@@ -48,16 +48,21 @@ pub enum TraceCategory {
     Net,
     /// Run phases: barriers, lock hand-offs, node completion.
     Machine,
+    /// Causal span sampling: `span_begin`/`span_end` markers for sampled
+    /// transactions (`a` = transaction key hash, `b` = line address),
+    /// rendered as flow events in the Chrome export.
+    Span,
 }
 
 impl TraceCategory {
     /// Every category, in declaration order.
-    pub const ALL: [TraceCategory; 5] = [
+    pub const ALL: [TraceCategory; 6] = [
         TraceCategory::Cpu,
         TraceCategory::Mem,
         TraceCategory::Proto,
         TraceCategory::Net,
         TraceCategory::Machine,
+        TraceCategory::Span,
     ];
 
     /// Number of categories — derived from [`ALL`](Self::ALL) so adding a
@@ -77,6 +82,7 @@ impl TraceCategory {
             TraceCategory::Proto => "proto",
             TraceCategory::Net => "net",
             TraceCategory::Machine => "machine",
+            TraceCategory::Span => "span",
         }
     }
 }
@@ -100,7 +106,8 @@ impl CategoryMask {
             | TraceCategory::Mem.bit()
             | TraceCategory::Proto.bit()
             | TraceCategory::Net.bit()
-            | TraceCategory::Machine.bit(),
+            | TraceCategory::Machine.bit()
+            | TraceCategory::Span.bit(),
     );
 
     /// A mask with exactly `cat` enabled.
@@ -303,8 +310,12 @@ impl Trace {
     }
 
     /// Serializes to the Chrome `trace_event` JSON format (viewable in
-    /// `chrome://tracing` or Perfetto). Instant events; `ts` is
-    /// microseconds with picosecond precision; `tid` is the node.
+    /// `chrome://tracing` or Perfetto). Most events become instants;
+    /// `span`-category `span_begin`/`span_end` markers become flow
+    /// events (`ph:"s"`/`ph:"f"`) keyed by the transaction hash in `a`,
+    /// so a sampled transaction draws as one arrow from issue to
+    /// completion across node tracks. `ts` is microseconds with
+    /// picosecond precision; `tid` is the node.
     ///
     /// Hand-rolled on purpose: the build is fully offline, so no serde.
     pub fn to_chrome_json(&self) -> String {
@@ -319,9 +330,16 @@ impl Trace {
             push_json_escaped(&mut out, e.kind);
             out.push_str("\",\"cat\":\"");
             out.push_str(e.category.name());
+            let phase = match (e.category, e.kind) {
+                (TraceCategory::Span, "span_begin") => format!("\"ph\":\"s\",\"id\":{}", e.a),
+                (TraceCategory::Span, "span_end") => {
+                    format!("\"ph\":\"f\",\"bp\":\"e\",\"id\":{}", e.a)
+                }
+                _ => "\"ph\":\"i\",\"s\":\"t\"".to_string(),
+            };
             // Integer-only formatting keeps the output byte-deterministic.
             out.push_str(&format!(
-                "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}.{:06},\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                "\",{phase},\"ts\":{}.{:06},\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
                 ps / 1_000_000,
                 ps % 1_000_000,
                 e.node,
@@ -485,6 +503,68 @@ mod tests {
         assert!(json.contains("\"cat\":\"mem\""));
         assert!(json.contains("\"tid\":3"));
         assert!(json.contains("\"args\":{\"a\":128,\"b\":1}"));
+    }
+
+    #[test]
+    fn span_markers_render_as_flow_events() {
+        let t = Tracer::new(8, CategoryMask::ALL);
+        t.emit(
+            Time::from_ns(1),
+            TraceCategory::Span,
+            "span_begin",
+            2,
+            77,
+            0x80,
+        );
+        t.emit(
+            Time::from_ns(9),
+            TraceCategory::Span,
+            "span_end",
+            2,
+            77,
+            0x80,
+        );
+        let json = t.snapshot().to_chrome_json();
+        assert!(json.contains("\"ph\":\"s\",\"id\":77"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":77"));
+        assert!(!json.contains("\"ph\":\"i\""), "no instants in this trace");
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_span_flow_pairing() {
+        // A tiny ring wraps over interleaved noise; the surviving span
+        // markers must stay ordered begin-before-end and still render as
+        // flow events — the flight recorder never reorders.
+        let t = Tracer::new(6, CategoryMask::ALL);
+        for i in 0..20u64 {
+            ev(&t, i, TraceCategory::Cpu, "instr", i);
+        }
+        t.emit(
+            Time::from_ns(30),
+            TraceCategory::Span,
+            "span_begin",
+            0,
+            5,
+            1,
+        );
+        ev(&t, 31, TraceCategory::Mem, "l2_miss", 0);
+        t.emit(Time::from_ns(32), TraceCategory::Span, "span_end", 0, 5, 1);
+        let trace = t.snapshot();
+        assert!(trace.dropped >= 14);
+        let spans: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.category == TraceCategory::Span)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(spans, vec!["span_begin", "span_end"]);
+        assert_eq!(
+            trace.counts_by_category()[TraceCategory::Span as usize].1,
+            2
+        );
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"ph\":\"s\",\"id\":5"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":5"));
     }
 
     #[test]

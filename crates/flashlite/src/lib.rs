@@ -45,8 +45,8 @@ pub mod params;
 pub use params::FlashLiteParams;
 
 use flashsim_engine::{
-    FaultInjector, MessageFate, MetricId, MetricKind, Resource, ResourcePool, StatSet, Telemetry,
-    Time, TimeDelta, TraceCategory, Tracer,
+    FaultInjector, MessageFate, MetricId, MetricKind, Resource, ResourcePool, SpanClass,
+    SpanTracer, StatSet, Telemetry, Time, TimeDelta, TraceCategory, Tracer,
 };
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
@@ -73,8 +73,14 @@ pub struct FlashLite {
     tracer: Tracer,
     faults: FaultInjector,
     telemetry: Telemetry,
+    spans: SpanTracer,
     tel_queue: MetricId,
     tel_pool: MetricId,
+    /// Per-home-node variants of `magic.queue_ps` / `proto.dir_pool_used`
+    /// (bounded cardinality: registered up front, one id per node, and
+    /// only for machines small enough to keep the label set bounded).
+    tel_queue_node: Vec<MetricId>,
+    tel_pool_node: Vec<MetricId>,
     tel_reclaims: MetricId,
     tel_nacks: MetricId,
     tel_retries: MetricId,
@@ -120,8 +126,11 @@ impl FlashLite {
             tracer: Tracer::disabled(),
             faults: FaultInjector::inert(),
             telemetry: Telemetry::disabled(),
+            spans: SpanTracer::disabled(),
             tel_queue: MetricId::NONE,
             tel_pool: MetricId::NONE,
+            tel_queue_node: Vec::new(),
+            tel_pool_node: Vec::new(),
             tel_reclaims: MetricId::NONE,
             tel_nacks: MetricId::NONE,
             tel_retries: MetricId::NONE,
@@ -147,6 +156,7 @@ impl FlashLite {
         self.net = Network::new(self.net.topology(), params.net);
         self.net.attach_tracer(self.tracer.clone());
         self.net.attach_telemetry(self.telemetry.clone());
+        self.net.attach_spans(self.spans.clone());
     }
 
     /// Charges a protocol handler: the full cycle count contributes to the
@@ -156,11 +166,16 @@ impl FlashLite {
     /// handler cycle values are calibrated against end-to-end snbench
     /// latencies, which fold in those non-PP components; charging them
     /// all as occupancy would roughly double MAGIC's real service demand.
-    fn pp_acquire(&mut self, node: NodeId, cycles: u64, t: Time) -> Time {
+    fn pp_acquire(&mut self, node: NodeId, cycles: u64, kind: &'static str, t: Time) -> Time {
         let occupancy = self.params.pp(cycles.div_ceil(2));
         let grant = self.pp[node as usize].acquire(t, occupancy);
         let done = grant.start + self.params.pp(cycles);
         self.txn_occ += done - t;
+        // The span charge mirrors the accumulator charge exactly (queue
+        // wait + handler run), so per-class span sums reconcile with the
+        // transaction's LatencyBreakdown to the picosecond.
+        self.spans
+            .leg(kind, node, t, done, Some(SpanClass::Occupancy), done - t);
         done
     }
 
@@ -174,6 +189,14 @@ impl FlashLite {
         let grant = self.pi[node as usize].acquire(t, self.params.pp(cycles.div_ceil(2)));
         let done = grant.start + self.params.pp(cycles);
         self.txn_occ += done - t;
+        self.spans.leg(
+            "pi_request",
+            node,
+            t,
+            done,
+            Some(SpanClass::Occupancy),
+            done - t,
+        );
         done
     }
 
@@ -181,10 +204,15 @@ impl FlashLite {
         let grant = self.mem[node as usize].acquire(t, self.params.mem_busy);
         self.telemetry
             .count(self.tel_bank_wait, grant.start, grant.wait.as_ps());
-        grant.start + self.params.mem_access
+        let done = grant.start + self.params.mem_access;
+        // Bank wait + access: the part of the data path the breakdown's
+        // `memory` residual covers (zero-charged off the critical path).
+        self.spans
+            .leg("mem_bank", node, t, done, Some(SpanClass::Memory), done - t);
+        done
     }
 
-    fn send(&mut self, from: NodeId, to: NodeId, bytes: u64, t: Time) -> Time {
+    fn send(&mut self, from: NodeId, to: NodeId, bytes: u64, kind: &'static str, t: Time) -> Time {
         let mut depart = t;
         // Fault injection: a dropped message is retransmitted after the
         // plan's timeout; a delayed one leaves late. Bounded so even a
@@ -199,7 +227,12 @@ impl FlashLite {
                 MessageFate::Drop => depart += self.faults.plan().drop_timeout,
             }
         }
+        // The network leg carries the whole transit charge; the router
+        // emits zero-charge per-hop children nested inside it.
+        self.spans.begin(kind, from, t);
         let arrival = self.net.send(from, to, bytes, depart);
+        self.spans
+            .end(arrival, Some(SpanClass::Network), arrival - t);
         // Fault-injected delays/retransmits count as transit: they are
         // time the message spends "in" the network from the charger's
         // point of view.
@@ -223,15 +256,23 @@ impl FlashLite {
             self.nacks += 1;
             self.telemetry.count(self.tel_nacks, t, 1);
             retries += 1;
-            let mut rt = self.send(home, requester, p.header_bytes, t);
+            let mut rt = self.send(home, requester, p.header_bytes, "nack", t);
             let backoff = p.nack_retry_base * (1u64 << (retries - 1).min(6));
             self.nack_backoff += backoff;
             // Backoff is time spent waiting out home-MAGIC saturation:
             // occupancy, not transit.
             self.txn_occ += backoff;
+            self.spans.leg(
+                "backoff",
+                requester,
+                rt,
+                rt + backoff,
+                Some(SpanClass::Occupancy),
+                backoff,
+            );
             rt += backoff;
-            rt = self.pp_acquire(requester, p.pp_ni_out, rt);
-            t = self.send(requester, home, p.header_bytes, rt);
+            rt = self.pp_acquire(requester, p.pp_ni_out, "ni_out", rt);
+            t = self.send(requester, home, p.header_bytes, "net", rt);
         }
         self.retries += u64::from(retries);
         if retries > 0 {
@@ -246,19 +287,19 @@ impl FlashLite {
     fn invalidate_round(&mut self, home: NodeId, sharers: &[NodeId], t: Time) -> Time {
         let mut done = t;
         for &v in sharers {
-            let mut tv = self.pp_acquire(home, self.params.pp_ni_out, t);
+            let mut tv = self.pp_acquire(home, self.params.pp_ni_out, "ni_out", t);
             if v != home {
-                tv = self.send(home, v, self.params.header_bytes, tv);
+                tv = self.send(home, v, self.params.header_bytes, "net", tv);
             }
-            tv = self.pp_acquire(v, self.params.pp_intervention, tv);
+            tv = self.pp_acquire(v, self.params.pp_intervention, "pp_intervention", tv);
             if v != home {
-                tv = self.send(v, home, self.params.header_bytes, tv);
+                tv = self.send(v, home, self.params.header_bytes, "net", tv);
             }
             done = done.max(tv);
         }
         if !sharers.is_empty() {
             // Ack collection handler at the home.
-            done = self.pp_acquire(home, self.params.pp_dir_local, done);
+            done = self.pp_acquire(home, self.params.pp_dir_local, "dir_lookup", done);
         }
         done
     }
@@ -321,14 +362,22 @@ impl FlashLite {
 
         // Processor detects the miss and crosses the pins.
         let mut t = req.now + p.proc_miss_detect;
+        self.spans.leg(
+            "miss_detect",
+            requester,
+            req.now,
+            t,
+            Some(SpanClass::Memory),
+            p.proc_miss_detect,
+        );
         // Requester MAGIC: processor-interface handler (PI stage).
         t = self.pi_acquire(requester, t);
 
         // Request travels to the home; a saturated home MAGIC NACKs it
         // back for retry-with-backoff before accepting it.
         if requester != home {
-            t = self.pp_acquire(requester, p.pp_ni_out, t);
-            t = self.send(requester, home, p.header_bytes, t);
+            t = self.pp_acquire(requester, p.pp_ni_out, "ni_out", t);
+            t = self.send(requester, home, p.header_bytes, "net", t);
             t = self.nack_retry(requester, home, t);
         }
 
@@ -342,9 +391,12 @@ impl FlashLite {
         // demand reaches the directory handler: the queued work (in ps)
         // ahead of this request. This is the series the paper's hotspot
         // study turns on — the latency-only NUMA model has no such queue.
-        self.telemetry
-            .occupy(self.tel_queue, t, self.pp[home as usize].wait_at(t).as_ps());
-        t = self.pp_acquire(home, dir_cycles, t);
+        let queued = self.pp[home as usize].wait_at(t).as_ps();
+        self.telemetry.occupy(self.tel_queue, t, queued);
+        if let Some(&id) = self.tel_queue_node.get(home as usize) {
+            self.telemetry.occupy(id, t, queued);
+        }
+        t = self.pp_acquire(home, dir_cycles, "dir_lookup", t);
 
         let reclaims_before = self.dirs[home as usize].reclaims();
         let resp = if exclusive_intent {
@@ -355,6 +407,9 @@ impl FlashLite {
         let dir_occ = self.dirs[home as usize].occupancy_sample();
         self.telemetry
             .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        if let Some(&id) = self.tel_pool_node.get(home as usize) {
+            self.telemetry.gauge(id, t, u64::from(dir_occ.used));
+        }
         self.telemetry
             .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         let case = classify_read(requester, home, resp.source);
@@ -367,7 +422,7 @@ impl FlashLite {
             .invalidate
             .iter()
             .copied()
-            .filter(|v| Some(*v) != source_owner(resp.source))
+            .filter(|v| Some(*v) != resp.source.owner())
             .collect();
         let ack_done = if sharers.is_empty() {
             t
@@ -376,7 +431,9 @@ impl FlashLite {
             // per-leg charges must not count toward the requester's
             // critical path (only its *exposed* tail does, below).
             let saved = (self.txn_occ, self.txn_net);
+            self.spans.begin_offpath("inval_round", home, t);
             let done = self.invalidate_round(home, &sharers, t);
+            self.spans.end(done, None, TimeDelta::ZERO);
             (self.txn_occ, self.txn_net) = saved;
             done
         };
@@ -386,37 +443,48 @@ impl FlashLite {
             DataSource::Memory => {
                 let ready = self.mem_acquire(home, t);
                 if requester != home {
-                    let out = self.pp_acquire(home, p.pp_ni_out, ready);
-                    let arrived = self.send(home, requester, p.line_bytes + p.header_bytes, out);
-                    self.pp_acquire(requester, p.pp_ni_reply, arrived)
+                    let out = self.pp_acquire(home, p.pp_ni_out, "ni_out", ready);
+                    let arrived =
+                        self.send(home, requester, p.line_bytes + p.header_bytes, "net", out);
+                    self.pp_acquire(requester, p.pp_ni_reply, "ni_reply", arrived)
                 } else {
                     ready
                 }
             }
             DataSource::Owner(owner) => {
-                let mut dt = self.pp_acquire(home, p.pp_dirty_extra, t);
+                let mut dt = self.pp_acquire(home, p.pp_dirty_extra, "dirty_extra", t);
                 if owner != home {
-                    dt = self.pp_acquire(home, p.pp_ni_out, dt);
-                    dt = self.send(home, owner, p.header_bytes, dt);
+                    dt = self.pp_acquire(home, p.pp_ni_out, "ni_out", dt);
+                    dt = self.send(home, owner, p.header_bytes, "net", dt);
                 }
                 // The intervention handler runs at the owner's MAGIC even
                 // when the owner is the home itself (PI intervention).
-                dt = self.pp_acquire(owner, p.pp_intervention, dt);
+                dt = self.pp_acquire(owner, p.pp_intervention, "pp_intervention", dt);
                 // The owning processor supplies the line from its
                 // secondary cache (through the processor on an R10000).
+                self.spans.leg(
+                    "proc_intervention",
+                    owner,
+                    dt,
+                    dt + p.proc_intervention,
+                    Some(SpanClass::Memory),
+                    p.proc_intervention,
+                );
                 dt += p.proc_intervention;
                 if owner != requester {
-                    dt = self.pp_acquire(owner, p.pp_ni_out, dt);
-                    dt = self.send(owner, requester, p.line_bytes + p.header_bytes, dt);
-                    dt = self.pp_acquire(requester, p.pp_ni_reply, dt);
+                    dt = self.pp_acquire(owner, p.pp_ni_out, "ni_out", dt);
+                    dt = self.send(owner, requester, p.line_bytes + p.header_bytes, "net", dt);
+                    dt = self.pp_acquire(requester, p.pp_ni_reply, "ni_reply", dt);
                 }
                 // Sharing writeback to the home (off the critical path,
                 // so excluded from the requester's decomposition).
                 if owner != home {
                     let saved = (self.txn_occ, self.txn_net);
-                    let wb = self.send(owner, home, p.line_bytes + p.header_bytes, dt);
-                    let wb = self.pp_acquire(home, p.pp_writeback, wb);
-                    let _ = self.mem_acquire(home, wb);
+                    self.spans.begin_offpath("sharing_wb", owner, dt);
+                    let wb = self.send(owner, home, p.line_bytes + p.header_bytes, "net", dt);
+                    let wb = self.pp_acquire(home, p.pp_writeback, "pp_writeback", wb);
+                    let wb_done = self.mem_acquire(home, wb);
+                    self.spans.end(wb_done, None, TimeDelta::ZERO);
                     (self.txn_occ, self.txn_net) = saved;
                 }
                 dt
@@ -427,10 +495,26 @@ impl FlashLite {
         // protocol work at the home: occupancy.
         if ack_done > data_t {
             self.txn_occ += ack_done - data_t;
+            self.spans.leg(
+                "exposed_inval",
+                home,
+                data_t,
+                ack_done,
+                Some(SpanClass::Occupancy),
+                ack_done - data_t,
+            );
         }
         data_t = data_t.max(ack_done);
         // Reply crosses the bus and the processor restarts.
         let done_at = data_t + p.reply_fill;
+        self.spans.leg(
+            "reply_fill",
+            requester,
+            data_t,
+            done_at,
+            Some(SpanClass::Memory),
+            p.reply_fill,
+        );
         self.record(case, requester, home, done_at, done_at - req.now);
 
         MemOutcome {
@@ -452,10 +536,18 @@ impl FlashLite {
         self.txn_begin();
 
         let mut t = req.now + p.proc_miss_detect;
+        self.spans.leg(
+            "miss_detect",
+            requester,
+            req.now,
+            t,
+            Some(SpanClass::Memory),
+            p.proc_miss_detect,
+        );
         t = self.pi_acquire(requester, t);
         if requester != home {
-            t = self.pp_acquire(requester, p.pp_ni_out, t);
-            t = self.send(requester, home, p.header_bytes, t);
+            t = self.pp_acquire(requester, p.pp_ni_out, "ni_out", t);
+            t = self.send(requester, home, p.header_bytes, "net", t);
             t = self.nack_retry(requester, home, t);
         }
         let dir_cycles = if requester == home {
@@ -463,33 +555,51 @@ impl FlashLite {
         } else {
             p.pp_dir_remote
         };
-        self.telemetry
-            .occupy(self.tel_queue, t, self.pp[home as usize].wait_at(t).as_ps());
-        t = self.pp_acquire(home, dir_cycles, t);
+        let queued = self.pp[home as usize].wait_at(t).as_ps();
+        self.telemetry.occupy(self.tel_queue, t, queued);
+        if let Some(&id) = self.tel_queue_node.get(home as usize) {
+            self.telemetry.occupy(id, t, queued);
+        }
+        t = self.pp_acquire(home, dir_cycles, "dir_lookup", t);
 
         let reclaims_before = self.dirs[home as usize].reclaims();
         let resp = self.dirs[home as usize].upgrade(req.line, requester);
         let dir_occ = self.dirs[home as usize].occupancy_sample();
         self.telemetry
             .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        if let Some(&id) = self.tel_pool_node.get(home as usize) {
+            self.telemetry.gauge(id, t, u64::from(dir_occ.used));
+        }
         self.telemetry
             .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         // For an upgrade, the invalidation round IS the critical path;
         // its whole duration is exposed protocol work at the home, so it
         // is charged wholesale as occupancy (per-leg charges inside the
-        // round would over-count the parallel legs).
+        // round would over-count the parallel legs). The round's span
+        // mirrors that: the subtree's legs are zero-charged, the round
+        // itself carries the wholesale occupancy charge.
         let inv_start = t;
         let saved = (self.txn_occ, self.txn_net);
+        self.spans.begin_offpath("inval_round", home, inv_start);
         let t = self.invalidate_round(home, &resp.invalidate, t);
+        self.spans.end(t, Some(SpanClass::Occupancy), t - inv_start);
         (self.txn_occ, self.txn_net) = saved;
         self.txn_occ += t - inv_start;
         let mut t = t;
         if requester != home {
-            t = self.pp_acquire(home, p.pp_ni_out, t);
-            t = self.send(home, requester, p.header_bytes, t);
-            t = self.pp_acquire(requester, p.pp_ni_reply, t);
+            t = self.pp_acquire(home, p.pp_ni_out, "ni_out", t);
+            t = self.send(home, requester, p.header_bytes, "net", t);
+            t = self.pp_acquire(requester, p.pp_ni_reply, "ni_reply", t);
         }
         let done_at = t + p.reply_fill;
+        self.spans.leg(
+            "reply_fill",
+            requester,
+            t,
+            done_at,
+            Some(SpanClass::Memory),
+            p.reply_fill,
+        );
         self.record(
             ProtocolCase::UpgradeOwnership,
             requester,
@@ -518,7 +628,7 @@ impl FlashLite {
         // the protocol processor ahead of the next demand miss.
         let mut t = req.now + p.pp(p.pp_writeback);
         if req.node != home {
-            t = self.send(req.node, home, p.line_bytes + p.header_bytes, t);
+            t = self.send(req.node, home, p.line_bytes + p.header_bytes, "net", t);
         }
         let done_at = self.mem_acquire(home, t);
         self.dirs[home as usize].writeback(req.line, req.node);
@@ -538,13 +648,6 @@ impl FlashLite {
             // charged from this decomposition.
             breakdown: LatencyBreakdown::default(),
         }
-    }
-}
-
-fn source_owner(source: DataSource) -> Option<NodeId> {
-    match source {
-        DataSource::Memory => None,
-        DataSource::Owner(o) => Some(o),
     }
 }
 
@@ -608,8 +711,33 @@ impl MemorySystem for FlashLite {
         self.tel_nacks = telemetry.register("magic.nacks", MetricKind::Counter);
         self.tel_retries = telemetry.register("magic.retries", MetricKind::Counter);
         self.tel_bank_wait = telemetry.register("mem.bank_wait_ps", MetricKind::Counter);
+        // Per-home-node variants let hotspot studies see WHICH MAGIC is
+        // saturated, not just that one is. The label cardinality is
+        // bounded by the node count; machines past 64 nodes keep only
+        // the aggregates.
+        self.tel_queue_node.clear();
+        self.tel_pool_node.clear();
+        if self.nodes <= 64 {
+            for n in 0..self.nodes {
+                self.tel_queue_node.push(telemetry.register_node(
+                    "magic.queue_ps",
+                    n,
+                    MetricKind::Occupancy,
+                ));
+                self.tel_pool_node.push(telemetry.register_node(
+                    "proto.dir_pool_used",
+                    n,
+                    MetricKind::Gauge,
+                ));
+            }
+        }
         self.net.attach_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    fn attach_spans(&mut self, spans: SpanTracer) {
+        self.spans = spans.clone();
+        self.net.attach_spans(spans);
     }
 
     fn model_name(&self) -> &'static str {

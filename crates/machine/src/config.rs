@@ -249,6 +249,11 @@ pub struct MachineConfig {
     pub profile: bool,
     /// Live stderr heartbeat interval (host wall-clock; default: off).
     pub heartbeat: Option<std::time::Duration>,
+    /// Causal span-tracer sampling plan (default: disabled). When set,
+    /// the machine attaches an enabled [`flashsim_engine::SpanTracer`]
+    /// at construction, records the plan in the run manifest, and the
+    /// run result carries the sampled span trees.
+    pub spans: Option<flashsim_engine::SpanPlan>,
 }
 
 impl MachineConfig {
@@ -276,6 +281,7 @@ impl MachineConfig {
             telemetry: None,
             profile: false,
             heartbeat: None,
+            spans: None,
         }
     }
 

@@ -338,7 +338,10 @@ mod tests {
             use_lock: true,
         };
         let tracer = Tracer::new(1 << 16, CategoryMask::ALL);
-        let mut m = Machine::new(cfg(2, mipsy(150), OsModel::simos_tuned(), fl()), &prog).unwrap();
+        let mut c = cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+        // Span markers only exist when a sampling plan is attached.
+        c.spans = Some(flashsim_engine::SpanPlan::all(7));
+        let mut m = Machine::new(c, &prog).unwrap();
         m.attach_tracer(tracer.clone());
         m.run().unwrap();
         let trace = tracer.snapshot();

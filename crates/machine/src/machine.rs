@@ -33,8 +33,9 @@ use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_engine::{
-    Accounting, Clock, FaultInjector, LaggardHeap, MetricId, MetricKind, Profiler, StallClass,
-    StatSet, Telemetry, TelemetrySeries, Time, TimeDelta, TraceCategory, Tracer,
+    Accounting, Clock, FaultInjector, LaggardHeap, MetricId, MetricKind, Profiler, SpanSet,
+    SpanTracer, StallClass, StatSet, Telemetry, TelemetrySeries, Time, TimeDelta, TraceCategory,
+    Tracer,
 };
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
@@ -167,6 +168,9 @@ struct Heartbeat {
     started: std::time::Instant,
     last_emit: std::time::Instant,
     ticks: u64,
+    /// Ops executed as of the previous emitted line, for the live
+    /// (since-last-line) rate alongside the cumulative one.
+    last_ops: u64,
 }
 
 /// The environment one node's core executes against (see
@@ -184,6 +188,7 @@ struct MachineEnv<'a> {
     faults: &'a FaultInjector,
     profiler: Profiler,
     telemetry: Telemetry,
+    spans: SpanTracer,
     tel: TelIds,
     /// Whether the current resolution happens inside a core op (charges
     /// subtract from that op's compute residual) or between ops (lock
@@ -329,6 +334,55 @@ impl MachineEnv<'_> {
         }
     }
 
+    /// Opens a span transaction rooted at the issuing access (if this
+    /// access is sampled) and records the machine-side legs — TLB refill
+    /// and page fault — that precede the memory-system transaction.
+    /// Returns whether the access was sampled.
+    fn span_txn_open(
+        &mut self,
+        line: LineAddr,
+        kind: MemAccessKind,
+        at: Time,
+        refill: TimeDelta,
+        fault: TimeDelta,
+    ) -> bool {
+        let node = self.node as u32;
+        if !self.spans.txn_try_begin(node, line.get(), kind.key(), at) {
+            return false;
+        }
+        if refill > TimeDelta::ZERO {
+            self.spans
+                .leg("tlb_refill", node, at, at + refill, None, refill);
+        }
+        if fault > TimeDelta::ZERO {
+            self.spans.leg(
+                "page_fault",
+                node,
+                at + refill,
+                at + refill + fault,
+                None,
+                fault,
+            );
+        }
+        true
+    }
+
+    /// Emits the paired `span`-category flow events (begin at issue, end
+    /// at completion) for a sampled transaction, so exported Chrome
+    /// traces draw an arrow across the transaction's extent. The id is
+    /// derived deterministically from (node, line, issue time).
+    fn span_mark(&mut self, line: LineAddr, at: Time, done: Time) {
+        if !self.tracer.enabled(TraceCategory::Span) {
+            return;
+        }
+        let node = self.node as u32;
+        let id = flashsim_engine::span::mix(line.get() ^ (u64::from(node) << 40) ^ at.as_ps());
+        self.tracer
+            .emit(at, TraceCategory::Span, "span_begin", node, id, line.get());
+        self.tracer
+            .emit(done, TraceCategory::Span, "span_end", node, id, line.get());
+    }
+
     /// Issues a full memory-system transaction and installs the line.
     fn miss_transaction(
         &mut self,
@@ -349,9 +403,24 @@ impl MachineEnv<'_> {
             now: t,
         });
         let perturb = self.faults.perturb_latency(out.done_at - t);
+        let pre_perturb = out.done_at;
         out.done_at += perturb;
         // Injected latency perturbation reads as extra memory time.
         out.breakdown.memory += perturb;
+        if perturb > TimeDelta::ZERO {
+            self.spans.leg(
+                "fault_perturb",
+                self.node as u32,
+                pre_perturb,
+                out.done_at,
+                Some(flashsim_engine::SpanClass::Memory),
+                perturb,
+            );
+        }
+        // Close the sampled span tree (no-op when this access was not
+        // sampled) BEFORE the victim writeback below, so background
+        // writeback legs never attach to the demand transaction.
+        self.spans.txn_end(out.done_at, out.case.key());
         self.apply_actions(line, &out.actions);
         let victim = self.mems[self.node]
             .hier
@@ -467,19 +536,41 @@ impl MemEnv for MachineEnv<'_> {
                 (t + self.cfg.l2_hit, AccessLevel::L2)
             }
             HierProbe::L2Upgrade => {
+                let sampled = self.span_txn_open(line, kind, at, refill, fault);
                 let mut out = self.memsys.access(MemRequest {
                     node: self.node as u32,
                     line,
                     kind: AccessKind::Upgrade,
                     now: t,
                 });
+                let pre_perturb = out.done_at;
                 out.done_at += self.faults.perturb_latency(out.done_at - t);
+                if sampled {
+                    if out.done_at > pre_perturb {
+                        // The upgrade arm leaves the breakdown untouched
+                        // by perturbation, so the leg is unclassed.
+                        self.spans.leg(
+                            "fault_perturb",
+                            self.node as u32,
+                            pre_perturb,
+                            out.done_at,
+                            None,
+                            out.done_at - pre_perturb,
+                        );
+                    }
+                    self.spans.txn_end(out.done_at, out.case.key());
+                    self.span_mark(line, at, out.done_at);
+                }
                 self.apply_actions(line, &out.actions);
                 self.mems[self.node].hier.complete_upgrade(paddr);
                 (out.done_at, AccessLevel::Memory(out.case))
             }
             HierProbe::L2Miss => {
+                let sampled = self.span_txn_open(line, kind, at, refill, fault);
                 let (done, level, bd) = self.miss_transaction(paddr, write, t);
+                if sampled {
+                    self.span_mark(line, at, done);
+                }
                 if demand_read {
                     self.account(StallClass::DirOccupancy, t, bd.occupancy);
                     self.account(StallClass::NetTransit, t, bd.network);
@@ -563,6 +654,9 @@ pub struct RunManifest {
     /// Per-class share of all accounted cycles, in [`StallClass::ALL`]
     /// order; `None` when the run had no profiler attached.
     pub account: Option<[f64; StallClass::COUNT]>,
+    /// Span-sampling plan summary (`"seed=… period=… max_txns=…"`);
+    /// `None` when the run had no span tracer attached.
+    pub spans: Option<String>,
 }
 
 impl RunManifest {
@@ -610,6 +704,15 @@ impl RunManifest {
         out.push_str(&num(self.events_per_sec));
         out.push_str(",\"sim_mips\":");
         out.push_str(&num(self.sim_mips));
+        out.push_str(",\"spans\":");
+        match &self.spans {
+            Some(s) => {
+                out.push('"');
+                flashsim_engine::trace::push_json_escaped(&mut out, s);
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
         out.push_str(",\"account\":");
         match &self.account {
             None => out.push_str("null"),
@@ -656,6 +759,9 @@ pub struct RunResult {
     /// Sim-time telemetry series (occupancy/utilization over simulated
     /// time); `None` when no telemetry registry was attached.
     pub telemetry: Option<TelemetrySeries>,
+    /// Sampled causal span trees; `None` when no span tracer was
+    /// attached.
+    pub spans: Option<SpanSet>,
 }
 
 impl RunResult {
@@ -685,6 +791,7 @@ pub struct Machine {
     profiler: Profiler,
     injector: FaultInjector,
     telemetry: Telemetry,
+    spans: SpanTracer,
     tel: TelIds,
     heartbeat: Option<Heartbeat>,
     fault: Option<SimError>,
@@ -775,6 +882,7 @@ impl Machine {
             profiler: Profiler::disabled(),
             injector,
             telemetry: Telemetry::disabled(),
+            spans: SpanTracer::disabled(),
             tel: TelIds::none(),
             heartbeat: None,
             fault: None,
@@ -789,6 +897,9 @@ impl Machine {
         }
         if let Some(every) = machine.cfg.heartbeat {
             machine.attach_heartbeat(every);
+        }
+        if let Some(plan) = machine.cfg.spans {
+            machine.attach_spans(SpanTracer::new(plan));
         }
         Ok(machine)
     }
@@ -864,6 +975,28 @@ impl Machine {
         &self.telemetry
     }
 
+    /// Attaches a causal span tracer: the machine roots one span tree per
+    /// sampled L2-missing access (issue time → data back in the cache)
+    /// and the memory-system model appends the legs it traverses —
+    /// handler occupancies, per-hop network legs, NACK/retry loops, bank
+    /// accesses, reply path. Per-leg charges mirror the model's
+    /// [`LatencyBreakdown`] accumulators exactly, so each tree's charges
+    /// tile its end-to-end latency in integer picoseconds.
+    ///
+    /// Attach *before* [`Machine::run`]; a disabled tracer (the default)
+    /// costs one branch per miss. Setting [`MachineConfig::spans`]
+    /// attaches one automatically at construction.
+    pub fn attach_spans(&mut self, spans: SpanTracer) {
+        self.memsys.attach_spans(spans.clone());
+        self.spans = spans;
+    }
+
+    /// The sampled span trees collected so far (`None` when no span
+    /// tracer is attached).
+    pub fn spans(&self) -> Option<SpanSet> {
+        self.spans.snapshot()
+    }
+
     /// Enables a live stderr heartbeat: at most one line per `every` of
     /// host wall-clock time reporting sim time, ops executed, host
     /// throughput, watchdog-budget progress, and the current spread
@@ -875,6 +1008,7 @@ impl Machine {
             started: now,
             last_emit: now,
             ticks: 0,
+            last_ops: 0,
         });
     }
 
@@ -893,7 +1027,14 @@ impl Machine {
         if now.duration_since(hb.last_emit) < hb.every {
             return;
         }
+        let since_last = now.duration_since(hb.last_emit).as_secs_f64();
+        let live = if since_last > 0.0 {
+            (executed.saturating_sub(hb.last_ops)) as f64 / since_last
+        } else {
+            0.0
+        };
         hb.last_emit = now;
+        hb.last_ops = executed;
         let wall = now.duration_since(hb.started).as_secs_f64();
         let lead = self
             .cores
@@ -911,7 +1052,8 @@ impl Machine {
             _ => "-".to_owned(),
         };
         eprintln!(
-            "[flashsim] sim={:.3}ms ops={executed} rate={rate:.0}/s budget={budget} skew={}ns",
+            "[flashsim] sim={:.3}ms ops={executed} rate={rate:.0}/s live={live:.0}/s \
+             budget={budget} skew={}ns",
             (lead - Time::ZERO).as_ns_f64() / 1e6,
             (lead - lag).as_ns_f64(),
         );
@@ -1141,6 +1283,7 @@ impl Machine {
                 profiler,
                 injector,
                 telemetry,
+                spans,
                 tel,
                 fault,
                 streams,
@@ -1160,6 +1303,7 @@ impl Machine {
                 faults: injector,
                 profiler: profiler.clone(),
                 telemetry: telemetry.clone(),
+                spans: spans.clone(),
                 tel: *tel,
                 in_op: true,
                 fault,
@@ -1327,6 +1471,7 @@ impl Machine {
             profiler,
             injector,
             telemetry,
+            spans,
             tel,
             fault,
             ..
@@ -1344,6 +1489,7 @@ impl Machine {
             faults: injector,
             profiler: profiler.clone(),
             telemetry: telemetry.clone(),
+            spans: spans.clone(),
             tel: *tel,
             in_op: true,
             fault,
@@ -1510,6 +1656,7 @@ impl Machine {
             profiler,
             injector,
             telemetry,
+            spans,
             tel,
             fault,
             ..
@@ -1527,6 +1674,7 @@ impl Machine {
             faults: injector,
             profiler: profiler.clone(),
             telemetry: telemetry.clone(),
+            spans: spans.clone(),
             tel: *tel,
             in_op: false,
             fault,
@@ -1634,6 +1782,7 @@ impl Machine {
             account: accounting
                 .as_ref()
                 .map(|acc| StallClass::ALL.map(|c| acc.fraction(c))),
+            spans: self.cfg.spans.as_ref().map(|p| p.describe()),
         };
 
         RunResult {
@@ -1645,6 +1794,7 @@ impl Machine {
             manifest,
             accounting,
             telemetry: self.telemetry.snapshot(end),
+            spans: self.spans.snapshot(),
         }
     }
 }

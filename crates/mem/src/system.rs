@@ -11,7 +11,7 @@
 
 use crate::addr::LineAddr;
 use core::fmt;
-use flashsim_engine::{FaultInjector, StatSet, Telemetry, Time, TimeDelta, Tracer};
+use flashsim_engine::{FaultInjector, SpanTracer, StatSet, Telemetry, Time, TimeDelta, Tracer};
 
 /// A node identifier (0-based).
 pub type NodeId = u32;
@@ -33,6 +33,18 @@ impl AccessKind {
     /// True if the transaction stalls the requesting processor.
     pub const fn is_demand(self) -> bool {
         !matches!(self, AccessKind::Writeback)
+    }
+
+    /// Stable lower-case key, used as the root span kind when a
+    /// transaction is driven straight at a memory system (the machine
+    /// layer roots spans at the cpu access kind instead).
+    pub const fn key(self) -> &'static str {
+        match self {
+            AccessKind::ReadShared => "read",
+            AccessKind::ReadExclusive => "read_ex",
+            AccessKind::Upgrade => "upgrade",
+            AccessKind::Writeback => "writeback",
+        }
     }
 }
 
@@ -227,6 +239,20 @@ pub trait MemorySystem {
     /// paper shows it cannot see. Default: no instrumentation.
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         let _ = telemetry;
+    }
+
+    /// Attaches a causal span tracer. Models append per-leg spans —
+    /// protocol-processor occupancy, per-hop network legs, NACK/retry
+    /// loops, bank access, the reply path — to whatever transaction the
+    /// tracer currently has open (see
+    /// [`flashsim_engine::span::SpanTracer`]); each leg's charge equals
+    /// exactly what the model added to its [`LatencyBreakdown`]
+    /// accumulators inside that leg, so span trees reconcile against the
+    /// breakdown in integer picoseconds. A model that appends *no* legs
+    /// for work it does not model is itself the diagnostic the span diff
+    /// surfaces. Default: no instrumentation.
+    fn attach_spans(&mut self, spans: SpanTracer) {
+        let _ = spans;
     }
 
     /// A conservative lower bound on the latency of *any* demand

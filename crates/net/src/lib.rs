@@ -27,7 +27,8 @@
 
 use core::fmt;
 use flashsim_engine::{
-    MetricId, MetricKind, Resource, StatSet, Telemetry, Time, TimeDelta, TraceCategory, Tracer,
+    MetricId, MetricKind, Resource, SpanTracer, StatSet, Telemetry, Time, TimeDelta, TraceCategory,
+    Tracer,
 };
 
 /// A hypercube topology over a power-of-two number of nodes.
@@ -179,6 +180,7 @@ pub struct Network {
     total_wait: TimeDelta,
     tracer: Tracer,
     telemetry: Telemetry,
+    spans: SpanTracer,
     tel_messages: MetricId,
     tel_link_busy: MetricId,
     tel_link_wait: MetricId,
@@ -200,6 +202,7 @@ impl Network {
             total_wait: TimeDelta::ZERO,
             tracer: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
+            spans: SpanTracer::disabled(),
             tel_messages: MetricId::NONE,
             tel_link_busy: MetricId::NONE,
             tel_link_wait: MetricId::NONE,
@@ -225,6 +228,14 @@ impl Network {
         self.tel_link_wait = telemetry.register("net.link_wait_ps", MetricKind::Gauge);
         self.tel_inflight = telemetry.register("net.inflight", MetricKind::Gauge);
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a causal span tracer: while a sampled transaction is
+    /// open, every hop appends a zero-charge `"hop"` child span under
+    /// the message's enclosing `"net"` leg (the leg itself carries the
+    /// network charge; hops show *where* the flight time went).
+    pub fn attach_spans(&mut self, spans: SpanTracer) {
+        self.spans = spans;
     }
 
     /// The topology.
@@ -262,6 +273,7 @@ impl Network {
         let mut t = now;
         let mut cur = from;
         let mut waited = TimeDelta::ZERO;
+        let spans_on = self.spans.is_enabled();
         // Walk the e-cube route inline (least- to most-significant differing
         // bit) rather than materializing it: deliver() runs once per protocol
         // message and a per-call route Vec was measurable in profiles.
@@ -270,6 +282,7 @@ impl Network {
             if (cur ^ to) & bit == 0 {
                 continue;
             }
+            let hop_from = t;
             if self.params.contention {
                 let idx = self.topo.link_index(cur, dim);
                 let occupancy = self.params.occupancy(bytes);
@@ -293,6 +306,13 @@ impl Network {
                 t = grant.start + self.params.hop_latency;
             } else {
                 t += self.params.hop_latency;
+            }
+            if spans_on {
+                // Zero-charge: the enclosing "net" leg carries the
+                // transaction's network charge; hops only localize it
+                // (the hop span covers link wait plus flight).
+                self.spans
+                    .leg("hop", cur, hop_from, t, None, TimeDelta::ZERO);
             }
             self.total_hops += 1;
             cur ^= bit;

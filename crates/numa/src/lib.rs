@@ -41,7 +41,8 @@
 #![warn(missing_docs)]
 
 use flashsim_engine::{
-    MetricId, MetricKind, ResourcePool, StatSet, Telemetry, Time, TimeDelta, TraceCategory, Tracer,
+    MetricId, MetricKind, ResourcePool, SpanClass, SpanTracer, StatSet, Telemetry, Time, TimeDelta,
+    TraceCategory, Tracer,
 };
 use flashsim_mem::system::{
     AccessKind, CoherenceActions, LatencyBreakdown, MemOutcome, MemRequest, MemorySystem, NodeId,
@@ -130,9 +131,11 @@ pub struct Numa {
     case_latency_ns: BTreeMap<ProtocolCase, f64>,
     tracer: Tracer,
     telemetry: Telemetry,
+    spans: SpanTracer,
     tel_pool: MetricId,
     tel_reclaims: MetricId,
     tel_bank_wait: MetricId,
+    tel_pool_node: Vec<MetricId>,
 }
 
 impl Numa {
@@ -159,9 +162,11 @@ impl Numa {
             case_latency_ns: BTreeMap::new(),
             tracer: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
+            spans: SpanTracer::disabled(),
             tel_pool: MetricId::NONE,
             tel_reclaims: MetricId::NONE,
             tel_bank_wait: MetricId::NONE,
+            tel_pool_node: Vec::new(),
         }
     }
 
@@ -190,7 +195,24 @@ impl Numa {
         let grant = self.mem[node as usize].acquire(t, self.params.mem_busy);
         self.telemetry
             .count(self.tel_bank_wait, grant.start, grant.wait.as_ps());
-        grant.start + self.params.mem_access
+        let done = grant.start + self.params.mem_access;
+        self.spans
+            .leg("mem_bank", node, t, done, Some(SpanClass::Memory), done - t);
+        done
+    }
+
+    /// Span-only helper: a pure-latency leg covering `[t, t + d]`.
+    fn span_leg(
+        &mut self,
+        kind: &'static str,
+        node: NodeId,
+        t: Time,
+        d: TimeDelta,
+        class: SpanClass,
+    ) -> Time {
+        let end = t + d;
+        self.spans.leg(kind, node, t, end, Some(class), d);
+        end
     }
 
     fn record(
@@ -234,15 +256,29 @@ impl Numa {
         let mut occ = p.ctrl_request;
         let mut net_d = TimeDelta::ZERO;
 
-        let mut t = req.now + p.miss_detect + p.ctrl_request;
+        let mut t = self.span_leg(
+            "miss_detect",
+            requester,
+            req.now,
+            p.miss_detect,
+            SpanClass::Memory,
+        );
+        t = self.span_leg(
+            "ctrl_request",
+            requester,
+            t,
+            p.ctrl_request,
+            SpanClass::Occupancy,
+        );
         if requester != home {
             let leg = self.net(requester, home, false);
-            t += p.ctrl_out + leg;
-            t += p.dir_remote;
+            t = self.span_leg("ctrl_out", requester, t, p.ctrl_out, SpanClass::Occupancy);
+            t = self.span_leg("net", requester, t, leg, SpanClass::Network);
+            t = self.span_leg("dir_lookup", home, t, p.dir_remote, SpanClass::Occupancy);
             occ += p.ctrl_out + p.dir_remote;
             net_d += leg;
         } else {
-            t += p.dir_local;
+            t = self.span_leg("dir_lookup", home, t, p.dir_local, SpanClass::Occupancy);
             occ += p.dir_local;
         }
 
@@ -255,19 +291,37 @@ impl Numa {
         let dir_occ = self.dirs[home as usize].occupancy_sample();
         self.telemetry
             .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        if let Some(&id) = self.tel_pool_node.get(home as usize) {
+            self.telemetry.gauge(id, t, u64::from(dir_occ.used));
+        }
         self.telemetry
             .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         let case = classify_read(requester, home, resp.source);
 
         // Invalidation round trips, pure latency.
         let mut ack_done = t;
-        for &v in &resp.invalidate {
-            let tv = t
-                + p.ctrl_out
-                + self.net(home, v, false)
-                + p.ctrl_intervention
-                + self.net(v, home, false);
-            ack_done = ack_done.max(tv);
+        if !resp.invalidate.is_empty() {
+            self.spans.begin_offpath("inval_round", home, t);
+            for &v in &resp.invalidate {
+                let mut tv = self.span_leg("ctrl_out", home, t, p.ctrl_out, SpanClass::Occupancy);
+                tv = self.span_leg(
+                    "net",
+                    home,
+                    tv,
+                    self.net(home, v, false),
+                    SpanClass::Network,
+                );
+                tv = self.span_leg(
+                    "ctrl_intervention",
+                    v,
+                    tv,
+                    p.ctrl_intervention,
+                    SpanClass::Occupancy,
+                );
+                tv = self.span_leg("net", v, tv, self.net(v, home, false), SpanClass::Network);
+                ack_done = ack_done.max(tv);
+            }
+            self.spans.end(ack_done, None, TimeDelta::ZERO);
         }
 
         let mut data_t = match resp.source {
@@ -277,25 +331,57 @@ impl Numa {
                     let leg = self.net(home, requester, true);
                     occ += p.ctrl_out + p.ctrl_reply;
                     net_d += leg;
-                    ready + p.ctrl_out + leg + p.ctrl_reply
+                    let co =
+                        self.span_leg("ctrl_out", home, ready, p.ctrl_out, SpanClass::Occupancy);
+                    let nt = self.span_leg("net", home, co, leg, SpanClass::Network);
+                    self.span_leg(
+                        "ctrl_reply",
+                        requester,
+                        nt,
+                        p.ctrl_reply,
+                        SpanClass::Occupancy,
+                    )
                 } else {
                     ready
                 }
             }
             DataSource::Owner(owner) => {
-                let mut dt = t + p.dirty_extra;
+                let mut dt =
+                    self.span_leg("dirty_extra", home, t, p.dirty_extra, SpanClass::Occupancy);
                 occ += p.dirty_extra;
                 if owner != home {
                     let leg = self.net(home, owner, false);
-                    dt += p.ctrl_out + leg;
+                    dt = self.span_leg("ctrl_out", home, dt, p.ctrl_out, SpanClass::Occupancy);
+                    dt = self.span_leg("net", home, dt, leg, SpanClass::Network);
                     occ += p.ctrl_out;
                     net_d += leg;
                 }
-                dt += p.ctrl_intervention + p.proc_intervention;
+                dt = self.span_leg(
+                    "ctrl_intervention",
+                    owner,
+                    dt,
+                    p.ctrl_intervention,
+                    SpanClass::Occupancy,
+                );
+                dt = self.span_leg(
+                    "proc_intervention",
+                    owner,
+                    dt,
+                    p.proc_intervention,
+                    SpanClass::Memory,
+                );
                 occ += p.ctrl_intervention;
                 if owner != requester {
                     let leg = self.net(owner, requester, true);
-                    dt += p.ctrl_out + leg + p.ctrl_reply;
+                    dt = self.span_leg("ctrl_out", owner, dt, p.ctrl_out, SpanClass::Occupancy);
+                    dt = self.span_leg("net", owner, dt, leg, SpanClass::Network);
+                    dt = self.span_leg(
+                        "ctrl_reply",
+                        requester,
+                        dt,
+                        p.ctrl_reply,
+                        SpanClass::Occupancy,
+                    );
                     occ += p.ctrl_out + p.ctrl_reply;
                     net_d += leg;
                 }
@@ -307,9 +393,23 @@ impl Numa {
         // directory work: occupancy.
         if ack_done > data_t {
             occ += ack_done - data_t;
+            self.spans.leg(
+                "exposed_inval",
+                home,
+                data_t,
+                ack_done,
+                Some(SpanClass::Occupancy),
+                ack_done - data_t,
+            );
         }
         data_t = data_t.max(ack_done);
-        let done_at = data_t + p.reply_fill;
+        let done_at = self.span_leg(
+            "reply_fill",
+            requester,
+            data_t,
+            p.reply_fill,
+            SpanClass::Memory,
+        );
         self.record(case, requester, home, done_at, done_at - req.now);
         let total = done_at - req.now;
         let occupancy = occ.min(total);
@@ -336,14 +436,29 @@ impl Numa {
         let p = self.params;
         let mut occ = p.ctrl_request;
         let mut net_d = TimeDelta::ZERO;
-        let mut t = req.now + p.miss_detect + p.ctrl_request;
+        let mut t = self.span_leg(
+            "miss_detect",
+            requester,
+            req.now,
+            p.miss_detect,
+            SpanClass::Memory,
+        );
+        t = self.span_leg(
+            "ctrl_request",
+            requester,
+            t,
+            p.ctrl_request,
+            SpanClass::Occupancy,
+        );
         if requester != home {
             let leg = self.net(requester, home, false);
-            t += p.ctrl_out + leg + p.dir_remote;
+            t = self.span_leg("ctrl_out", requester, t, p.ctrl_out, SpanClass::Occupancy);
+            t = self.span_leg("net", requester, t, leg, SpanClass::Network);
+            t = self.span_leg("dir_lookup", home, t, p.dir_remote, SpanClass::Occupancy);
             occ += p.ctrl_out + p.dir_remote;
             net_d += leg;
         } else {
-            t += p.dir_local;
+            t = self.span_leg("dir_lookup", home, t, p.dir_local, SpanClass::Occupancy);
             occ += p.dir_local;
         }
         let reclaims_before = self.dirs[home as usize].reclaims();
@@ -351,29 +466,55 @@ impl Numa {
         let dir_occ = self.dirs[home as usize].occupancy_sample();
         self.telemetry
             .gauge(self.tel_pool, t, u64::from(dir_occ.used));
+        if let Some(&id) = self.tel_pool_node.get(home as usize) {
+            self.telemetry.gauge(id, t, u64::from(dir_occ.used));
+        }
         self.telemetry
             .count(self.tel_reclaims, t, dir_occ.reclaims - reclaims_before);
         let mut ack_done = t;
+        self.spans.begin_offpath("inval_round", home, t);
         for &v in &resp.invalidate {
-            let tv = t
-                + p.ctrl_out
-                + self.net(home, v, false)
-                + p.ctrl_intervention
-                + self.net(v, home, false);
+            let mut tv = self.span_leg("ctrl_out", home, t, p.ctrl_out, SpanClass::Occupancy);
+            tv = self.span_leg(
+                "net",
+                home,
+                tv,
+                self.net(home, v, false),
+                SpanClass::Network,
+            );
+            tv = self.span_leg(
+                "ctrl_intervention",
+                v,
+                tv,
+                p.ctrl_intervention,
+                SpanClass::Occupancy,
+            );
+            tv = self.span_leg("net", v, tv, self.net(v, home, false), SpanClass::Network);
             ack_done = ack_done.max(tv);
         }
         // The invalidation round is the upgrade's critical path: charged
         // wholesale as directory occupancy (legs run in parallel, so
-        // per-leg itemization would over-count).
+        // per-leg itemization would over-count). The round's span carries
+        // the wholesale charge; its legs are zero-charged.
+        self.spans
+            .end(ack_done, Some(SpanClass::Occupancy), ack_done - t);
         occ += ack_done - t;
         let mut t = ack_done;
         if requester != home {
             let leg = self.net(home, requester, false);
-            t += p.ctrl_out + leg + p.ctrl_reply;
+            t = self.span_leg("ctrl_out", home, t, p.ctrl_out, SpanClass::Occupancy);
+            t = self.span_leg("net", home, t, leg, SpanClass::Network);
+            t = self.span_leg(
+                "ctrl_reply",
+                requester,
+                t,
+                p.ctrl_reply,
+                SpanClass::Occupancy,
+            );
             occ += p.ctrl_out + p.ctrl_reply;
             net_d += leg;
         }
-        let done_at = t + p.reply_fill;
+        let done_at = self.span_leg("reply_fill", requester, t, p.reply_fill, SpanClass::Memory);
         self.record(
             ProtocolCase::UpgradeOwnership,
             requester,
@@ -463,7 +604,22 @@ impl MemorySystem for Numa {
         self.tel_pool = telemetry.register("proto.dir_pool_used", MetricKind::Gauge);
         self.tel_reclaims = telemetry.register("proto.dir_reclaims", MetricKind::Counter);
         self.tel_bank_wait = telemetry.register("mem.bank_wait_ps", MetricKind::Counter);
+        // Per-home-node pool variants (bounded cardinality, as FlashLite).
+        self.tel_pool_node.clear();
+        if self.nodes <= 64 {
+            for n in 0..self.nodes {
+                self.tel_pool_node.push(telemetry.register_node(
+                    "proto.dir_pool_used",
+                    n,
+                    MetricKind::Gauge,
+                ));
+            }
+        }
         self.telemetry = telemetry;
+    }
+
+    fn attach_spans(&mut self, spans: SpanTracer) {
+        self.spans = spans;
     }
 
     fn model_name(&self) -> &'static str {

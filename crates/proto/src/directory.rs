@@ -53,6 +53,16 @@ pub enum DataSource {
     Owner(NodeId),
 }
 
+impl DataSource {
+    /// The owning node for dirty lines, `None` when home memory serves.
+    pub const fn owner(self) -> Option<NodeId> {
+        match self {
+            DataSource::Memory => None,
+            DataSource::Owner(o) => Some(o),
+        }
+    }
+}
+
 /// The directory's answer to a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirResponse {

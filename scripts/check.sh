@@ -81,9 +81,23 @@ echo "== report smoke (manifest + accounting + telemetry stitching) =="
 # through the standalone --validate mode (the same entry point external
 # consumers get).
 report_jsonl="$(mktemp)"
+report_spans="$(mktemp)"
 cargo run --release -q -p flashsim-bench --bin report -- --nodes 2 \
-    --jsonl "$report_jsonl" > /dev/null
+    --jsonl "$report_jsonl" --spans-jsonl "$report_spans" > /dev/null
 cargo run --release -q -p flashsim-bench --bin report -- --validate "$report_jsonl"
-rm -f "$report_jsonl"
+
+echo "== spans smoke (span diff + flashsim-span-v1 schema gate) =="
+# Span diff over the hotspot drive: the binary gates on schema validity,
+# exact charge tiling, sampler alignment across platforms, and the
+# MAGIC-occupancy-leg signature (present on FlashLite, absent on NUMA),
+# exiting nonzero on any violation. Both its export and the report's
+# machine-layer export are re-checked through the standalone --validate
+# mode (the same entry point external consumers get).
+spans_jsonl="$(mktemp)"
+cargo run --release -q -p flashsim-bench --bin spans -- \
+    --jsonl-fl "$spans_jsonl" > /dev/null
+cargo run --release -q -p flashsim-bench --bin spans -- --validate "$spans_jsonl"
+cargo run --release -q -p flashsim-bench --bin spans -- --validate "$report_spans"
+rm -f "$report_jsonl" "$report_spans" "$spans_jsonl"
 
 echo "== all checks passed =="
