@@ -51,14 +51,15 @@ pub fn platforms(study: &Study, nodes: u32) -> Vec<(&'static str, MachineConfig)
 }
 
 /// Single-character cell verdict: `.` for a completed run, otherwise the
-/// failure kind (`D`eadlock, `S`talled, `U`nmapped, oo`M`, unheld-`L`ock,
-/// `B`uild, `P`anic).
+/// failure kind (`D`eadlock, `S`talled, `T`imeout, `U`nmapped, oo`M`,
+/// unheld-`L`ock, `B`uild, `P`anic).
 pub fn outcome_char(outcome: &CellOutcome) -> char {
     match outcome.error() {
         None => '.',
         Some(e) => match e.kind() {
             "deadlock" => 'D',
             "stalled" => 'S',
+            "timeout" => 'T',
             "unmapped" => 'U',
             "oom" => 'M',
             "unheld_lock" => 'L',
@@ -83,6 +84,13 @@ pub struct Survival {
     pub structured_failures: usize,
     /// Cells that panicked (caught); any nonzero count is a bug.
     pub panics: usize,
+    /// Failed cells whose single same-seed retry produced a *different*
+    /// outcome. The whole stack is deterministic, so any nonzero count
+    /// is itself a reproducibility bug.
+    pub flaky: usize,
+    /// Failed cells whose retry reproduced the same failure kind — the
+    /// expected, diagnosable behaviour under an active fault plan.
+    pub deterministic_failures: usize,
 }
 
 /// Sweeps `seeds` chaos fault plans across every platform, one snbench
@@ -101,7 +109,39 @@ pub fn survival_matrix(study: &Study, seeds: &[u64]) -> Survival {
             cells.push((cfg, Arc::clone(&bench)));
         }
     }
+    let retry_cells: Vec<MatrixCell> = cells
+        .iter()
+        .map(|(cfg, prog)| (cfg.clone(), Arc::clone(prog)))
+        .collect();
     let outcomes = run_matrix(cells, None);
+
+    // Retry every failed cell exactly once with the identical seed and
+    // config: a reproduced failure kind is a *deterministic failure*
+    // (diagnosable, expected under chaos); a changed outcome is *flaky*
+    // and indicts the stack's determinism contract itself.
+    let retries: Vec<Option<CellOutcome>> = {
+        let to_retry: Vec<MatrixCell> = outcomes
+            .iter()
+            .zip(&retry_cells)
+            .filter(|(o, _)| !o.is_completed())
+            .map(|(_, (cfg, prog))| (cfg.clone(), Arc::clone(prog)))
+            .collect();
+        let mut rerun = run_matrix(to_retry, None).into_iter();
+        outcomes
+            .iter()
+            .map(|o| if o.is_completed() { None } else { rerun.next() })
+            .collect()
+    };
+    let mut flaky = 0usize;
+    let mut deterministic_failures = 0usize;
+    for (outcome, retry) in outcomes.iter().zip(&retries) {
+        if let (Some(first), Some(retry)) = (outcome.error(), retry.as_ref()) {
+            match retry.error() {
+                Some(second) if second.kind() == first.kind() => deterministic_failures += 1,
+                _ => flaky += 1,
+            }
+        }
+    }
 
     let mut grid = String::new();
     let _ = write!(grid, "{:<12}", "seed");
@@ -133,13 +173,20 @@ pub fn survival_matrix(study: &Study, seeds: &[u64]) -> Survival {
     let cells = outcomes.len();
     let _ = writeln!(
         grid,
-        "legend: . ok  D deadlock  S stalled  U unmapped  M oom  L unheld-lock  B build  P panic"
+        "legend: . ok  D deadlock  S stalled  T timeout  U unmapped  M oom  L unheld-lock  \
+         B build  P panic"
     );
     let _ = write!(grid, "survival: {completed}/{cells} completed");
     for (kind, n) in &by_kind {
         let _ = write!(grid, "  {kind}:{n}");
     }
     let _ = writeln!(grid);
+    let _ = writeln!(
+        grid,
+        "retry: {} failure(s) retried once with the same seed: \
+         {deterministic_failures} deterministic-failure, {flaky} flaky",
+        flaky + deterministic_failures
+    );
 
     Survival {
         grid,
@@ -147,6 +194,8 @@ pub fn survival_matrix(study: &Study, seeds: &[u64]) -> Survival {
         completed,
         structured_failures: cells - completed - panics,
         panics,
+        flaky,
+        deterministic_failures,
     }
 }
 
@@ -164,12 +213,21 @@ mod tests {
         assert_eq!(a.cells, seeds.len() * platforms(&study, 1).len());
         assert_eq!(a.panics, 0, "no cell may panic:\n{}", a.grid);
         assert_eq!(a.completed + a.structured_failures, a.cells);
+        // Same-seed retries must reproduce the same failure kind: the
+        // whole stack is deterministic, so nothing may be flaky.
+        assert_eq!(a.flaky, 0, "flaky retries:\n{}", a.grid);
+        assert_eq!(
+            a.flaky + a.deterministic_failures,
+            a.structured_failures + a.panics,
+            "every failed cell must be retried exactly once"
+        );
+        assert!(a.grid.contains("retry:"), "grid must report retry verdicts");
     }
 
     #[test]
     fn outcome_chars_are_distinct_per_kind() {
         // The legend relies on one char per failure kind.
-        let chars = ['.', 'D', 'S', 'U', 'M', 'L', 'B', 'P'];
+        let chars = ['.', 'D', 'S', 'T', 'U', 'M', 'L', 'B', 'P'];
         let mut sorted = chars.to_vec();
         sorted.sort_unstable();
         sorted.dedup();

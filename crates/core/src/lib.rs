@@ -50,6 +50,7 @@ pub mod attrib;
 pub mod calibrate;
 pub mod diverge;
 pub mod figures;
+pub mod journal;
 pub mod metrics;
 pub mod platform;
 pub mod report;
@@ -62,6 +63,7 @@ pub use figures::{
     apps_tuned, apps_untuned, fig1, fig2, fig3, fig4, fig5, fig6, fig7, latency_ablation,
     RelativeFigure, RelativePoint, SpeedupCurve, SpeedupFigure, SPEEDUP_COUNTS,
 };
+pub use journal::{cell_identity, render_artifacts, run_matrix_journaled, CellReport, ResumeNote};
 pub use metrics::{
     kendall_tau, mare, render_scorecards, scorecards, trend_fidelity, RelativeError,
     SimulatorScorecard, TrendFidelity,

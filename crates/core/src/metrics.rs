@@ -189,7 +189,7 @@ pub fn scorecards(fig: &RelativeFigure) -> Vec<SimulatorScorecard> {
             }
         })
         .collect();
-    cards.sort_by(|a, b| a.mare.partial_cmp(&b.mare).expect("finite MARE"));
+    cards.sort_by(|a, b| a.mare.partial_cmp(&b.mare).expect("finite MARE")); // gate: allow
     cards
 }
 
@@ -219,7 +219,7 @@ pub fn render_scorecards(cards: &[SimulatorScorecard]) -> String {
                 b.contribution
                     .abs()
                     .partial_cmp(&a.contribution.abs())
-                    .expect("finite contribution")
+                    .expect("finite contribution") // gate: allow
             });
             let top: Vec<String> = ranked
                 .iter()

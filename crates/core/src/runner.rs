@@ -62,7 +62,7 @@ impl HardwareMeasurement {
 /// Panics if the machine cannot be built (thread/segment mismatch) — the
 /// experiment definitions in this crate guarantee it can.
 pub fn run_once(cfg: MachineConfig, program: &dyn Program) -> RunResult {
-    run_program(cfg, program).expect("experiment configuration is valid")
+    run_program(cfg, program).expect("experiment configuration is valid") // gate: allow
 }
 
 /// The outcome of one supervised run-matrix cell.
@@ -130,7 +130,7 @@ impl CellOutcome {
 }
 
 /// A provenance manifest for a cell that never produced a result.
-fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
+pub(crate) fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
     RunManifest {
         config: cfg.label(),
         nodes: cfg.nodes,
@@ -158,7 +158,18 @@ fn failed_manifest(cfg: &MachineConfig, program: &dyn Program) -> RunManifest {
 /// rest of the matrix.
 pub fn run_supervised(cfg: MachineConfig, program: &dyn Program) -> CellOutcome {
     let manifest = Box::new(failed_manifest(&cfg, program));
-    match catch_unwind(AssertUnwindSafe(|| run_program(cfg, program))) {
+    supervise(manifest, || run_program(cfg, program))
+}
+
+/// Runs `f` under `catch_unwind`, converting its structured error — or a
+/// caught panic — into [`CellOutcome::Failed`] carrying `manifest`. The
+/// journaled matrix uses this to supervise restored machines the same way
+/// [`run_supervised`] supervises fresh ones.
+pub(crate) fn supervise(
+    manifest: Box<RunManifest>,
+    f: impl FnOnce() -> Result<RunResult, SimError>,
+) -> CellOutcome {
+    match catch_unwind(AssertUnwindSafe(f)) {
         Ok(Ok(result)) => CellOutcome::Completed(Box::new(result)),
         Ok(Err(error)) => CellOutcome::Failed { error, manifest },
         Err(payload) => {
@@ -252,7 +263,7 @@ where
     }
     let (task_tx, task_rx) = std::sync::mpsc::channel::<(usize, T)>();
     for pair in items.into_iter().enumerate() {
-        task_tx.send(pair).expect("task queue has a live receiver");
+        task_tx.send(pair).expect("task queue has a live receiver"); // gate: allow
     }
     drop(task_tx);
     let task_rx = std::sync::Mutex::new(task_rx);
@@ -265,7 +276,7 @@ where
             let f = &f;
             scope.spawn(move || loop {
                 // Hold the lock only for the dequeue, not while running f.
-                let task = task_rx.lock().expect("task queue lock poisoned").recv();
+                let task = task_rx.lock().expect("task queue lock poisoned").recv(); // gate: allow
                 match task {
                     Ok((idx, item)) => {
                         if res_tx.send((idx, f(item))).is_err() {
@@ -282,7 +293,7 @@ where
         }
     });
     out.into_iter()
-        .map(|r| r.expect("every job sends exactly one result"))
+        .map(|r| r.expect("every job sends exactly one result")) // gate: allow
         .collect()
 }
 

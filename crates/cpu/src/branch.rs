@@ -1,6 +1,8 @@
 //! A two-bit-counter branch predictor, shared by MXS and the gold
 //! standard ("the same branch prediction strategy" — §2.2).
 
+use flashsim_engine::{CkptError, CkptReader, CkptWriter};
+
 /// Saturating two-bit counters indexed by static branch site.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
@@ -61,6 +63,43 @@ impl BranchPredictor {
         } else {
             self.mispredictions as f64 / self.predictions as f64
         }
+    }
+
+    /// Writes the predictor's tables and counters into the caller's
+    /// current checkpoint section.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64("bp_entries", self.counters.len() as u64);
+        w.u64s(
+            "bp_counters",
+            &self.counters.iter().map(|c| *c as u64).collect::<Vec<_>>(),
+        );
+        w.u64("bp_predictions", self.predictions);
+        w.u64("bp_mispredictions", self.mispredictions);
+    }
+
+    /// Restores the state saved by [`save_ckpt`](Self::save_ckpt); fails
+    /// closed if the table size differs from this predictor's.
+    pub fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let entries = r.u64("bp_entries")?;
+        if entries as usize != self.counters.len() {
+            return Err(CkptError::Parse {
+                key: "bp_entries".to_string(),
+                value: entries.to_string(),
+            });
+        }
+        let counters = r.u64s("bp_counters")?;
+        if counters.len() != self.counters.len() || counters.iter().any(|c| *c > 3) {
+            return Err(CkptError::Parse {
+                key: "bp_counters".to_string(),
+                value: format!("{} entries", counters.len()),
+            });
+        }
+        for (slot, v) in self.counters.iter_mut().zip(&counters) {
+            *slot = *v as u8;
+        }
+        self.predictions = r.u64("bp_predictions")?;
+        self.mispredictions = r.u64("bp_mispredictions")?;
+        Ok(())
     }
 }
 

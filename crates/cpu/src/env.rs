@@ -9,7 +9,9 @@
 //! parameterized refill cost), FlashLite, or NUMA — exactly the
 //! plug-compatibility the paper's simulator family has.
 
-use flashsim_engine::{Profiler, StatSet, Time, TimeDelta, Tracer};
+use flashsim_engine::{
+    CkptError, CkptReader, CkptWriter, Profiler, StatSet, Time, TimeDelta, Tracer,
+};
 use flashsim_isa::{Op, VAddr};
 use flashsim_mem::ProtocolCase;
 
@@ -122,6 +124,21 @@ pub trait Core: Send {
     fn attach_profiler(&mut self, profiler: Profiler, node: u32) {
         let _ = (profiler, node);
     }
+
+    /// Serializes the core's mutable timing state — clocks, buffered
+    /// stores, outstanding misses, predictor tables, counters — into the
+    /// caller's current checkpoint section. Called only at quiescent
+    /// points (barrier releases), where [`drain`](Core::drain) has already
+    /// retired in-flight work the model cannot re-derive. Required, not
+    /// defaulted: a model that silently skipped its state here would
+    /// restore with a cold pipeline and break the byte-identity contract.
+    fn save_ckpt(&self, w: &mut CkptWriter);
+
+    /// Restores the state saved by [`save_ckpt`](Core::save_ckpt) into a
+    /// freshly constructed core of the identical configuration.
+    /// Implementations fail closed (structured [`CkptError`]) on any
+    /// shape mismatch.
+    fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError>;
 }
 
 /// A trivial environment for core unit tests: everything hits, with fixed

@@ -45,6 +45,7 @@
 //! assert!(acct.conserved());
 //! ```
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::time::{Time, TimeDelta};
 use crate::trace::push_json_escaped;
 use core::fmt;
@@ -242,6 +243,7 @@ impl Profiler {
     pub fn charge(&self, node: u32, class: StallClass, at: Time, dur: TimeDelta) {
         if let Some(book) = &self.book {
             if !dur.is_zero() {
+                // gate: allow — a poisoned book lock is a prior panic
                 book.lock().expect("accounting book poisoned").add(
                     node,
                     class,
@@ -260,6 +262,7 @@ impl Profiler {
     pub fn charge_wall(&self, node: u32, class: StallClass, at: Time, dur: TimeDelta) {
         if let Some(book) = &self.book {
             if !dur.is_zero() {
+                // gate: allow — a poisoned book lock is a prior panic
                 book.lock().expect("accounting book poisoned").add(
                     node,
                     class,
@@ -285,7 +288,7 @@ impl Profiler {
     #[inline]
     pub fn mark_op(&self, node: u32, at: Time, busy: TimeDelta) {
         if let Some(book) = &self.book {
-            let mut b = book.lock().expect("accounting book poisoned");
+            let mut b = book.lock().expect("accounting book poisoned"); // gate: allow
             let n = node as usize;
             b.ensure(n);
             let charged = std::mem::take(&mut b.op_charged[n]);
@@ -307,7 +310,7 @@ impl Profiler {
     /// Returns `None` on a disabled profiler.
     pub fn snapshot(&self, node_ends: &[Time]) -> Option<Accounting> {
         let book = self.book.as_ref()?;
-        let mut b = book.lock().expect("accounting book poisoned");
+        let mut b = book.lock().expect("accounting book poisoned"); // gate: allow
         b.ensure(node_ends.len().saturating_sub(1));
         let nodes = node_ends
             .iter()
@@ -327,6 +330,73 @@ impl Profiler {
             phases: b.phases.to_vec(),
             phase_ps: b.phase_ps,
         })
+    }
+
+    /// Serializes the raw ledger — per-node per-class charges, the
+    /// pending op-residual accumulators, and the phase sampling — for a
+    /// checkpoint. Raw (pre-conservation) state is what must survive:
+    /// conservation is applied only at [`Profiler::snapshot`].
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.section("profiler");
+        let Some(book) = &self.book else {
+            w.u64("enabled", 0);
+            return;
+        };
+        let b = book.lock().expect("accounting book poisoned"); // gate: allow
+        w.u64("enabled", 1);
+        w.u64("nodes", b.classes.len() as u64);
+        for classes in &b.classes {
+            w.u64s("classes", classes);
+        }
+        w.u64s("op_charged", &b.op_charged);
+        w.u64("phase_ps", b.phase_ps);
+        for row in &b.phases {
+            w.u64s("phase", row);
+        }
+    }
+
+    /// Restores the ledger saved by [`Profiler::save_ckpt`].
+    pub fn load_ckpt(&self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        fn classes_row(vals: Vec<u64>, key: &str) -> Result<[u64; StallClass::COUNT], CkptError> {
+            vals.try_into().map_err(|v: Vec<u64>| CkptError::Parse {
+                key: key.to_string(),
+                value: format!("{} classes", v.len()),
+            })
+        }
+        r.section("profiler")?;
+        let enabled = r.u64("enabled")?;
+        if (enabled == 1) != self.book.is_some() {
+            return Err(CkptError::Parse {
+                key: "enabled".to_string(),
+                value: enabled.to_string(),
+            });
+        }
+        let Some(book) = &self.book else {
+            return Ok(());
+        };
+        let nodes = r.u64("nodes")? as usize;
+        let mut classes = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            classes.push(classes_row(r.u64s("classes")?, "classes")?);
+        }
+        let op_charged = r.u64s("op_charged")?;
+        if op_charged.len() != nodes {
+            return Err(CkptError::Parse {
+                key: "op_charged".to_string(),
+                value: format!("{} entries", op_charged.len()),
+            });
+        }
+        let phase_ps = r.u64("phase_ps")?;
+        let mut phases = [[0u64; StallClass::COUNT]; PHASES];
+        for row in &mut phases {
+            *row = classes_row(r.u64s("phase")?, "phase")?;
+        }
+        let mut b = book.lock().expect("accounting book poisoned"); // gate: allow
+        b.classes = classes;
+        b.op_charged = op_charged;
+        b.phases = phases;
+        b.phase_ps = phase_ps;
+        Ok(())
     }
 }
 
@@ -742,6 +812,34 @@ mod tests {
         for (i, c) in StallClass::ALL.into_iter().enumerate() {
             assert_eq!(c as usize, i, "discriminants must match ALL order");
         }
+    }
+
+    #[test]
+    fn ckpt_roundtrip_preserves_the_raw_ledger() {
+        use crate::ckpt::{CkptReader, CkptWriter};
+        let p = Profiler::new();
+        p.charge(0, StallClass::L2Miss, at(0), ns(70));
+        p.charge(1, StallClass::NetTransit, at(3), ns(20));
+        // Leave an op-residual accumulator pending on node 1.
+        p.charge(1, StallClass::L1Miss, at(4), ns(5));
+        p.mark_op(0, at(0), ns(100));
+        let mut w = CkptWriter::new("t");
+        p.save_ckpt(&mut w);
+        let text = w.finish();
+        let q = Profiler::new();
+        let mut r = CkptReader::open(&text).expect("intact");
+        q.load_ckpt(&mut r).expect("loads");
+        r.finish().expect("consumed");
+        // Finishing the pending op and snapshotting must agree exactly.
+        p.mark_op(1, at(4), ns(40));
+        q.mark_op(1, at(4), ns(40));
+        let a = p.snapshot(&[at(200), at(200)]).expect("enabled");
+        let b = q.snapshot(&[at(200), at(200)]).expect("enabled");
+        assert_eq!(a, b);
+        assert!(b.conserved());
+        // Enabled/disabled mismatch fails closed.
+        let mut r = CkptReader::open(&text).expect("intact");
+        assert!(Profiler::disabled().load_ckpt(&mut r).is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! assert_eq!(a.message_fate(0, 1), b.message_fate(0, 1));
 //! ```
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::rng::Rng;
 use crate::stats::StatSet;
 use crate::time::TimeDelta;
@@ -236,7 +237,73 @@ impl FaultInjector {
     fn with_inner<T>(&self, f: impl FnOnce(&mut Inner) -> T) -> Option<T> {
         self.inner
             .as_ref()
-            .map(|m| f(&mut m.lock().expect("fault injector poisoned")))
+            .map(|m| f(&mut m.lock().expect("fault injector poisoned"))) // gate: allow
+    }
+
+    /// Serializes the injector's mutable state — the decision-stream
+    /// position and the counters — into a checkpoint. The plan itself is
+    /// immutable run identity and lives in the provenance string.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.section("fault");
+        match self.with_inner(|inner| {
+            (
+                inner.rng.state(),
+                inner.counters.perturbed,
+                inner.counters.extra_latency,
+                inner.counters.dropped,
+                inner.counters.delayed,
+                inner.counters.stalled_ops,
+            )
+        }) {
+            Some((state, perturbed, extra, dropped, delayed, stalled)) => {
+                w.u64("active", 1);
+                w.u64s("rng", &state);
+                w.u64("perturbed", perturbed);
+                w.delta("extra_latency", extra);
+                w.u64("dropped", dropped);
+                w.u64("delayed", delayed);
+                w.u64("stalled_ops", stalled);
+            }
+            None => w.u64("active", 0),
+        }
+    }
+
+    /// Restores the decision stream and counters saved by
+    /// [`FaultInjector::save_ckpt`]. The injector must have been built
+    /// from the same plan (guaranteed by the provenance interlock).
+    pub fn load_ckpt(&self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        r.section("fault")?;
+        let active = r.u64("active")?;
+        if (active == 1) != self.inner.is_some() {
+            return Err(CkptError::Parse {
+                key: "active".to_string(),
+                value: active.to_string(),
+            });
+        }
+        if active == 0 {
+            return Ok(());
+        }
+        let state = r.u64s("rng")?;
+        if state.len() != 4 {
+            return Err(CkptError::Parse {
+                key: "rng".to_string(),
+                value: format!("{} words", state.len()),
+            });
+        }
+        let perturbed = r.u64("perturbed")?;
+        let extra = r.delta("extra_latency")?;
+        let dropped = r.u64("dropped")?;
+        let delayed = r.u64("delayed")?;
+        let stalled = r.u64("stalled_ops")?;
+        self.with_inner(|inner| {
+            inner.rng = Rng::from_state([state[0], state[1], state[2], state[3]]);
+            inner.counters.perturbed = perturbed;
+            inner.counters.extra_latency = extra;
+            inner.counters.dropped = dropped;
+            inner.counters.delayed = delayed;
+            inner.counters.stalled_ops = stalled;
+        });
+        Ok(())
     }
 
     /// Extra latency to add to a memory transaction that took `base`.
@@ -372,6 +439,44 @@ mod tests {
         assert!(!inj.node_stalled(2, 99));
         assert!(inj.node_stalled(2, 100));
         assert!(!inj.node_stalled(1, 1_000_000));
+    }
+
+    #[test]
+    fn ckpt_roundtrip_resumes_the_decision_stream() {
+        let plan = FaultPlan {
+            seed: 19,
+            latency_prob: 0.5,
+            latency_spread: 1.0,
+            drop_prob: 0.1,
+            delay_prob: 0.1,
+            delay: TimeDelta::from_ns(50),
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan);
+        for i in 0..37 {
+            a.perturb_latency(TimeDelta::from_ns(100 + i));
+            a.message_fate(0, 1);
+        }
+        let mut w = CkptWriter::new("p");
+        a.save_ckpt(&mut w);
+        let text = w.finish();
+        let b = FaultInjector::new(plan);
+        let mut r = CkptReader::open(&text).expect("intact");
+        b.load_ckpt(&mut r).expect("loads");
+        r.finish().expect("consumed");
+        // Identical decisions and identical counters from here on.
+        for i in 0..50 {
+            assert_eq!(
+                a.perturb_latency(TimeDelta::from_ns(200 + i)),
+                b.perturb_latency(TimeDelta::from_ns(200 + i))
+            );
+            assert_eq!(a.message_fate(1, 0), b.message_fate(1, 0));
+        }
+        let (mut sa, mut sb) = (StatSet::new(), StatSet::new());
+        a.absorb_into(&mut sa);
+        b.absorb_into(&mut sb);
+        assert_eq!(sa.get("fault.perturbed"), sb.get("fault.perturbed"));
+        assert_eq!(sa.get("fault.dropped_msgs"), sb.get("fault.dropped_msgs"));
     }
 
     #[test]

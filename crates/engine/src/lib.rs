@@ -28,6 +28,9 @@
 //!   picosecond on every node to a stall class (compute, cache misses,
 //!   TLB, occupancy, network, sync, OS), sampled into time phases — the
 //!   substrate for per-class error attribution between platforms,
+//! - [`ckpt`]: the versioned `flashsim-ckpt-v1` checkpoint format —
+//!   sequential writer/reader with checksum + provenance interlock, the
+//!   substrate for deterministic snapshot/restore at barrier releases,
 //! - [`span`]: causal span trees for sampled memory transactions — a
 //!   deterministic seeded sampler plus per-leg charges that reconcile
 //!   exactly against the latency breakdowns, with critical-path
@@ -60,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod account;
+pub mod ckpt;
 pub mod event;
 pub mod fault;
 pub mod fxhash;
@@ -74,6 +78,7 @@ pub mod time;
 pub mod trace;
 
 pub use account::{Accounting, NodeAccount, Profiler, StallClass};
+pub use ckpt::{CkptError, CkptReader, CkptWriter};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan, MessageFate};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};

@@ -25,6 +25,7 @@
 //! assert_eq!(g1.wait.as_ns(), 70);
 //! ```
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::time::{Time, TimeDelta};
 
 /// The outcome of acquiring a [`Resource`]: when service began and ended,
@@ -127,6 +128,34 @@ impl Resource {
     pub fn reset(&mut self) {
         *self = Resource::new(self.name);
     }
+
+    /// Serializes the occupancy timeline and counters (name-stamped so a
+    /// restore against the wrong resource fails closed).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.str("res", self.name);
+        w.time("busy_until", self.busy_until);
+        w.delta("busy_total", self.busy_total);
+        w.delta("wait_total", self.wait_total);
+        w.u64("grants", self.grants);
+        w.u64("contended_grants", self.contended_grants);
+    }
+
+    /// Restores the state saved by [`Resource::save_ckpt`].
+    pub fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let name = r.str_field("res")?;
+        if name != self.name {
+            return Err(CkptError::Parse {
+                key: "res".to_string(),
+                value: name,
+            });
+        }
+        self.busy_until = r.time("busy_until")?;
+        self.busy_total = r.delta("busy_total")?;
+        self.wait_total = r.delta("wait_total")?;
+        self.grants = r.u64("grants")?;
+        self.contended_grants = r.u64("contended_grants")?;
+        Ok(())
+    }
 }
 
 /// `k` identical servers (e.g. interleaved memory banks): each request is
@@ -175,7 +204,7 @@ impl ResourcePool {
             .iter()
             .enumerate()
             .min_by_key(|(_, t)| **t)
-            .expect("pool is non-empty");
+            .expect("pool is non-empty"); // gate: allow — constructor rejects empty pools
         let start = now.max(self.free_at[idx]);
         let end = start + service;
         let wait = start.saturating_since(now);
@@ -199,6 +228,34 @@ impl ResourcePool {
     /// Number of requests served.
     pub fn grants(&self) -> u64 {
         self.grants
+    }
+
+    /// Serializes the per-server timelines and counters.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.str("pool", self.name);
+        let free: Vec<u64> = self.free_at.iter().map(|t| t.as_ps()).collect();
+        w.u64s("free_at", &free);
+        w.delta("busy_total", self.busy_total);
+        w.delta("wait_total", self.wait_total);
+        w.u64("grants", self.grants);
+    }
+
+    /// Restores the state saved by [`ResourcePool::save_ckpt`]. The pool
+    /// must have been built with the same name and server count.
+    pub fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let name = r.str_field("pool")?;
+        let free = r.u64s("free_at")?;
+        if name != self.name || free.len() != self.free_at.len() {
+            return Err(CkptError::Parse {
+                key: "pool".to_string(),
+                value: format!("{name} x{}", free.len()),
+            });
+        }
+        self.free_at = free.into_iter().map(Time::from_ps).collect();
+        self.busy_total = r.delta("busy_total")?;
+        self.wait_total = r.delta("wait_total")?;
+        self.grants = r.u64("grants")?;
+        Ok(())
     }
 }
 
@@ -281,5 +338,36 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_pool_panics() {
         let _ = ResourcePool::new("p", 0);
+    }
+
+    #[test]
+    fn ckpt_roundtrip_restores_timelines() {
+        use crate::ckpt::{CkptReader, CkptWriter};
+        let mut r = Resource::new("pp");
+        r.acquire(Time::ZERO, TimeDelta::from_ns(100));
+        r.acquire(Time::from_ns(40), TimeDelta::from_ns(50));
+        let mut p = ResourcePool::new("banks", 3);
+        p.acquire(Time::ZERO, TimeDelta::from_ns(70));
+        p.acquire(Time::from_ns(10), TimeDelta::from_ns(70));
+        let mut w = CkptWriter::new("t");
+        r.save_ckpt(&mut w);
+        p.save_ckpt(&mut w);
+        let text = w.finish();
+        let mut r2 = Resource::new("pp");
+        let mut p2 = ResourcePool::new("banks", 3);
+        let mut rd = CkptReader::open(&text).expect("intact");
+        r2.load_ckpt(&mut rd).expect("resource");
+        p2.load_ckpt(&mut rd).expect("pool");
+        rd.finish().expect("consumed");
+        assert_eq!(r2.busy_until(), r.busy_until());
+        assert_eq!(r2.wait_total(), r.wait_total());
+        assert_eq!(r2.contended_grants(), r.contended_grants());
+        let ga = p.acquire(Time::from_ns(20), TimeDelta::from_ns(5));
+        let gb = p2.acquire(Time::from_ns(20), TimeDelta::from_ns(5));
+        assert_eq!(ga, gb);
+        // Wrong identity fails closed.
+        let mut other = Resource::new("pi");
+        let mut rd = CkptReader::open(&text).expect("intact");
+        assert!(other.load_ckpt(&mut rd).is_err());
     }
 }

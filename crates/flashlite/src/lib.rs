@@ -44,6 +44,7 @@ pub mod params;
 
 pub use params::FlashLiteParams;
 
+use flashsim_engine::ckpt::{CkptError, CkptReader, CkptWriter};
 use flashsim_engine::{
     FaultInjector, MessageFate, MetricId, MetricKind, Resource, ResourcePool, SpanClass,
     SpanTracer, StatSet, Telemetry, Time, TimeDelta, TraceCategory, Tracer,
@@ -744,6 +745,77 @@ impl MemorySystem for FlashLite {
         "flashlite"
     }
 
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64s("shape", &[u64::from(self.nodes), self.node_mem_bytes]);
+        w.u64("nacks", self.nacks);
+        w.u64("retries", self.retries);
+        w.delta("nack_backoff", self.nack_backoff);
+        // The per-transaction decomposition scratch (txn_occ/txn_net) is
+        // reset at the start of every demand transaction, and checkpoints
+        // only happen between transactions — nothing to save.
+        w.u64("cases", self.case_counts.len() as u64);
+        for (case, count) in &self.case_counts {
+            w.str("case", case.key());
+            w.u64("count", *count);
+            w.f64(
+                "latency_ns",
+                self.case_latency_ns.get(case).copied().unwrap_or(0.0),
+            );
+        }
+        for dir in &self.dirs {
+            dir.save_ckpt(w);
+        }
+        self.net.save_ckpt(w);
+        for r in &self.pp {
+            r.save_ckpt(w);
+        }
+        for r in &self.pi {
+            r.save_ckpt(w);
+        }
+        for m in &self.mem {
+            m.save_ckpt(w);
+        }
+    }
+
+    fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let shape = r.u64s("shape")?;
+        if shape != [u64::from(self.nodes), self.node_mem_bytes] {
+            return Err(CkptError::Parse {
+                key: "shape".to_string(),
+                value: format!("{shape:?}"),
+            });
+        }
+        self.nacks = r.u64("nacks")?;
+        self.retries = r.u64("retries")?;
+        self.nack_backoff = r.delta("nack_backoff")?;
+        self.case_counts.clear();
+        self.case_latency_ns.clear();
+        let cases = r.u64("cases")?;
+        for _ in 0..cases {
+            let key = r.str_field("case")?;
+            let case = ProtocolCase::from_key(&key).ok_or_else(|| CkptError::Parse {
+                key: "case".to_string(),
+                value: key.clone(),
+            })?;
+            self.case_counts.insert(case, r.u64("count")?);
+            self.case_latency_ns.insert(case, r.f64("latency_ns")?);
+        }
+        for dir in self.dirs.iter_mut() {
+            dir.load_ckpt(r)?;
+        }
+        self.net.load_ckpt(r)?;
+        for res in self.pp.iter_mut() {
+            res.load_ckpt(r)?;
+        }
+        for res in self.pi.iter_mut() {
+            res.load_ckpt(r)?;
+        }
+        for m in self.mem.iter_mut() {
+            m.load_ckpt(r)?;
+        }
+        Ok(())
+    }
+
     fn min_shared_latency(&self) -> TimeDelta {
         // Every demand path charges miss detection, the requester MAGIC's
         // PI handler, and at least the local directory handler before any
@@ -973,6 +1045,52 @@ mod tests {
         let t_hw = read(&mut hw, 0, 0x100, 0).done_at;
         let t_un = read(&mut un, 0, 0x100, 0).done_at;
         assert!(t_un < t_hw, "untuned local path must be optimistic");
+    }
+
+    #[test]
+    fn ckpt_roundtrip_preserves_protocol_and_occupancy_state() {
+        let mut a = fl(4);
+        // Build up directory state, PP timelines, and case ledgers.
+        for node in 1..4 {
+            a.access(MemRequest {
+                node,
+                line: LineAddr(0x100),
+                kind: AccessKind::ReadShared,
+                now: Time::from_ns(u64::from(node) * 100),
+            });
+        }
+        a.access(MemRequest {
+            node: 2,
+            line: LineAddr(0x2000_0000),
+            kind: AccessKind::ReadExclusive,
+            now: Time::from_ns(1_000),
+        });
+        let mut w = CkptWriter::new("fl-test");
+        a.save_ckpt(&mut w);
+        let text = w.finish();
+
+        let mut b = fl(4);
+        let mut r = CkptReader::open(&text).expect("open");
+        b.load_ckpt(&mut r).expect("load");
+        r.finish().expect("fully consumed");
+
+        assert_eq!(a.stats().to_json(), b.stats().to_json());
+        // Identical future transactions, including queueing decisions.
+        let next = MemRequest {
+            node: 3,
+            line: LineAddr(0x2000_0000),
+            kind: AccessKind::ReadShared,
+            now: Time::from_ns(2_000),
+        };
+        assert_eq!(a.access(next), b.access(next));
+        assert_eq!(a.stats().to_json(), b.stats().to_json());
+
+        let mut other = fl(8);
+        let mut r = CkptReader::open(&text).expect("open");
+        assert!(matches!(
+            other.load_ckpt(&mut r),
+            Err(CkptError::Parse { .. })
+        ));
     }
 
     #[test]

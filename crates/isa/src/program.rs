@@ -99,6 +99,53 @@ pub trait Program: Send + Sync {
     fn stream(&self, tid: usize) -> ThreadStream {
         spawn_stream(self.thread_body(tid))
     }
+
+    /// A stable fingerprint of the program's *behavioural* identity: its
+    /// segment layout plus every field of every op in every thread's
+    /// stream, folded through FNV-1a (stable across builds and hosts,
+    /// unlike `DefaultHasher`). Two programs with equal fingerprints
+    /// produce identical simulations on any platform, even when their
+    /// names and seeds coincide — which is what lets a resumable run
+    /// journal decide whether on-disk state belongs to *this* workload.
+    ///
+    /// Draining the streams costs one generation pass; that is cheap
+    /// next to simulating them, but callers should still fingerprint
+    /// once and cache, not per comparison.
+    fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in self.segments() {
+            h = mix(h, s.base.get());
+            h = mix(h, s.bytes);
+            h = mix(
+                h,
+                match s.placement {
+                    Placement::Node(n) => 0x1_0000_0000 | u64::from(n),
+                    Placement::Blocked => 0x2_0000_0000,
+                    Placement::Interleaved => 0x3_0000_0000,
+                },
+            );
+        }
+        h = mix(h, self.timing_barrier().map_or(u64::MAX, u64::from));
+        for tid in 0..self.num_threads() {
+            h = mix(h, tid as u64);
+            let mut ops = 0u64;
+            for op in self.stream(tid) {
+                h = mix(h, op.class as u64);
+                h = mix(h, u64::from(op.dst.0));
+                h = mix(h, u64::from(op.src_a.0));
+                h = mix(h, u64::from(op.src_b.0));
+                h = mix(h, op.addr.get());
+                h = mix(h, u64::from(op.id));
+                h = mix(h, u64::from(op.taken));
+                ops += 1;
+            }
+            h = mix(h, ops);
+        }
+        h
+    }
 }
 
 /// Validates that a program's segments are non-empty, page aligned and

@@ -330,7 +330,7 @@ where
             kernel(&mut sink);
             sink.flush();
         })
-        .expect("spawning an op-generator thread");
+        .expect("spawning an op-generator thread"); // gate: allow
     ThreadStream {
         rx: Some(rx),
         chunk: Vec::new(),

@@ -143,6 +143,22 @@ pub enum SimError {
         /// Tail of the flight-recorder ring (empty if no tracer attached).
         recent: Vec<TraceEvent>,
     },
+    /// The run exceeded its wall-clock budget. Unlike [`Stalled`]
+    /// (simulated progress lost), the simulation may be perfectly healthy
+    /// — just too slow for the harness's patience; the snapshot and trace
+    /// tail say where the time went.
+    ///
+    /// [`Stalled`]: SimError::Stalled
+    Timeout {
+        /// Host wall-clock time elapsed when the watchdog tripped.
+        elapsed: std::time::Duration,
+        /// The configured wall-clock budget.
+        budget: std::time::Duration,
+        /// Where each node was.
+        nodes: Vec<NodeSnapshot>,
+        /// Tail of the flight-recorder ring (empty if no tracer attached).
+        recent: Vec<TraceEvent>,
+    },
     /// A panic escaped a supervised cell; the payload message is kept.
     Panic(String),
 }
@@ -158,6 +174,7 @@ impl SimError {
             SimError::OutOfPhysicalMemory { .. } => "oom",
             SimError::UnheldLock { .. } => "unheld_lock",
             SimError::Stalled { .. } => "stalled",
+            SimError::Timeout { .. } => "timeout",
             SimError::Panic(_) => "panic",
         }
     }
@@ -202,6 +219,22 @@ impl fmt::Display for SimError {
                 )?;
                 write_nodes(f, nodes)
             }
+            SimError::Timeout {
+                elapsed,
+                budget,
+                nodes,
+                recent,
+            } => {
+                write!(
+                    f,
+                    "timeout: wall clock {:.1}s exceeded budget {:.1}s \
+                     ({} recent trace events)",
+                    elapsed.as_secs_f64(),
+                    budget.as_secs_f64(),
+                    recent.len()
+                )?;
+                write_nodes(f, nodes)
+            }
             SimError::Panic(msg) => write!(f, "panicked: {msg}"),
         }
     }
@@ -227,6 +260,11 @@ pub struct Watchdog {
     /// Maximum ops executed across all nodes before the run is declared
     /// stalled. `None` disables the watchdog.
     pub max_ops: Option<u64>,
+    /// Maximum host wall-clock time before the run is declared timed out
+    /// ([`SimError::Timeout`]). `None` disables the wall-clock limit.
+    /// Checked amortized (every few thousand scheduling decisions), so
+    /// actual overshoot is bounded by one scheduling quantum.
+    pub wall_limit: Option<std::time::Duration>,
     /// How many trailing trace-ring events to attach to a stall report.
     pub trace_tail: usize,
 }
@@ -235,6 +273,7 @@ impl Default for Watchdog {
     fn default() -> Watchdog {
         Watchdog {
             max_ops: None,
+            wall_limit: None,
             trace_tail: 32,
         }
     }
@@ -246,6 +285,14 @@ impl Watchdog {
         Watchdog {
             max_ops: Some(max_ops),
             ..Watchdog::default()
+        }
+    }
+
+    /// Adds a wall-clock budget to this watchdog.
+    pub fn with_wall_limit(self, limit: std::time::Duration) -> Watchdog {
+        Watchdog {
+            wall_limit: Some(limit),
+            ..self
         }
     }
 
@@ -317,6 +364,13 @@ mod tests {
             .kind(),
             SimError::Stalled {
                 ops_executed: 0,
+                nodes: vec![],
+                recent: vec![],
+            }
+            .kind(),
+            SimError::Timeout {
+                elapsed: std::time::Duration::ZERO,
+                budget: std::time::Duration::ZERO,
                 nodes: vec![],
                 recent: vec![],
             }

@@ -52,7 +52,9 @@ pub mod machine;
 
 pub use config::{CpuModel, MachineConfig, MachineGeometry, MemSysKind, SchedPolicy};
 pub use error::{NodeSnapshot, NodeState, SimError, Watchdog};
-pub use machine::{run_program, Machine, MachineError, RunManifest, RunResult};
+pub use machine::{
+    run_program, CkptSink, Machine, MachineError, RestoreError, RunManifest, RunResult,
+};
 
 #[cfg(test)]
 mod tests {
@@ -616,6 +618,125 @@ mod tests {
         assert!(faulty.total_time > clean.total_time);
         assert!(faulty.stats.get_or_zero("fault.perturbed") > 0.0);
         assert_eq!(clean.stats.get("fault.perturbed"), None);
+    }
+
+    /// Runs `prog` under `c()` with a checkpoint sink attached and
+    /// returns the uninterrupted result plus every emitted checkpoint.
+    fn run_with_ckpts(
+        c: &dyn Fn() -> MachineConfig,
+        prog: &dyn Program,
+    ) -> (RunResult, Vec<(u64, String)>) {
+        use std::sync::{Arc, Mutex};
+        let ckpts: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&ckpts);
+        let mut m = Machine::new(c(), prog).unwrap();
+        m.attach_ckpt_sink(Box::new(move |seq, _at, text| {
+            sink.lock().unwrap().push((seq, text.to_string()));
+        }));
+        let result = m.run().unwrap();
+        drop(m); // the sink closure holds the other Arc
+        let ckpts = Arc::try_unwrap(ckpts).unwrap().into_inner().unwrap();
+        (result, ckpts)
+    }
+
+    #[test]
+    fn checkpoint_sink_does_not_perturb_the_run() {
+        let prog = small_prog(2);
+        let c = || cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+        let plain = run_program(c(), &prog).unwrap();
+        let (observed, ckpts) = run_with_ckpts(&c, &prog);
+        assert_eq!(plain.total_time, observed.total_time);
+        assert_eq!(plain.stats, observed.stats);
+        assert_eq!(ckpts.len(), 3, "one checkpoint per barrier release");
+        for (i, (seq, _)) in ckpts.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn restore_from_any_barrier_finishes_byte_identical() {
+        let prog = small_prog(2);
+        let c = || cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+        let (straight, ckpts) = run_with_ckpts(&c, &prog);
+        for (seq, text) in &ckpts {
+            let mut m = Machine::restore(c(), &prog, text).unwrap();
+            let resumed = m.run().unwrap();
+            assert_eq!(resumed.total_time, straight.total_time, "ckpt {seq}");
+            assert_eq!(resumed.parallel_time, straight.parallel_time, "ckpt {seq}");
+            assert_eq!(resumed.ops_per_node, straight.ops_per_node, "ckpt {seq}");
+            assert_eq!(resumed.stats, straight.stats, "ckpt {seq}");
+            assert_eq!(
+                resumed.barrier_releases, straight.barrier_releases,
+                "ckpt {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_identity_and_corruption() {
+        use flashsim_engine::CkptError;
+        let prog = small_prog(2);
+        let c = || cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+        let (_, ckpts) = run_with_ckpts(&c, &prog);
+        let text = &ckpts[0].1;
+
+        // Different platform => provenance mismatch, not a mis-restore.
+        let other = cfg(2, mipsy(300), OsModel::simos_tuned(), fl());
+        let err = Machine::restore(other, &prog, text).expect_err("wrong clock");
+        assert!(
+            matches!(&err, RestoreError::Ckpt(CkptError::ManifestMismatch { .. })),
+            "got {err}"
+        );
+
+        // A truncated file fails closed before any state is trusted.
+        let cut = &text[..text.len() / 2];
+        let err = Machine::restore(c(), &prog, cut).expect_err("truncated");
+        assert!(matches!(err, RestoreError::Ckpt(_)), "got {err}");
+
+        // A flipped payload byte fails the checksum.
+        let corrupt = text.replacen("consumed=", "consumed=9", 1);
+        let err = Machine::restore(c(), &prog, &corrupt).expect_err("corrupt");
+        assert!(
+            matches!(&err, RestoreError::Ckpt(CkptError::ChecksumMismatch { .. })),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn restored_run_continues_checkpoint_numbering() {
+        use std::sync::{Arc, Mutex};
+        let prog = small_prog(2);
+        let c = || cfg(2, mipsy(150), OsModel::simos_tuned(), fl());
+        let (_, ckpts) = run_with_ckpts(&c, &prog);
+        // Resume from the first checkpoint with a fresh sink: the next
+        // emission must carry seq 1, not restart at 0.
+        let mut m = Machine::restore(c(), &prog, &ckpts[0].1).unwrap();
+        let seqs: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seqs);
+        m.attach_ckpt_sink(Box::new(move |seq, _at, _text| {
+            sink.lock().unwrap().push(seq);
+        }));
+        m.run().unwrap();
+        assert_eq!(*seqs.lock().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn wall_clock_timeout_trips_as_structured_timeout() {
+        let mut c = cfg(2, mipsy(150), OsModel::solo(), fl());
+        c.watchdog = Watchdog::default().with_wall_limit(std::time::Duration::ZERO);
+        let err = run_program(c, &small_prog(2)).expect_err("zero wall budget");
+        let SimError::Timeout {
+            elapsed,
+            budget,
+            nodes,
+            ..
+        } = &err
+        else {
+            panic!("expected Timeout, got {err}");
+        };
+        assert!(*elapsed >= *budget);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(err.kind(), "timeout");
     }
 
     #[test]

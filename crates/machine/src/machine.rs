@@ -33,9 +33,9 @@ use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_engine::{
-    Accounting, Clock, FaultInjector, LaggardHeap, MetricId, MetricKind, Profiler, SpanSet,
-    SpanTracer, StallClass, StatSet, Telemetry, TelemetrySeries, Time, TimeDelta, TraceCategory,
-    Tracer,
+    Accounting, CkptError, CkptReader, CkptWriter, Clock, FaultInjector, LaggardHeap, MetricId,
+    MetricKind, Profiler, SpanSet, SpanTracer, StallClass, StatSet, Telemetry, TelemetrySeries,
+    Time, TimeDelta, TraceCategory, Tracer,
 };
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
@@ -266,7 +266,7 @@ impl MachineEnv<'_> {
             let tlb = self.mems[self.node]
                 .tlb
                 .as_mut()
-                .expect("TLB modelled but absent");
+                .expect("TLB modelled but absent"); // gate: allow
             if tlb.translate(addr).is_none() {
                 tlb.insert(vpn, pfn);
                 refill = self.clock.cycles(refill_cycles);
@@ -771,6 +771,10 @@ impl RunResult {
     }
 }
 
+/// A checkpoint consumer: called at every barrier release with
+/// `(seq, release_time, checkpoint_text)`.
+pub type CkptSink = Box<dyn FnMut(u64, Time, &str) + Send>;
+
 /// A configured machine ready to run one program.
 pub struct Machine {
     cfg: MachineConfig,
@@ -797,6 +801,13 @@ pub struct Machine {
     fault: Option<SimError>,
     workload: String,
     workload_seed: Option<u64>,
+    /// Called at every barrier release (the machine's quiescent points)
+    /// with `(seq, release_time, checkpoint_text)`; see
+    /// [`Machine::attach_ckpt_sink`].
+    ckpt_sink: Option<CkptSink>,
+    /// Sequence number of the next checkpoint this machine will emit;
+    /// restored from checkpoints so resumed runs continue the numbering.
+    ckpt_seq: u64,
 }
 
 impl fmt::Debug for Machine {
@@ -888,6 +899,8 @@ impl Machine {
             fault: None,
             workload: program.name(),
             workload_seed: program.seed(),
+            ckpt_sink: None,
+            ckpt_seq: 0,
         };
         if let Some(cadence) = machine.cfg.telemetry {
             machine.attach_telemetry(Telemetry::with_cadence(cadence));
@@ -1105,8 +1118,8 @@ impl Machine {
             );
         }
         match self.cfg.sched {
-            SchedPolicy::Batched => self.run_batched()?,
-            SchedPolicy::Reference => self.run_reference()?,
+            SchedPolicy::Batched => self.run_batched(wall_start)?,
+            SchedPolicy::Reference => self.run_reference(wall_start)?,
         }
         Ok(self.collect_result(wall_start.elapsed().as_secs_f64()))
     }
@@ -1114,12 +1127,27 @@ impl Machine {
     /// The historical schedule: one op per decision, linear laggard scan.
     /// Kept as the oracle the batched policy is proven bit-identical
     /// against, and as a debugging fallback.
-    fn run_reference(&mut self) -> Result<(), SimError> {
+    fn run_reference(&mut self, wall_start: std::time::Instant) -> Result<(), SimError> {
         let nodes = self.cfg.nodes as usize;
         let inject_stalls = self.injector.is_active();
-        let mut executed: u64 = 0;
+        let wall_limit = self.cfg.watchdog.wall_limit;
+        // Resumed runs re-enter mid-stream: the dispatch counter continues
+        // from the restored streams' consumed ops, so watchdog budgets and
+        // stall reports read the same as in an uninterrupted run. (At a
+        // quiescent point no node has hit end-of-stream, so consumed ops
+        // and dispatches agree.) Zero for fresh runs.
+        let mut executed: u64 = self.streams.iter().map(|s| s.consumed()).sum();
+        let mut decisions: u64 = 0;
         loop {
             self.heartbeat_tick(executed);
+            decisions += 1;
+            if let Some(limit) = wall_limit {
+                // Amortized wall-clock check: the `Instant` read happens
+                // on the first decision, then once per 4096.
+                if decisions & 0xFFF == 1 && wall_start.elapsed() >= limit {
+                    return Err(self.timeout_error(wall_start, limit));
+                }
+            }
             if inject_stalls {
                 for n in 0..nodes {
                     if self.status[n] == NodeStatus::Running
@@ -1168,17 +1196,28 @@ impl Machine {
     /// fail; the runner-up's key is a valid bound for the whole batch
     /// because no other node's clock, status, or stream can change while
     /// only the laggard executes.
-    fn run_batched(&mut self) -> Result<(), SimError> {
+    fn run_batched(&mut self, wall_start: std::time::Instant) -> Result<(), SimError> {
         let nodes = self.cfg.nodes as usize;
         let inject_stalls = self.injector.is_active();
         let lookahead = self.memsys.min_shared_latency();
-        let mut executed: u64 = 0;
+        let wall_limit = self.cfg.watchdog.wall_limit;
+        // See run_reference: continues from restored streams on resume.
+        let mut executed: u64 = self.streams.iter().map(|s| s.consumed()).sum();
+        let mut decisions: u64 = 0;
         let mut heap = LaggardHeap::new(nodes);
         for n in 0..nodes {
             heap.insert(n as u32, self.cores[n].now());
         }
         loop {
             self.heartbeat_tick(executed);
+            decisions += 1;
+            if let Some(limit) = wall_limit {
+                // Amortized wall-clock check (first decision, then once
+                // per 4096). A batch bounds the time between decisions.
+                if decisions & 0xFFF == 1 && wall_start.elapsed() >= limit {
+                    return Err(self.timeout_error(wall_start, limit));
+                }
+            }
             if inject_stalls {
                 for n in 0..nodes {
                     if self.status[n] == NodeStatus::Running
@@ -1330,7 +1369,7 @@ impl Machine {
                     // with the runner-up's ops), and only within the
                     // conservative lookahead window.
                     let Some((_, lim)) = limit else {
-                        unreachable!()
+                        unreachable!() // gate: allow
                     };
                     let overrun_ok = now < lim + lookahead
                         && streams[n].peek_op().is_some_and(|op| op.class.is_local());
@@ -1396,7 +1435,7 @@ impl Machine {
             InnerEnd::Fault(e) => Err(e),
             InnerEnd::Sync => {
                 *executed += 1;
-                let op = self.streams[n].next_op().expect("peeked sync op vanished");
+                let op = self.streams[n].next_op().expect("peeked sync op vanished"); // gate: allow
                 self.handle_sync(n, &op)?;
                 Ok(BatchEnd::Sync)
             }
@@ -1440,6 +1479,21 @@ impl Machine {
         let tail = self.cfg.watchdog.trace_tail.min(snap.events.len());
         SimError::Stalled {
             ops_executed: executed,
+            nodes: self.snapshots(),
+            recent: snap.events[snap.events.len() - tail..].to_vec(),
+        }
+    }
+
+    fn timeout_error(
+        &self,
+        wall_start: std::time::Instant,
+        budget: std::time::Duration,
+    ) -> SimError {
+        let snap = self.tracer.snapshot();
+        let tail = self.cfg.watchdog.trace_tail.min(snap.events.len());
+        SimError::Timeout {
+            elapsed: wall_start.elapsed(),
+            budget,
             nodes: self.snapshots(),
             recent: snap.events[snap.events.len() - tail..].to_vec(),
         }
@@ -1554,6 +1608,18 @@ impl Machine {
                         self.cores[m].set_time(release);
                         self.status[m] = NodeStatus::Running;
                     }
+                    // The machine is now quiescent: every node Running at
+                    // the release time, no arrival or lock queues, no
+                    // transaction mid-flight. Emit a checkpoint if a sink
+                    // is attached (take/put-back so the sink can borrow
+                    // the machine-produced text without aliasing `self`).
+                    if let Some(mut sink) = self.ckpt_sink.take() {
+                        let seq = self.ckpt_seq;
+                        self.ckpt_seq += 1;
+                        let text = self.checkpoint();
+                        sink(seq, release, &text);
+                        self.ckpt_sink = Some(sink);
+                    }
                 }
             }
             OpClass::LockAcquire => {
@@ -1636,7 +1702,7 @@ impl Machine {
                     self.acquire_lock_line(next, addr, at)?;
                 }
             }
-            _ => unreachable!(),
+            _ => unreachable!(), // gate: allow
         }
         Ok(())
     }
@@ -1796,6 +1862,266 @@ impl Machine {
             telemetry: self.telemetry.snapshot(end),
             spans: self.spans.snapshot(),
         }
+    }
+}
+
+/// Errors from [`Machine::restore`].
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The machine could not be built for the program.
+    Build(MachineError),
+    /// The checkpoint was rejected: corrupt, truncated, structurally
+    /// wrong, or written by a run with a different identity (config,
+    /// workload, seed, policy, or fault plan).
+    Ckpt(CkptError),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Build(e) => write!(f, "machine build failed: {e}"),
+            RestoreError::Ckpt(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<MachineError> for RestoreError {
+    fn from(e: MachineError) -> RestoreError {
+        RestoreError::Build(e)
+    }
+}
+
+impl From<CkptError> for RestoreError {
+    fn from(e: CkptError) -> RestoreError {
+        RestoreError::Ckpt(e)
+    }
+}
+
+impl Machine {
+    /// Attaches a checkpoint sink: at every barrier release — the
+    /// machine's natural quiescent points (all node clocks equal, no
+    /// arrival or lock-wait queues, no memory transaction mid-flight) —
+    /// the machine serializes its complete state and hands the sink
+    /// `(sequence, release_time, checkpoint_text)`. The sink owns
+    /// persistence (temp-file + rename for crash consistency is the
+    /// runner's job); emitting checkpoints never perturbs simulated
+    /// state, so an instrumented run stays byte-identical to a bare one.
+    pub fn attach_ckpt_sink(&mut self, sink: CkptSink) {
+        self.ckpt_sink = Some(sink);
+    }
+
+    /// The run-identity string embedded (hashed and verbatim) in every
+    /// checkpoint this machine writes. It covers everything that shapes
+    /// simulated behaviour — config, workload, seed, scheduling policy,
+    /// fault plan, telemetry cadence, span plan — so a checkpoint can
+    /// never restore against the wrong run. Host-side knobs (watchdog,
+    /// heartbeat) are deliberately excluded: resuming with a different
+    /// wall-clock budget is legitimate.
+    pub fn provenance(&self) -> String {
+        format!(
+            "flashsim nodes={} cpu={:?} os={:?} memsys={:?} geometry={:?} l2_hit={:?} \
+             barrier=({:?},{:?}) sched={} faults={:?} telemetry={:?} profile={} spans={:?} \
+             workload={} seed={:?}",
+            self.cfg.nodes,
+            self.cfg.cpu,
+            self.cfg.os,
+            self.cfg.memsys,
+            self.cfg.geometry,
+            self.cfg.l2_hit,
+            self.cfg.barrier_base,
+            self.cfg.barrier_per_node,
+            self.cfg.sched.key(),
+            self.cfg.faults,
+            self.cfg.telemetry,
+            self.cfg.profile,
+            self.cfg.spans,
+            self.workload,
+            self.workload_seed,
+        )
+    }
+
+    /// Serializes the complete simulation state into a `flashsim-ckpt-v1`
+    /// text. Callable only at quiescent points (barrier releases) — the
+    /// scheduler's in-flight state (arrival queues, lock waiters, batch
+    /// scratch) is asserted empty rather than saved, which is what makes
+    /// the format closed under every layer's `save_ckpt`.
+    pub fn checkpoint(&self) -> String {
+        debug_assert!(
+            self.barrier_arrivals.is_empty(),
+            "checkpoint outside a quiescent point"
+        );
+        let mut w = CkptWriter::new(&self.provenance());
+        w.section("machine");
+        w.u64("ckpt_seq", self.ckpt_seq);
+        w.u64("nodes", u64::from(self.cfg.nodes));
+        w.u64("barrier_releases", self.barrier_releases.len() as u64);
+        for (id, t) in &self.barrier_releases {
+            w.u64s("rel", &[u64::from(*id), t.as_ps()]);
+        }
+        let mut lock_ids: Vec<u32> = self.locks.keys().copied().collect();
+        lock_ids.sort_unstable();
+        w.u64("locks", lock_ids.len() as u64);
+        for id in lock_ids {
+            let lock = &self.locks[&id];
+            debug_assert!(lock.queue.is_empty(), "lock waiters at a quiescent point");
+            w.u64s(
+                "lock",
+                &[
+                    u64::from(id),
+                    lock.held_by.map_or(u64::MAX, |h| h as u64),
+                    self.lock_addr.get(&id).map_or(u64::MAX, |a| a.get()),
+                ],
+            );
+        }
+        for n in 0..self.cfg.nodes as usize {
+            w.section(&format!("node{n}"));
+            w.u64("consumed", self.streams[n].consumed());
+            self.cores[n].save_ckpt(&mut w);
+            let mem = &self.mems[n];
+            mem.hier.save_ckpt(&mut w);
+            w.u64("has_tlb", u64::from(mem.tlb.is_some()));
+            if let Some(tlb) = &mem.tlb {
+                tlb.save_ckpt(&mut w);
+            }
+            let mut pend: Vec<(u64, Time, LatencyBreakdown)> = mem
+                .pending
+                .iter()
+                .map(|(l, &(t, bd))| (l.get(), t, bd))
+                .collect();
+            pend.sort_unstable_by_key(|&(l, _, _)| l);
+            w.u64("pending", pend.len() as u64);
+            for (line, arrives, bd) in pend {
+                w.u64s(
+                    "pend",
+                    &[
+                        line,
+                        arrives.as_ps(),
+                        bd.occupancy.as_ps(),
+                        bd.network.as_ps(),
+                        bd.memory.as_ps(),
+                    ],
+                );
+            }
+            w.u64("page_faults", mem.page_faults);
+            w.u64("tlb_refills", mem.tlb_refills);
+            w.time("next_tick", mem.next_tick);
+        }
+        w.section("os");
+        self.pt.save_ckpt(&mut w);
+        self.alloc.save_ckpt(&mut w);
+        w.section("memsys");
+        self.memsys.save_ckpt(&mut w);
+        self.injector.save_ckpt(&mut w);
+        self.profiler.save_ckpt(&mut w);
+        self.telemetry.save_ckpt(&mut w);
+        self.spans.save_ckpt(&mut w);
+        w.finish()
+    }
+
+    /// Rebuilds a machine from a checkpoint written by
+    /// [`Machine::checkpoint`] under the same `cfg` and `program`.
+    /// Continuing the restored machine with [`Machine::run`] produces
+    /// results byte-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Build`] if the machine cannot be constructed;
+    /// [`RestoreError::Ckpt`] if the checkpoint is corrupt, truncated, or
+    /// carries a different run identity (wrong config, workload, seed,
+    /// policy, or fault plan). Failing closed here is what lets callers
+    /// degrade gracefully to a from-zero restart.
+    pub fn restore(
+        cfg: MachineConfig,
+        program: &dyn Program,
+        text: &str,
+    ) -> Result<Machine, RestoreError> {
+        let parse = |key: &str, value: String| CkptError::Parse {
+            key: key.to_string(),
+            value,
+        };
+        let mut m = Machine::new(cfg, program)?;
+        let mut r = CkptReader::open(text)?;
+        r.expect_provenance(&m.provenance())?;
+        r.section("machine")?;
+        m.ckpt_seq = r.u64("ckpt_seq")?;
+        let nodes = r.u64("nodes")?;
+        if nodes != u64::from(m.cfg.nodes) {
+            return Err(parse("nodes", nodes.to_string()).into());
+        }
+        for _ in 0..r.u64("barrier_releases")? {
+            let v = r.u64s("rel")?;
+            let [id, ps] =
+                <[u64; 2]>::try_from(v.as_slice()).map_err(|_| parse("rel", format!("{v:?}")))?;
+            m.barrier_releases.push((id as u32, Time::from_ps(ps)));
+        }
+        for _ in 0..r.u64("locks")? {
+            let v = r.u64s("lock")?;
+            let [id, held, addr] =
+                <[u64; 3]>::try_from(v.as_slice()).map_err(|_| parse("lock", format!("{v:?}")))?;
+            m.locks.insert(
+                id as u32,
+                LockState {
+                    held_by: (held != u64::MAX).then_some(held as usize),
+                    queue: Vec::new(),
+                },
+            );
+            if addr != u64::MAX {
+                m.lock_addr.insert(id as u32, VAddr(addr));
+            }
+        }
+        for n in 0..m.cfg.nodes as usize {
+            r.section(&format!("node{n}"))?;
+            let consumed = r.u64("consumed")?;
+            // Fast-forward the deterministic op stream to its cursor; the
+            // generator re-derives every op, so none need to be stored.
+            for _ in 0..consumed {
+                if m.streams[n].next_op().is_none() {
+                    return Err(parse("consumed", consumed.to_string()).into());
+                }
+            }
+            m.cores[n].load_ckpt(&mut r)?;
+            m.mems[n].hier.load_ckpt(&mut r)?;
+            let has_tlb = r.u64("has_tlb")? != 0;
+            if has_tlb != m.mems[n].tlb.is_some() {
+                return Err(parse("has_tlb", has_tlb.to_string()).into());
+            }
+            if let Some(tlb) = &mut m.mems[n].tlb {
+                tlb.load_ckpt(&mut r)?;
+            }
+            m.mems[n].pending.clear();
+            for _ in 0..r.u64("pending")? {
+                let v = r.u64s("pend")?;
+                let [line, arrives, occ, net, memory] = <[u64; 5]>::try_from(v.as_slice())
+                    .map_err(|_| parse("pend", format!("{v:?}")))?;
+                m.mems[n].pending.insert(
+                    LineAddr(line),
+                    (
+                        Time::from_ps(arrives),
+                        LatencyBreakdown {
+                            occupancy: TimeDelta::from_ps(occ),
+                            network: TimeDelta::from_ps(net),
+                            memory: TimeDelta::from_ps(memory),
+                        },
+                    ),
+                );
+            }
+            m.mems[n].page_faults = r.u64("page_faults")?;
+            m.mems[n].tlb_refills = r.u64("tlb_refills")?;
+            m.mems[n].next_tick = r.time("next_tick")?;
+        }
+        r.section("os")?;
+        m.pt.load_ckpt(&mut r)?;
+        m.alloc.load_ckpt(&mut r)?;
+        r.section("memsys")?;
+        m.memsys.load_ckpt(&mut r)?;
+        m.injector.load_ckpt(&mut r)?;
+        m.profiler.load_ckpt(&mut r)?;
+        m.telemetry.load_ckpt(&mut r)?;
+        m.spans.load_ckpt(&mut r)?;
+        r.finish()?;
+        Ok(m)
     }
 }
 

@@ -109,7 +109,7 @@ impl CacheHierarchy {
     /// into its L2 line.
     pub fn fill_l1_from_l2(&mut self, paddr: PAddr, write: bool) {
         let l2_line = self.l2_line(paddr);
-        let l2_state = self.l2.peek(l2_line).expect("L2 hit line vanished");
+        let l2_state = self.l2.peek(l2_line).expect("L2 hit line vanished"); // gate: allow
         let l1_line = self.l1.line_of(paddr);
         let l1_state = if write {
             debug_assert!(l2_state.writable(), "write fill from non-writable L2 line");
@@ -229,6 +229,21 @@ impl CacheHierarchy {
     /// True if the L2 currently holds `l2_line` (any state).
     pub fn holds(&self, l2_line: LineAddr) -> bool {
         self.l2.peek(l2_line).is_some()
+    }
+
+    /// Serializes both levels into the current checkpoint section.
+    pub fn save_ckpt(&self, w: &mut flashsim_engine::CkptWriter) {
+        self.l1.save_ckpt(w);
+        self.l2.save_ckpt(w);
+    }
+
+    /// Restores the state saved by [`CacheHierarchy::save_ckpt`].
+    pub fn load_ckpt(
+        &mut self,
+        r: &mut flashsim_engine::CkptReader<'_>,
+    ) -> Result<(), flashsim_engine::CkptError> {
+        self.l1.load_ckpt(r)?;
+        self.l2.load_ckpt(r)
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::addr::LineAddr;
 use core::fmt;
+use flashsim_engine::ckpt::{CkptError, CkptReader, CkptWriter};
 use flashsim_engine::{FaultInjector, SpanTracer, StatSet, Telemetry, Time, TimeDelta, Tracer};
 
 /// A node identifier (0-based).
@@ -89,6 +90,22 @@ impl ProtocolCase {
             ProtocolCase::UpgradeOwnership => "Upgrade",
             ProtocolCase::WritebackCase => "Writeback",
         }
+    }
+
+    /// The inverse of [`key`](ProtocolCase::key), used when restoring
+    /// serialized protocol-case ledgers from checkpoints.
+    pub fn from_key(key: &str) -> Option<ProtocolCase> {
+        [
+            ProtocolCase::LocalClean,
+            ProtocolCase::LocalDirtyRemote,
+            ProtocolCase::RemoteClean,
+            ProtocolCase::RemoteDirtyHome,
+            ProtocolCase::RemoteDirtyRemote,
+            ProtocolCase::UpgradeOwnership,
+            ProtocolCase::WritebackCase,
+        ]
+        .into_iter()
+        .find(|c| c.key() == key)
     }
 
     /// A short statistics key.
@@ -254,6 +271,21 @@ pub trait MemorySystem {
     fn attach_spans(&mut self, spans: SpanTracer) {
         let _ = spans;
     }
+
+    /// Serializes the model's mutable state — directory entries,
+    /// controller/bank timelines, network links and in-flight messages,
+    /// protocol-case ledgers — into the checkpoint being written. Called
+    /// only at quiescent points (barrier releases), where no transaction
+    /// is mid-flight through the model. Required, not defaulted: a model
+    /// that silently skipped its state here would restore into a cold
+    /// memory system and break the byte-identity contract.
+    fn save_ckpt(&self, w: &mut CkptWriter);
+
+    /// Restores the state saved by
+    /// [`save_ckpt`](MemorySystem::save_ckpt) into a freshly constructed
+    /// model of the identical configuration. Implementations fail closed
+    /// (structured [`CkptError`]) on any shape mismatch.
+    fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError>;
 
     /// A conservative lower bound on the latency of *any* demand
     /// transaction this model can serve — the scheduler's lookahead in the

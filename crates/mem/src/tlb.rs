@@ -8,6 +8,7 @@
 //! effect. This module models the reach structure; refill *cost* is owned
 //! by the environment model in `flashsim-os`.
 
+use flashsim_engine::ckpt::{CkptError, CkptReader, CkptWriter};
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_isa::VAddr;
 
@@ -92,7 +93,7 @@ impl Tlb {
                 .iter()
                 .min_by_key(|(_, (_, last))| *last)
                 .map(|(k, _)| *k)
-                .expect("full TLB is non-empty");
+                .expect("full TLB is non-empty"); // gate: allow
             self.map.remove(&lru);
         }
         self.map.insert(vpn, (pfn, self.tick));
@@ -111,6 +112,53 @@ impl Tlb {
     /// Miss count.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Serializes the translation entries (sorted by virtual page, so
+    /// the bytes never depend on hash-map iteration order), the LRU
+    /// clock, and the hit/miss counters into the current section.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64s("shape", &[self.entries as u64, self.page_bytes]);
+        w.u64("tick", self.tick);
+        w.u64("hits", self.hits);
+        w.u64("misses", self.misses);
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .map
+            .iter()
+            .map(|(vpn, (pfn, last))| (*vpn, *pfn, *last))
+            .collect();
+        entries.sort_unstable();
+        w.u64("mapped", entries.len() as u64);
+        for (vpn, pfn, last) in entries {
+            w.u64s("ent", &[vpn, pfn, last]);
+        }
+    }
+
+    /// Restores the state saved by [`Tlb::save_ckpt`]. Fails closed on a
+    /// different entry count or page size.
+    pub fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let shape = r.u64s("shape")?;
+        if shape != [self.entries as u64, self.page_bytes] {
+            return Err(CkptError::Parse {
+                key: "shape".to_string(),
+                value: format!("{shape:?}"),
+            });
+        }
+        self.tick = r.u64("tick")?;
+        self.hits = r.u64("hits")?;
+        self.misses = r.u64("misses")?;
+        self.map.clear();
+        let mapped = r.u64("mapped")?;
+        for _ in 0..mapped {
+            let vals = r.u64s("ent")?;
+            let [vpn, pfn, last] =
+                <[u64; 3]>::try_from(vals.as_slice()).map_err(|_| CkptError::Parse {
+                    key: "ent".to_string(),
+                    value: format!("{vals:?}"),
+                })?;
+            self.map.insert(vpn, (pfn, last));
+        }
+        Ok(())
     }
 
     /// Miss ratio over all lookups, or 0 if none.
@@ -206,5 +254,35 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_panics() {
         Tlb::new(0, 4096);
+    }
+
+    #[test]
+    fn ckpt_roundtrip_preserves_lru_order() {
+        let mut a = Tlb::new(2, 4096);
+        a.insert(1, 10);
+        a.insert(2, 20);
+        a.translate(VAddr(4096)); // vpn 1 hot, vpn 2 LRU
+        let mut w = CkptWriter::new("tlb-test");
+        a.save_ckpt(&mut w);
+        let text = w.finish();
+
+        let mut b = Tlb::new(2, 4096);
+        let mut r = CkptReader::open(&text).expect("open");
+        b.load_ckpt(&mut r).expect("load");
+        r.finish().expect("fully consumed");
+        for t in [&mut a, &mut b] {
+            t.insert(3, 30); // must evict vpn 2, keep vpn 1
+            assert_eq!(t.translate(VAddr(4096)), Some(10));
+            assert_eq!(t.translate(VAddr(2 * 4096)), None);
+        }
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.misses(), b.misses());
+
+        let mut other = Tlb::new(4, 4096);
+        let mut r = CkptReader::open(&text).expect("open");
+        assert!(matches!(
+            other.load_ckpt(&mut r),
+            Err(CkptError::Parse { .. })
+        ));
     }
 }

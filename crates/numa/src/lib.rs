@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use flashsim_engine::ckpt::{CkptError, CkptReader, CkptWriter};
 use flashsim_engine::{
     MetricId, MetricKind, ResourcePool, SpanClass, SpanTracer, StatSet, Telemetry, Time, TimeDelta,
     TraceCategory, Tracer,
@@ -626,6 +627,54 @@ impl MemorySystem for Numa {
         "numa"
     }
 
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64s("shape", &[u64::from(self.nodes), self.node_mem_bytes]);
+        w.u64("cases", self.case_counts.len() as u64);
+        for (case, count) in &self.case_counts {
+            w.str("case", case.key());
+            w.u64("count", *count);
+            w.f64(
+                "latency_ns",
+                self.case_latency_ns.get(case).copied().unwrap_or(0.0),
+            );
+        }
+        for dir in &self.dirs {
+            dir.save_ckpt(w);
+        }
+        for m in &self.mem {
+            m.save_ckpt(w);
+        }
+    }
+
+    fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let shape = r.u64s("shape")?;
+        if shape != [u64::from(self.nodes), self.node_mem_bytes] {
+            return Err(CkptError::Parse {
+                key: "shape".to_string(),
+                value: format!("{shape:?}"),
+            });
+        }
+        self.case_counts.clear();
+        self.case_latency_ns.clear();
+        let cases = r.u64("cases")?;
+        for _ in 0..cases {
+            let key = r.str_field("case")?;
+            let case = ProtocolCase::from_key(&key).ok_or_else(|| CkptError::Parse {
+                key: "case".to_string(),
+                value: key.clone(),
+            })?;
+            self.case_counts.insert(case, r.u64("count")?);
+            self.case_latency_ns.insert(case, r.f64("latency_ns")?);
+        }
+        for dir in self.dirs.iter_mut() {
+            dir.load_ckpt(r)?;
+        }
+        for m in self.mem.iter_mut() {
+            m.load_ckpt(r)?;
+        }
+        Ok(())
+    }
+
     fn min_shared_latency(&self) -> TimeDelta {
         // Cheapest demand transaction: miss detection + controller decode
         // + local directory lookup, all unconditionally on the path.
@@ -737,6 +786,41 @@ mod tests {
         let mut m = Numa::new(3, 1 << 24, NumaParams::matched());
         let out = read(&mut m, 2, 0x100, 0);
         assert_eq!(out.case, ProtocolCase::RemoteClean);
+    }
+
+    #[test]
+    fn ckpt_roundtrip_preserves_directory_and_bank_state() {
+        let mut a = numa(4);
+        read(&mut a, 1, 0x100, 0);
+        read(&mut a, 2, 0x100, 10_000);
+        for i in 0..6u64 {
+            read(&mut a, 1, 0x1000 + i * 128, 20_000); // bank contention
+        }
+        let mut w = CkptWriter::new("numa-test");
+        MemorySystem::save_ckpt(&a, &mut w);
+        let text = w.finish();
+
+        let mut b = numa(4);
+        let mut r = CkptReader::open(&text).expect("open");
+        b.load_ckpt(&mut r).expect("load");
+        r.finish().expect("fully consumed");
+
+        assert_eq!(a.stats().to_json(), b.stats().to_json());
+        let next = MemRequest {
+            node: 1,
+            line: LineAddr(0x100),
+            kind: AccessKind::Upgrade,
+            now: Time::from_ns(50_000),
+        };
+        assert_eq!(a.access(next), b.access(next));
+        assert_eq!(a.stats().to_json(), b.stats().to_json());
+
+        let mut other = numa(8);
+        let mut r = CkptReader::open(&text).expect("open");
+        assert!(matches!(
+            other.load_ckpt(&mut r),
+            Err(CkptError::Parse { .. })
+        ));
     }
 
     #[test]

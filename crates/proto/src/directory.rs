@@ -15,6 +15,7 @@
 //! behaviour is identical, mirroring the paper's "the same protocol is
 //! used in FlashLite and on the real hardware".
 
+use flashsim_engine::ckpt::{CkptError, CkptReader, CkptWriter};
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_mem::addr::LineAddr;
 use flashsim_mem::system::NodeId;
@@ -192,7 +193,7 @@ impl Directory {
     /// invalidation.
     fn add_sharer(&mut self, line: LineAddr, node: NodeId) -> Option<NodeId> {
         // Take the header out to sidestep aliasing with the pool.
-        let mut header = self.headers.remove(&line).expect("header exists");
+        let mut header = self.headers.remove(&line).expect("header exists"); // gate: allow
         debug_assert_eq!(header.state, DirState::Shared);
         if self.sharer_listed(&header, node) {
             self.headers.insert(line, header);
@@ -416,6 +417,98 @@ impl Directory {
         }
     }
 
+    /// Serializes the headers (sorted by line address, so the bytes
+    /// never depend on hash-map iteration order), the pointer store in
+    /// slot order (indices are links), and the free-list head.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64("pool_capacity", u64::from(self.pool_capacity));
+        w.u64("pool_used", u64::from(self.pool_used));
+        w.u64("reclaims", self.reclaims);
+        w.u64("free", self.free.map_or(u64::MAX, u64::from));
+        w.u64("pool", self.pool.len() as u64);
+        for slot in &self.pool {
+            w.u64s(
+                "slot",
+                &[u64::from(slot.node), slot.next.map_or(u64::MAX, u64::from)],
+            );
+        }
+        let mut lines: Vec<LineAddr> = self.headers.keys().copied().collect();
+        lines.sort_unstable_by_key(|l| l.get());
+        w.u64("headers", lines.len() as u64);
+        for line in lines {
+            let h = &self.headers[&line];
+            w.u64s(
+                "hdr",
+                &[
+                    line.get(),
+                    match h.state {
+                        DirState::Shared => 0,
+                        DirState::Owned => 1,
+                    },
+                    u64::from(h.head),
+                    h.list.map_or(u64::MAX, u64::from),
+                ],
+            );
+        }
+    }
+
+    /// Restores the state saved by [`Directory::save_ckpt`]. Fails
+    /// closed on a different pointer-pool capacity.
+    pub fn load_ckpt(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let cap = r.u64("pool_capacity")?;
+        if cap != u64::from(self.pool_capacity) {
+            return Err(CkptError::Parse {
+                key: "pool_capacity".to_string(),
+                value: format!("{cap}, directory has {}", self.pool_capacity),
+            });
+        }
+        self.pool_used = r.u64("pool_used")? as u32;
+        self.reclaims = r.u64("reclaims")?;
+        let free = r.u64("free")?;
+        self.free = (free != u64::MAX).then_some(free as u32);
+        let pool_len = r.u64("pool")?;
+        self.pool.clear();
+        for _ in 0..pool_len {
+            let vals = r.u64s("slot")?;
+            let [node, next] =
+                <[u64; 2]>::try_from(vals.as_slice()).map_err(|_| CkptError::Parse {
+                    key: "slot".to_string(),
+                    value: format!("{vals:?}"),
+                })?;
+            self.pool.push(PoolSlot {
+                node: node as NodeId,
+                next: (next != u64::MAX).then_some(next as u32),
+            });
+        }
+        let headers = r.u64("headers")?;
+        self.headers.clear();
+        for _ in 0..headers {
+            let vals = r.u64s("hdr")?;
+            let bad = |vals: &[u64]| CkptError::Parse {
+                key: "hdr".to_string(),
+                value: format!("{vals:?}"),
+            };
+            let [line, state, head, list] = match <[u64; 4]>::try_from(vals.as_slice()) {
+                Ok(v) => v,
+                Err(_) => return Err(bad(&vals)),
+            };
+            let state = match state {
+                0 => DirState::Shared,
+                1 => DirState::Owned,
+                _ => return Err(bad(&vals)),
+            };
+            self.headers.insert(
+                LineAddr(line),
+                Header {
+                    state,
+                    head: head as NodeId,
+                    list: (list != u64::MAX).then_some(list as u32),
+                },
+            );
+        }
+        Ok(())
+    }
+
     /// True if `line` is owned dirty-exclusive by some node.
     pub fn is_owned(&self, line: LineAddr) -> bool {
         matches!(
@@ -598,6 +691,40 @@ mod tests {
         d.read(l2, 1);
         d.read(l2, 2);
         assert_eq!(d.sharers(l2).len(), 3);
+    }
+
+    #[test]
+    fn ckpt_roundtrip_preserves_sharer_chains_and_free_list() {
+        let mut a = Directory::new(2);
+        a.read(L, 0);
+        a.read(L, 1);
+        a.read(L, 2);
+        a.read(L, 3); // pool exhausted: one reclaim
+        let l2 = LineAddr(0x2000);
+        a.read_exclusive(l2, 4);
+        a.writeback(l2, 4); // exercises the free list
+        let mut w = CkptWriter::new("dir-test");
+        a.save_ckpt(&mut w);
+        let text = w.finish();
+
+        let mut b = Directory::new(2);
+        let mut r = CkptReader::open(&text).expect("open");
+        b.load_ckpt(&mut r).expect("load");
+        r.finish().expect("fully consumed");
+
+        assert_eq!(a.sharers(L), b.sharers(L));
+        assert_eq!(a.pool_used(), b.pool_used());
+        assert_eq!(a.reclaims(), b.reclaims());
+        // Same future decisions, including the next reclaim victim.
+        assert_eq!(a.read(L, 5), b.read(L, 5));
+        assert_eq!(a.read_exclusive(l2, 6), b.read_exclusive(l2, 6));
+
+        let mut other = Directory::new(16);
+        let mut r = CkptReader::open(&text).expect("open");
+        assert!(matches!(
+            other.load_ckpt(&mut r),
+            Err(CkptError::Parse { .. })
+        ));
     }
 
     #[test]
