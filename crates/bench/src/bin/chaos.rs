@@ -22,16 +22,20 @@
 //! multi-barrier matrix straight, then re-runs it while killing the
 //! process (SIGKILL-style `exit(137)`, no destructors) at seeded points
 //! mid-matrix, resumes until convergence, and byte-compares every cell's
-//! artifacts against the straight run. It also structurally validates
-//! every `flashsim-ckpt-v1` file left on disk. `--validate-ckpt DIR`
-//! runs just that structural validation over an existing directory.
+//! artifacts *and* the deterministic events of each live
+//! `flashsim-stream-v1` file against the straight run's (advisory
+//! `progress` lines are wall-clock-driven and excluded). Each kill also snapshots the streams it interrupted as
+//! `cell<i>.stream.killed` — the torn files a real crash leaves — for
+//! `watch --validate` to check. It also structurally validates every
+//! `flashsim-ckpt-v1` file left on disk. `--validate-ckpt DIR` runs
+//! just that structural validation over an existing directory.
 
 use flashsim_bench::chaos::{survival_matrix, CELL_BUDGET};
 use flashsim_core::journal::{self, run_matrix_journaled};
 use flashsim_core::platform::{MemModel, Sim, Study};
 use flashsim_core::runner::MatrixCell;
-use flashsim_engine::ckpt;
-use flashsim_engine::Rng;
+use flashsim_engine::{ckpt, stream};
+use flashsim_engine::{Rng, TimeDelta};
 use flashsim_isa::Program;
 use flashsim_machine::SchedPolicy;
 use flashsim_workloads::{Fft, FftBlocking};
@@ -45,20 +49,27 @@ const KILL_STATUS: i32 = 137;
 
 /// The journaled matrix the kill-resume gate runs: a multi-barrier FFT
 /// on three platforms, covering the gold standard, a simulator, and the
-/// Reference scheduling policy.
+/// Reference scheduling policy. Telemetry and profiling are on so each
+/// cell's live stream carries real bucket values and per-class
+/// accounting deltas through the kill/resume byte-compare.
 fn kill_resume_cells() -> Vec<MatrixCell> {
     let study = Study::scaled();
     let fft: Arc<dyn Program> = Arc::new(Fft::new(1 << 10, 2, FftBlocking::Tlb));
     let mut reference = study.sim(Sim::SimosMipsy(150), 2, MemModel::FlashLite);
     reference.sched = SchedPolicy::Reference;
-    vec![
+    let mut cells: Vec<MatrixCell> = vec![
         (study.hardware(2), Arc::clone(&fft)),
         (
             study.sim(Sim::SimosMipsy(150), 2, MemModel::FlashLite),
             Arc::clone(&fft),
         ),
         (reference, fft),
-    ]
+    ];
+    for (cfg, _) in &mut cells {
+        cfg.telemetry = Some(TimeDelta::from_us(1));
+        cfg.profile = true;
+    }
+    cells
 }
 
 /// Child mode: run the journaled matrix in `dir`; if
@@ -182,7 +193,22 @@ fn kill_resume(kills: u64, seed: u64, base: &Path) {
                 println!("attempt {attempt}: matrix converged");
                 break;
             }
-            Ok(status) if status.code() == Some(KILL_STATUS) => continue,
+            Ok(status) if status.code() == Some(KILL_STATUS) => {
+                // Snapshot each cell's stream before the resume trims it:
+                // these `.stream.killed` files are exactly what a crashed
+                // run leaves behind (possibly with a torn tail and events
+                // past the durable checkpoint), and the `watch` validator
+                // must accept them as-is.
+                for idx in 0..n_cells {
+                    let spath = journal::stream_path(&killed_dir, idx);
+                    if spath.exists() {
+                        let mut killed = spath.clone().into_os_string();
+                        killed.push(".killed");
+                        let _ = std::fs::copy(&spath, PathBuf::from(killed));
+                    }
+                }
+                continue;
+            }
             Ok(status) => {
                 eprintln!("FAIL: child exited with unexpected status {status}");
                 std::process::exit(1);
@@ -210,6 +236,33 @@ fn kill_resume(kills: u64, seed: u64, base: &Path) {
                 mismatches += 1;
                 eprintln!(
                     "cell {idx}: missing artifacts (straight: {}, killed: {})",
+                    a.is_ok(),
+                    b.is_ok()
+                );
+            }
+        }
+        let a = std::fs::read_to_string(journal::stream_path(&straight_dir, idx));
+        let b = std::fs::read_to_string(journal::stream_path(&killed_dir, idx));
+        match (a, b) {
+            // Advisory `progress` lines are wall-clock-driven (a resumed run
+            // may heartbeat where the straight run did not); the contract is
+            // over the deterministic events only.
+            (Ok(a), Ok(b))
+                if stream::deterministic_lines(&a) == stream::deterministic_lines(&b) =>
+            {
+                println!(
+                    "cell {idx}: stream deterministic events identical ({})",
+                    stream::deterministic_lines(&a).len()
+                );
+            }
+            (Ok(_), Ok(_)) => {
+                mismatches += 1;
+                eprintln!("cell {idx}: STREAM DIVERGED after kill-and-resume");
+            }
+            (a, b) => {
+                mismatches += 1;
+                eprintln!(
+                    "cell {idx}: missing stream (straight: {}, killed: {})",
                     a.is_ok(),
                     b.is_ok()
                 );

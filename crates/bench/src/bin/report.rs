@@ -11,6 +11,7 @@
 //!        [--heartbeat MS] [--out PATH] [--html PATH] [--jsonl PATH]
 //!        [--prom PATH] [--spans-jsonl PATH] [--full]
 //! report --validate PATH
+//! report --from-stream PATH
 //! ```
 //!
 //! `SIM` is one of `simos-mipsy` (default), `solo-mipsy`, `simos-mxs`.
@@ -27,11 +28,19 @@
 //! against the schema and exits nonzero on violation — `scripts/check.sh`
 //! uses it as a gate.
 //!
+//! `--from-stream PATH` also runs nothing: it stitches a *partial*
+//! report from a `flashsim-stream-v1` tail — run header, phase,
+//! per-barrier metric sparklines, and the per-class accounting ledger
+//! accumulated so far. It works on the torn file a crashed or killed
+//! run leaves behind, which is the point: the report you can still get
+//! when there is no finished run to report on.
+//!
 //! The report itself gates on conservation: cycle accounting must be
 //! conserved on both platforms, every telemetry occupancy integral must
 //! equal its bucket sum exactly (integer picoseconds), and the JSONL
 //! export must validate. Any violation exits nonzero.
 
+use flashsim_bench::streamview::TailSummary;
 use flashsim_bench::{header, setup_from_args};
 use flashsim_core::platform::{MemModel, Sim};
 use flashsim_core::runner::{run_matrix, CellOutcome, MatrixCell};
@@ -124,6 +133,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        return;
+    }
+
+    // Partial-report mode: stitch a report from a stream tail. Tolerant
+    // of torn tails by construction — this is the post-mortem view of a
+    // crashed or still-running cell.
+    if let Some(path) = flag_value(&args, "--from-stream") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        println!("== flashsim :: partial report from a live stream tail ==");
+        println!("source: {path}");
+        println!();
+        print!("{}", TailSummary::from_text(&text).render());
         return;
     }
 

@@ -21,12 +21,14 @@
 //! | `profile` | cycle-accounting breakdown + per-class error attribution vs hardware |
 //! | `report` | unified run report: manifest + accounting + sim-time telemetry (text/HTML/JSONL/Prometheus) |
 //! | `spans` | span diff: the same sampled transaction traced causally on FlashLite vs NUMA |
+//! | `watch` | multi-run stream supervisor: live matrix dashboard over `flashsim-stream-v1` files, Prometheus textfile export, strict stream validation |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod speed;
+pub mod streamview;
 
 use flashsim_core::platform::Study;
 use flashsim_workloads::ProblemScale;

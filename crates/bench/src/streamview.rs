@@ -1,0 +1,417 @@
+//! Host-side reading and rendering of `flashsim-stream-v1` tails.
+//!
+//! The `watch` dashboard and `report --from-stream` both consume the
+//! same lenient tail read ([`flashsim_engine::stream::read_events`])
+//! and render it the same way; this module holds that shared half —
+//! fold a tail into a [`TailSummary`], then render sparklines, the
+//! accounting ledger so far, and a one-word phase. Everything here
+//! works on partial streams: a crashed run's torn tail summarizes just
+//! as well as a finished run's.
+
+use flashsim_engine::stream::{read_events, StreamEvent, StreamReadout};
+
+/// The shared ASCII intensity ramp (same as the telemetry renderer).
+const RAMP: [char; 6] = [' ', '.', ':', '=', '#', '@'];
+
+/// How adjacent buckets merge when a series is wider than the
+/// sparkline: increments add, maxima take the max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparkFold {
+    /// Sum merged buckets (counters, occupancy integrals).
+    Sum,
+    /// Keep the peak of merged buckets (gauges).
+    Max,
+}
+
+/// Renders `values` as a `width`-column sparkline, each column scaled
+/// to the series peak. Series wider than `width` merge adjacent
+/// buckets per `fold`; narrower series get one column per bucket.
+pub fn sparkline(values: &[u64], width: usize, fold: SparkFold) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let n = values.len();
+    let cols = width.min(n);
+    let mut merged = vec![0u64; cols];
+    for (c, slot) in merged.iter_mut().enumerate() {
+        let lo = c * n / cols;
+        let hi = ((c + 1) * n / cols).max(lo + 1);
+        *slot = match fold {
+            SparkFold::Sum => values[lo..hi].iter().sum(),
+            SparkFold::Max => values[lo..hi].iter().copied().max().unwrap_or(0),
+        };
+    }
+    let peak = merged.iter().copied().max().unwrap_or(0);
+    merged
+        .iter()
+        .map(|&v| {
+            if peak == 0 {
+                ' '
+            } else {
+                RAMP[((v as u128 * (RAMP.len() as u128 - 1)).div_ceil(peak as u128)) as usize]
+            }
+        })
+        .collect()
+}
+
+/// The last advisory progress sample seen in a tail.
+#[derive(Debug, Clone, Copy)]
+pub struct LastProgress {
+    /// Leading node's simulated time, ps.
+    pub at_ps: u64,
+    /// Ops executed so far.
+    pub ops: u64,
+    /// Whole-run ops/sec.
+    pub rate: f64,
+    /// Windowed (live) ops/sec.
+    pub live: f64,
+    /// Fraction of the op budget consumed, if bounded.
+    pub budget: Option<f64>,
+}
+
+/// Everything a dashboard row or a partial report needs, folded from
+/// one stream tail.
+#[derive(Debug, Default)]
+pub struct TailSummary {
+    /// Whether a `start` header was read.
+    pub started: bool,
+    /// Provenance hash from the header.
+    pub provenance: String,
+    /// Platform config label.
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Workload seed, if it has one.
+    pub seed: Option<u64>,
+    /// Node count.
+    pub nodes: u64,
+    /// Scheduling policy key.
+    pub sched: String,
+    /// Watchdog op budget, if bounded.
+    pub budget_ops: Option<u64>,
+    /// Declared metrics `(name, kind)` in header order.
+    pub metrics: Vec<(String, String)>,
+    /// Per metric (header order), the per-closed-bucket emitted values
+    /// (0 where the event omitted the key).
+    pub series: Vec<Vec<u64>>,
+    /// Declared stall classes (empty when no profiler was attached).
+    pub classes: Vec<String>,
+    /// Cumulative per-class picoseconds so far (sums of bucket deltas).
+    pub account: Vec<u64>,
+    /// Barrier id of the newest closed bucket.
+    pub last_barrier: Option<u64>,
+    /// Simulated end of the newest closed bucket, ps.
+    pub end_ps: u64,
+    /// Newest checkpoint marker `(ckpt id, at_ps)`.
+    pub last_ckpt: Option<(u64, u64)>,
+    /// Newest advisory progress sample.
+    pub progress: Option<LastProgress>,
+    /// Terminator `(kind, at_ps, ops)` if the run ended.
+    pub ended: Option<(String, u64, u64)>,
+    /// Whether the tail stopped at an unparseable (torn) line.
+    pub torn: bool,
+}
+
+impl TailSummary {
+    /// Folds a lenient readout into a summary.
+    pub fn from_readout(r: &StreamReadout) -> TailSummary {
+        let mut s = TailSummary {
+            torn: r.torn,
+            ..TailSummary::default()
+        };
+        for ev in &r.events {
+            match ev {
+                StreamEvent::Start {
+                    provenance,
+                    config,
+                    workload,
+                    seed,
+                    nodes,
+                    sched,
+                    budget_ops,
+                    metrics,
+                    classes,
+                } => {
+                    s.started = true;
+                    s.provenance = provenance.clone();
+                    s.config = config.clone();
+                    s.workload = workload.clone();
+                    s.seed = *seed;
+                    s.nodes = *nodes;
+                    s.sched = sched.clone();
+                    s.budget_ops = *budget_ops;
+                    s.metrics = metrics.clone();
+                    s.series = vec![Vec::new(); metrics.len()];
+                    s.classes = classes.clone();
+                    s.account = vec![0; classes.len()];
+                }
+                StreamEvent::Bucket {
+                    barrier,
+                    end_ps,
+                    values,
+                    account,
+                    ..
+                } => {
+                    for (i, (name, _)) in s.metrics.iter().enumerate() {
+                        let v = values
+                            .iter()
+                            .find(|(k, _)| k == name)
+                            .map_or(0, |&(_, v)| v);
+                        s.series[i].push(v);
+                    }
+                    if let Some(acc) = account {
+                        for (i, class) in s.classes.iter().enumerate() {
+                            if let Some(&(_, d)) = acc.iter().find(|(k, _)| k == class) {
+                                s.account[i] += d;
+                            }
+                        }
+                    }
+                    s.last_barrier = Some(*barrier);
+                    s.end_ps = *end_ps;
+                }
+                StreamEvent::Ckpt { ckpt, at_ps, .. } => s.last_ckpt = Some((*ckpt, *at_ps)),
+                StreamEvent::Progress {
+                    at_ps,
+                    ops,
+                    rate,
+                    live,
+                    budget,
+                    ..
+                } => {
+                    s.progress = Some(LastProgress {
+                        at_ps: *at_ps,
+                        ops: *ops,
+                        rate: *rate,
+                        live: *live,
+                        budget: *budget,
+                    });
+                }
+                StreamEvent::End {
+                    kind, at_ps, ops, ..
+                } => {
+                    s.ended = Some((kind.clone(), *at_ps, *ops));
+                }
+            }
+        }
+        s
+    }
+
+    /// Folds raw stream text into a summary.
+    pub fn from_text(text: &str) -> TailSummary {
+        TailSummary::from_readout(&read_events(text))
+    }
+
+    /// One-word run phase for the dashboard: `empty`, `started`,
+    /// `barrier N`, `done`, or `failed:<kind>`.
+    pub fn phase(&self) -> String {
+        match (&self.ended, self.last_barrier, self.started) {
+            (Some((kind, _, _)), _, _) if kind == "ok" => "done".to_owned(),
+            (Some((kind, _, _)), _, _) => format!("failed:{kind}"),
+            (None, Some(b), _) => format!("barrier {b}"),
+            (None, None, true) => "started".to_owned(),
+            (None, None, false) => "empty".to_owned(),
+        }
+    }
+
+    /// Number of closed buckets read.
+    pub fn buckets(&self) -> usize {
+        self.series.first().map_or(0, Vec::len)
+    }
+
+    /// Best known op count: the terminator's if ended, else the last
+    /// progress sample's.
+    pub fn ops(&self) -> Option<u64> {
+        match (&self.ended, &self.progress) {
+            (Some((_, _, ops)), _) => Some(*ops),
+            (None, Some(p)) => Some(p.ops),
+            (None, None) => None,
+        }
+    }
+
+    /// Running total of one metric over the closed buckets: the sum of
+    /// increments for counters/occupancy, the last emitted maximum for
+    /// gauges.
+    pub fn metric_total(&self, i: usize) -> u64 {
+        let Some((_, kind)) = self.metrics.get(i) else {
+            return 0;
+        };
+        let series = &self.series[i];
+        if kind == "gauge" {
+            series.iter().rev().copied().find(|&v| v > 0).unwrap_or(0)
+        } else {
+            series.iter().sum()
+        }
+    }
+
+    /// The per-bucket occupancy activity row for the compact dashboard:
+    /// all `occupancy` metrics summed bucket-wise (empty when none are
+    /// declared or no bucket closed yet).
+    pub fn occupancy_row(&self) -> Vec<u64> {
+        let mut row = vec![0u64; self.buckets()];
+        for (i, (_, kind)) in self.metrics.iter().enumerate() {
+            if kind == "occupancy" {
+                for (slot, &v) in row.iter_mut().zip(&self.series[i]) {
+                    *slot += v;
+                }
+            }
+        }
+        row
+    }
+
+    /// Renders the full multi-line summary block `report --from-stream`
+    /// prints: header provenance, phase, closed-bucket coverage, last
+    /// checkpoint, progress, per-metric sparklines, and the per-class
+    /// accounting ledger so far.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.started {
+            out.push_str(match self.torn {
+                true => "stream: no complete start header (torn before first flush)\n",
+                false => "stream: empty (killed before first flush)\n",
+            });
+            return out;
+        }
+        out.push_str(&format!(
+            "run: {} / {} x{} ({})\n",
+            self.config, self.workload, self.nodes, self.sched
+        ));
+        out.push_str(&format!("provenance: {}\n", self.provenance));
+        if let Some(seed) = self.seed {
+            out.push_str(&format!("seed: {seed}\n"));
+        }
+        out.push_str(&format!(
+            "phase: {}{}\n",
+            self.phase(),
+            if self.torn { "  (torn tail)" } else { "" }
+        ));
+        out.push_str(&format!(
+            "closed buckets: {} covering {:.3} ms of sim time\n",
+            self.buckets(),
+            self.end_ps as f64 / 1e9
+        ));
+        if let Some((seq, at_ps)) = self.last_ckpt {
+            out.push_str(&format!(
+                "last checkpoint: {seq} at {:.3} ms\n",
+                at_ps as f64 / 1e9
+            ));
+        }
+        if let Some(p) = &self.progress {
+            let budget = p
+                .budget
+                .map(|f| format!(", budget {:.1}%", f * 100.0))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "last progress: {} ops at {:.3} ms sim ({:.0} ops/s, live {:.0}{budget})\n",
+                p.ops,
+                p.at_ps as f64 / 1e9,
+                p.rate,
+                p.live
+            ));
+        }
+        if let Some((kind, at_ps, ops)) = &self.ended {
+            out.push_str(&format!(
+                "end: {kind} at {:.3} ms after {ops} ops\n",
+                *at_ps as f64 / 1e9
+            ));
+        }
+        if !self.metrics.is_empty() {
+            let name_w = self
+                .metrics
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(6)
+                .max(6);
+            out.push_str(&format!(
+                "{:<name_w$}  {:<9}  {:>20}  per-barrier series\n",
+                "metric", "kind", "so far"
+            ));
+            for (i, (name, kind)) in self.metrics.iter().enumerate() {
+                let fold = if kind == "gauge" {
+                    SparkFold::Max
+                } else {
+                    SparkFold::Sum
+                };
+                out.push_str(&format!(
+                    "{name:<name_w$}  {kind:<9}  {:>20}  |{}|\n",
+                    self.metric_total(i),
+                    sparkline(&self.series[i], 64, fold)
+                ));
+            }
+        }
+        if !self.classes.is_empty() {
+            let total: u64 = self.account.iter().sum();
+            out.push_str("accounting so far (per stall class):\n");
+            for (class, &ps) in self.classes.iter().zip(&self.account) {
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    ps as f64 * 100.0 / total as f64
+                };
+                out.push_str(&format!("  {class:<13} {:>16} ps  {pct:>5.1}%\n", ps));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_and_folds() {
+        assert_eq!(sparkline(&[], 8, SparkFold::Sum), "");
+        let s = sparkline(&[0, 1, 2, 4], 4, SparkFold::Sum);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.chars().next(), Some(' '));
+        assert_eq!(s.chars().last(), Some('@'));
+        // Wider than the target width: adjacent buckets merge.
+        let wide: Vec<u64> = (0u64..128).map(|i| i % 7).collect();
+        assert_eq!(sparkline(&wide, 64, SparkFold::Sum).len(), 64);
+        assert_eq!(sparkline(&wide, 64, SparkFold::Max).len(), 64);
+    }
+
+    #[test]
+    fn summary_folds_a_synthetic_tail() {
+        let text = concat!(
+            "{\"schema\":\"flashsim-stream-v1\",\"ev\":\"start\",\"seq\":0,",
+            "\"provenance\":\"0123456789abcdef\",\"config\":\"c\",\"workload\":\"w\",",
+            "\"nodes\":2,\"sched\":\"batched\",",
+            "\"metrics\":[{\"name\":\"ops\",\"kind\":\"counter\"},",
+            "{\"name\":\"depth\",\"kind\":\"gauge\"}],\"classes\":[\"compute\"]}\n",
+            "{\"ev\":\"bucket\",\"seq\":1,\"barrier\":0,\"start_ps\":0,\"end_ps\":100,",
+            "\"values\":{\"ops\":5,\"depth\":3},\"account\":{\"compute\":100}}\n",
+            "{\"ev\":\"ckpt\",\"seq\":2,\"ckpt\":0,\"at_ps\":100}\n",
+            "{\"ev\":\"bucket\",\"seq\":3,\"barrier\":1,\"start_ps\":100,\"end_ps\":250,",
+            "\"values\":{\"ops\":7},\"account\":{\"compute\":150}}\n",
+            "{\"ev\":\"progress\",\"at_ps\":260,\"ops\":12,\"rate\":100,\"live\":50,",
+            "\"skew_ps\":10}\n",
+            "{\"ev\":\"end\",\"seq\":4,\"kind\":\"ok\",\"at_ps\":250,\"ops\":12}\n",
+        );
+        let s = TailSummary::from_text(text);
+        assert!(s.started && !s.torn);
+        assert_eq!(s.phase(), "done");
+        assert_eq!(s.buckets(), 2);
+        assert_eq!(s.series[0], vec![5, 7]);
+        assert_eq!(s.series[1], vec![3, 0], "omitted gauge reads as 0");
+        assert_eq!(s.metric_total(0), 12, "counter sums increments");
+        assert_eq!(s.metric_total(1), 3, "gauge keeps last emitted max");
+        assert_eq!(s.account, vec![250]);
+        assert_eq!(s.last_ckpt, Some((0, 100)));
+        assert_eq!(s.ops(), Some(12));
+        let block = s.render();
+        assert!(block.contains("phase: done"));
+        assert!(block.contains("accounting so far"));
+    }
+
+    #[test]
+    fn torn_and_empty_tails_summarize() {
+        let s = TailSummary::from_text("");
+        assert_eq!(s.phase(), "empty");
+        assert!(s.render().contains("empty"));
+        let s = TailSummary::from_text("{\"ev\":\"start\",\"seq\":0,\"prov");
+        assert!(s.torn && !s.started);
+        assert!(s.render().contains("torn"));
+    }
+}

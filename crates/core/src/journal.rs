@@ -26,9 +26,17 @@
 //! recorded — the matrix *converges* rather than failing. Restored cells
 //! finish byte-identical to an uninterrupted run, which is what lets the
 //! chaos harness assert kill-and-resume equivalence at the file level.
+//!
+//! Every journaled cell also writes a live `flashsim-stream-v1` event
+//! file (`cell<i>.stream`) so a `watch` supervisor can follow progress
+//! from outside the process. On resume the file is trimmed back to the
+//! prefix the restored checkpoint is consistent with before the machine
+//! re-opens it in append mode, so a converged cell's deterministic
+//! stream events equal an uninterrupted run's byte for byte (advisory
+//! `progress` lines are wall-clock-driven and excluded).
 
 use crate::runner::{failed_manifest, parallel_map, supervise, CellOutcome, MatrixCell};
-use flashsim_engine::ckpt;
+use flashsim_engine::{ckpt, stream};
 use flashsim_isa::Program;
 use flashsim_machine::{Machine, MachineConfig, RestoreError};
 use std::fmt;
@@ -55,6 +63,12 @@ pub fn artifacts_path(dir: &Path, idx: usize) -> PathBuf {
 /// Path of cell `idx`'s checkpoint `seq` inside a run directory.
 pub fn ckpt_path(dir: &Path, idx: usize, seq: u64) -> PathBuf {
     dir.join(format!("cell{idx}.ckpt-{seq}"))
+}
+
+/// Path of cell `idx`'s live `flashsim-stream-v1` event file inside a
+/// run directory.
+pub fn stream_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("cell{idx}.stream"))
 }
 
 /// The stable identity hash of one matrix cell — everything that shapes
@@ -336,6 +350,7 @@ pub fn run_matrix_journaled(
                 cfg.watchdog.max_ops = Some(b);
             }
         }
+        cfg.stream = Some(stream_path(dir, idx));
         let apath = artifacts_path(dir, idx);
         let expected = cell_identity(&cfg, prog.as_ref());
         let identity_matches = prior.hash.as_deref() == Some(expected.as_str());
@@ -389,6 +404,19 @@ pub fn run_matrix_journaled(
             resume = ResumeNote::RestartedFromZero {
                 reason: "journal identity mismatch".to_owned(),
             };
+        }
+        // A restored machine re-opens its stream file in append mode, so
+        // first trim the file back to the prefix the checkpoint is
+        // consistent with: a crash can leave stream events emitted after
+        // the newest durable checkpoint, and the resumed emitter will
+        // re-emit exactly those. (A restart from zero re-creates the
+        // file, which truncates on its own.)
+        if let Some(m) = &machine {
+            let spath = stream_path(dir, idx);
+            if let Ok(text) = fs::read_to_string(&spath) {
+                let trimmed = stream::consistent_prefix(&text, m.stream_position().0);
+                let _ = write_atomic(&spath, &trimmed);
+            }
         }
         journal.append(&format!("start {idx} {expected}"));
         let manifest = Box::new(failed_manifest(&cfg, prog.as_ref()));
@@ -464,6 +492,14 @@ mod tests {
         assert!(journal.starts_with(JOURNAL_MAGIC));
         assert!(journal.contains("start 0 ") && journal.contains("start 1 "));
         assert!(journal.contains("finish 0 ok") && journal.contains("finish 1 ok"));
+        for idx in 0..2 {
+            let text = fs::read_to_string(stream_path(&dir, idx)).unwrap();
+            stream::validate_jsonl(&text).unwrap();
+            assert!(
+                text.contains("\"ev\":\"end\"") && text.contains("\"kind\":\"ok\""),
+                "journaled cell stream must terminate cleanly"
+            );
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -512,12 +548,18 @@ mod tests {
     }
 
     /// One 2-node FFT cell: multi-barrier, so it emits several
-    /// checkpoints per run.
+    /// checkpoints per run. Telemetry and profiling are on so the
+    /// stream's bucket values and per-class accounting deltas are
+    /// exercised by the kill/resume byte-compare, not just the bare
+    /// protocol framing.
     fn fft_cells() -> Vec<MatrixCell> {
         use flashsim_workloads::{Fft, FftBlocking};
         let study = Study::scaled();
+        let mut cfg = study.hardware(2);
+        cfg.telemetry = Some(flashsim_engine::TimeDelta::from_us(1));
+        cfg.profile = true;
         vec![(
-            study.hardware(2),
+            cfg,
             Arc::new(Fft::new(1 << 10, 2, FftBlocking::Tlb)) as Arc<dyn Program>,
         )]
     }
@@ -532,6 +574,10 @@ mod tests {
         for seq in 0..keep {
             fs::copy(ckpt_path(gold_dir, 0, seq), ckpt_path(&dir, 0, seq)).unwrap();
         }
+        // The kill left the cell's full stream on disk — the emitter ran
+        // ahead of the durable checkpoint. Resume must trim it back to
+        // the consistent prefix and then converge to the gold bytes.
+        fs::copy(stream_path(gold_dir, 0), stream_path(&dir, 0)).unwrap();
         let gold_journal = fs::read_to_string(journal_path(gold_dir)).unwrap();
         let mut journal = String::new();
         for line in gold_journal.lines() {
@@ -563,6 +609,8 @@ mod tests {
             .as_ref()
             .is_some_and(CellOutcome::is_completed));
         let gold_bytes = fs::read_to_string(artifacts_path(&gold_dir, 0)).unwrap();
+        let gold_stream = fs::read_to_string(stream_path(&gold_dir, 0)).unwrap();
+        stream::validate_jsonl(&gold_stream).unwrap();
         let n_ckpts = fs::read_to_string(journal_path(&gold_dir))
             .unwrap()
             .lines()
@@ -583,6 +631,13 @@ mod tests {
             gold_bytes,
             "resumed artifacts must be byte-identical to the straight run"
         );
+        let resumed_stream = fs::read_to_string(stream_path(&dir, 0)).unwrap();
+        stream::validate_jsonl(&resumed_stream).unwrap();
+        assert_eq!(
+            stream::deterministic_lines(&resumed_stream),
+            stream::deterministic_lines(&gold_stream),
+            "resumed stream's deterministic events must equal the straight run's"
+        );
 
         // Newest checkpoint corrupted: falls back to the older one.
         let dir = forge_crash_dir("crash-corrupt", &gold_dir, 2);
@@ -601,6 +656,10 @@ mod tests {
             fs::read_to_string(artifacts_path(&dir, 0)).unwrap(),
             gold_bytes
         );
+        assert_eq!(
+            stream::deterministic_lines(&fs::read_to_string(stream_path(&dir, 0)).unwrap()),
+            stream::deterministic_lines(&gold_stream)
+        );
 
         // Every checkpoint destroyed: restart from zero, still identical.
         let dir = forge_crash_dir("crash-zero", &gold_dir, 2);
@@ -616,6 +675,11 @@ mod tests {
         assert_eq!(
             fs::read_to_string(artifacts_path(&dir, 0)).unwrap(),
             gold_bytes
+        );
+        assert_eq!(
+            stream::deterministic_lines(&fs::read_to_string(stream_path(&dir, 0)).unwrap()),
+            stream::deterministic_lines(&gold_stream),
+            "a from-zero rerun re-creates the same deterministic events"
         );
         for tag in ["gold", "crash", "crash-corrupt", "crash-zero"] {
             let _ = fs::remove_dir_all(tmpdir(tag));

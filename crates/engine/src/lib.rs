@@ -40,8 +40,16 @@
 //!   occupancy integrators in integer picoseconds) sampled into bounded
 //!   time series with JSONL/Prometheus export — how queue depths and
 //!   utilization *evolve* over a run, not just where the cycles went,
+//! - [`stream`]: the `flashsim-stream-v1` live event protocol —
+//!   incrementally emitted closed telemetry buckets, checkpoint
+//!   markers, advisory progress heartbeats, and run terminators behind
+//!   a durable torn-tail-tolerant file sink, with a prefix-stability
+//!   contract that makes the deterministic events byte-identical
+//!   across reruns, scheduling policies, and kill-resume,
 //! - [`prom`]: the single shared Prometheus text-exposition formatter
-//!   used by every exporter in the workspace.
+//!   used by every exporter in the workspace,
+//! - [`jsonl`]: the shared JSONL field scanners behind every
+//!   `validate_jsonl` schema checker (telemetry, spans, stream).
 //!
 //! # Examples
 //!
@@ -67,12 +75,14 @@ pub mod ckpt;
 pub mod event;
 pub mod fault;
 pub mod fxhash;
+pub mod jsonl;
 pub mod prom;
 pub mod resource;
 pub mod rng;
 pub mod sched;
 pub mod span;
 pub mod stats;
+pub mod stream;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
@@ -87,6 +97,10 @@ pub use rng::Rng;
 pub use sched::LaggardHeap;
 pub use span::{SpanClass, SpanPlan, SpanRecord, SpanSet, SpanTracer, SpanTxn};
 pub use stats::{Counter, Histogram, StatSet};
+pub use stream::{
+    FileSink, MemorySink, ProgressMeter, ProgressSample, RunInfo, StreamEmitter, StreamEvent,
+    StreamSink,
+};
 pub use telemetry::{MetricId, MetricKind, MetricSeries, Telemetry, TelemetrySeries};
 pub use time::{Clock, Time, TimeDelta};
 pub use trace::{CategoryMask, Trace, TraceCategory, TraceEvent, Tracer};

@@ -36,6 +36,7 @@
 //! legs.
 
 use crate::ckpt::{CkptError, CkptReader, CkptWriter};
+use crate::jsonl::{field_str, field_u64};
 use crate::time::{Time, TimeDelta};
 use std::sync::{Arc, Mutex};
 
@@ -337,25 +338,6 @@ impl SpanSet {
         }
         out
     }
-}
-
-/// The integer value following `"name":` on a JSONL line, if present.
-fn field_u64(line: &str, name: &str) -> Option<u64> {
-    let tag = format!("\"{name}\":");
-    let rest = &line[line.find(&tag)? + tag.len()..];
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-    if digits.is_empty() {
-        None
-    } else {
-        digits.parse().ok()
-    }
-}
-
-/// The string value following `"name":"` on a JSONL line, if present.
-fn field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let tag = format!("\"{name}\":\"");
-    let rest = &line[line.find(&tag)? + tag.len()..];
-    rest.split('"').next()
 }
 
 /// Validates a `flashsim-span-v1` JSONL export.

@@ -75,6 +75,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::ckpt::{CkptError, CkptReader, CkptWriter};
+use crate::jsonl::{leading_u64, scan_strings_after};
 use crate::prom;
 use crate::time::{Time, TimeDelta};
 use crate::trace::push_json_escaped;
@@ -774,46 +775,6 @@ pub fn validate_jsonl(text: &str) -> Result<(), String> {
         }
     }
     Ok(())
-}
-
-/// Collects every JSON string literal in `text` that directly follows
-/// `prefix` (pass `""` to collect all string literals), honouring
-/// backslash escapes. Good enough for the flat, machine-written lines
-/// this validator sees.
-fn scan_strings_after(text: &str, prefix: &str) -> Vec<String> {
-    let needle = format!("{prefix}\"");
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    while let Some(pos) = text[start..].find(&needle) {
-        let body_start = start + pos + needle.len();
-        let mut s = String::new();
-        let mut iter = text[body_start..].char_indices();
-        let mut end = None;
-        while let Some((j, c)) = iter.next() {
-            match c {
-                '\\' => {
-                    if let Some((_, escaped)) = iter.next() {
-                        s.push(escaped);
-                    }
-                }
-                '"' => {
-                    end = Some(body_start + j + 1);
-                    break;
-                }
-                _ => s.push(c),
-            }
-        }
-        let Some(e) = end else { break };
-        out.push(s);
-        start = e;
-    }
-    out
-}
-
-/// Parses the leading decimal digits of `s`, if any.
-fn leading_u64(s: &str) -> Option<u64> {
-    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse().ok()
 }
 
 #[cfg(test)]

@@ -254,6 +254,15 @@ pub struct MachineConfig {
     /// at construction, records the plan in the run manifest, and the
     /// run result carries the sampled span trees.
     pub spans: Option<flashsim_engine::SpanPlan>,
+    /// Path of the live `flashsim-stream-v1` event file (default: none).
+    /// When set, the machine opens a durable
+    /// [`flashsim_engine::FileSink`] at run start — creating the file
+    /// for a fresh run, appending for a restored one — and emits the
+    /// stream protocol into it. A host-side observability knob:
+    /// excluded from the provenance string, so streams from reruns of
+    /// the same cell share a provenance hash and can be prefix-checked
+    /// against each other.
+    pub stream: Option<std::path::PathBuf>,
 }
 
 impl MachineConfig {
@@ -282,6 +291,7 @@ impl MachineConfig {
             profile: false,
             heartbeat: None,
             spans: None,
+            stream: None,
         }
     }
 

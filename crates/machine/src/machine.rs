@@ -32,6 +32,7 @@ use crate::config::{MachineConfig, MemSysKind, SchedPolicy};
 use crate::error::{NodeSnapshot, NodeState, SimError};
 use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
 use flashsim_engine::fxhash::FxHashMap;
+use flashsim_engine::stream::{FileSink, ProgressMeter, RunInfo, StreamEmitter, StreamSink};
 use flashsim_engine::{
     Accounting, CkptError, CkptReader, CkptWriter, Clock, FaultInjector, LaggardHeap, MetricId,
     MetricKind, Profiler, SpanSet, SpanTracer, StallClass, StatSet, Telemetry, TelemetrySeries,
@@ -159,18 +160,19 @@ impl TelIds {
     }
 }
 
-/// Live progress line on stderr, throttled by host wall-clock time. The
-/// scheduling loops tick it once per decision; the `Instant` read is
-/// amortized to once per 4096 ticks so an attached-but-quiet heartbeat
-/// stays off the hot path.
+/// Live progress, throttled by host wall-clock time. The scheduling
+/// loops tick it once per decision; the `Instant` read is amortized to
+/// once per 4096 ticks so an attached-but-quiet heartbeat stays off the
+/// hot path. The windowed rate/budget computation lives in the shared
+/// [`ProgressMeter`], so the stderr line and the stream's advisory
+/// `progress` events can never report different numbers.
 struct Heartbeat {
     every: std::time::Duration,
-    started: std::time::Instant,
-    last_emit: std::time::Instant,
+    /// Whether to print the stderr line (false for the silent
+    /// stream-only heartbeat a stream sink auto-attaches).
+    stderr: bool,
     ticks: u64,
-    /// Ops executed as of the previous emitted line, for the live
-    /// (since-last-line) rate alongside the cumulative one.
-    last_ops: u64,
+    meter: ProgressMeter,
 }
 
 /// The environment one node's core executes against (see
@@ -657,6 +659,9 @@ pub struct RunManifest {
     /// Span-sampling plan summary (`"seed=… period=… max_txns=…"`);
     /// `None` when the run had no span tracer attached.
     pub spans: Option<String>,
+    /// Path of the live `flashsim-stream-v1` event stream, when
+    /// [`MachineConfig::stream`] directed one to a file.
+    pub stream: Option<String>,
 }
 
 impl RunManifest {
@@ -706,6 +711,15 @@ impl RunManifest {
         out.push_str(&num(self.sim_mips));
         out.push_str(",\"spans\":");
         match &self.spans {
+            Some(s) => {
+                out.push('"');
+                flashsim_engine::trace::push_json_escaped(&mut out, s);
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"stream\":");
+        match &self.stream {
             Some(s) => {
                 out.push('"');
                 flashsim_engine::trace::push_json_escaped(&mut out, s);
@@ -808,6 +822,13 @@ pub struct Machine {
     /// Sequence number of the next checkpoint this machine will emit;
     /// restored from checkpoints so resumed runs continue the numbering.
     ckpt_seq: u64,
+    /// Live `flashsim-stream-v1` event emitter; see
+    /// [`Machine::attach_stream_sink`].
+    stream: Option<StreamEmitter>,
+    /// Stream position `(next_seq, last_emitted_ps)` restored from a
+    /// checkpoint before any sink is attached; a later attach resumes
+    /// from here instead of re-emitting the prefix.
+    stream_pos: (u64, u64),
 }
 
 impl fmt::Debug for Machine {
@@ -901,6 +922,8 @@ impl Machine {
             workload_seed: program.seed(),
             ckpt_sink: None,
             ckpt_seq: 0,
+            stream: None,
+            stream_pos: (0, 0),
         };
         if let Some(cadence) = machine.cfg.telemetry {
             machine.attach_telemetry(Telemetry::with_cadence(cadence));
@@ -1015,20 +1038,129 @@ impl Machine {
     /// throughput, watchdog-budget progress, and the current spread
     /// between the fastest and slowest node clocks.
     pub fn attach_heartbeat(&mut self, every: std::time::Duration) {
-        let now = std::time::Instant::now();
         self.heartbeat = Some(Heartbeat {
             every,
-            started: now,
-            last_emit: now,
+            stderr: true,
             ticks: 0,
-            last_ops: 0,
+            meter: ProgressMeter::start(),
         });
+    }
+
+    /// Attaches a live `flashsim-stream-v1` event sink: the machine
+    /// emits a `start` header, one closed telemetry bucket per barrier
+    /// release, checkpoint-written markers, advisory progress
+    /// heartbeats, and an `end` terminator (see
+    /// [`flashsim_engine::stream`]). Streaming never perturbs simulated
+    /// state — the deterministic events are a pure function of the
+    /// run's provenance, and a sink error silently stops the stream
+    /// rather than failing the run.
+    ///
+    /// On a machine restored from a checkpoint the emitter resumes at
+    /// the stored stream position, so the continuation appends exactly
+    /// the events the uninterrupted run would have produced. Setting
+    /// [`MachineConfig::stream`] attaches a durable [`FileSink`]
+    /// automatically at [`Machine::run`] (create on a fresh run, append
+    /// on resume).
+    pub fn attach_stream_sink(&mut self, sink: Box<dyn StreamSink>) {
+        let mut em = StreamEmitter::new(sink);
+        em.set_position(self.stream_pos.0, self.stream_pos.1);
+        self.stream = Some(em);
+    }
+
+    /// The stream emitter's `(next_seq, last_emitted_ps)` position —
+    /// what checkpoints store, and what the journal truncates a
+    /// restored cell's stream file back to.
+    pub fn stream_position(&self) -> (u64, u64) {
+        self.stream
+            .as_ref()
+            .map_or(self.stream_pos, StreamEmitter::position)
+    }
+
+    /// Run-entry stream setup: opens the configured file sink if none
+    /// is attached yet, auto-attaches a silent heartbeat so progress
+    /// events flow even without [`MachineConfig::heartbeat`], and emits
+    /// the `start` header (fresh streams only) with the bucket
+    /// baselines seeded from current cumulative totals — zeros on a
+    /// fresh run, the restored quiescent-point totals on resume.
+    fn open_stream(&mut self) {
+        if self.stream.is_none() {
+            if let Some(path) = self.cfg.stream.clone() {
+                let opened = if self.stream_pos.0 == 0 {
+                    FileSink::create(&path)
+                } else {
+                    FileSink::append(&path)
+                };
+                match opened {
+                    Ok(sink) => self.attach_stream_sink(Box::new(sink)),
+                    Err(e) => {
+                        eprintln!("[flashsim] stream sink {} unavailable: {e}", path.display());
+                    }
+                }
+            }
+        }
+        if self.stream.is_none() {
+            return;
+        }
+        if self.heartbeat.is_none() {
+            self.heartbeat = Some(Heartbeat {
+                every: std::time::Duration::from_millis(250),
+                stderr: false,
+                ticks: 0,
+                meter: ProgressMeter::start(),
+            });
+        }
+        let at = Time::from_ps(self.stream_position().1);
+        let metrics = self.stream_totals(at);
+        let account = self.stream_account(at);
+        let info = RunInfo {
+            provenance: flashsim_engine::ckpt::provenance_hash(&self.provenance()),
+            config: self.cfg.label(),
+            workload: self.workload.clone(),
+            seed: self.workload_seed,
+            nodes: self.cfg.nodes,
+            sched: self.cfg.sched.key().to_owned(),
+            budget_ops: self.cfg.watchdog.max_ops,
+        };
+        if let Some(em) = self.stream.as_mut() {
+            em.begin(&info, &metrics, account.as_deref());
+        }
+    }
+
+    /// The stable metric set at quiescent time `at` as `(key, kind,
+    /// cumulative total)` — the stream emitter's bucket basis. Volatile
+    /// (scheduler-shaped) metrics are excluded, exactly as in the
+    /// stable JSONL export, so the stream stays policy-invariant.
+    fn stream_totals(&self, at: Time) -> Vec<(String, MetricKind, u64)> {
+        self.telemetry
+            .snapshot(at)
+            .map(|snap| {
+                snap.metrics
+                    .iter()
+                    .filter(|m| !m.volatile)
+                    .map(|m| (m.key(), m.kind, m.total))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Cumulative per-class accounting ledger at quiescent time `at`,
+    /// when a profiler is attached. At a barrier release every node
+    /// clock equals `at`, so the snapshot is exact and policy-invariant.
+    fn stream_account(&self, at: Time) -> Option<Vec<u64>> {
+        let ends = vec![at; self.cfg.nodes as usize];
+        self.profiler
+            .snapshot(&ends)
+            .map(|acc| acc.class_totals().to_vec())
     }
 
     /// One scheduling-decision tick of the heartbeat. One branch when no
     /// heartbeat is attached; when attached, the wall clock is read once
-    /// per 4096 ticks and a line is emitted at most once per interval.
+    /// per 4096 ticks and a line/event is emitted at most once per
+    /// interval. The stderr line and the stream's `progress` event are
+    /// rendered from the same [`ProgressMeter`] sample, so they always
+    /// agree.
     fn heartbeat_tick(&mut self, executed: u64) {
+        let budget = self.cfg.watchdog.max_ops;
         let Some(hb) = self.heartbeat.as_mut() else {
             return;
         };
@@ -1037,39 +1169,35 @@ impl Machine {
             return;
         }
         let now = std::time::Instant::now();
-        if now.duration_since(hb.last_emit) < hb.every {
+        if !hb.meter.due(now, hb.every) {
             return;
         }
-        let since_last = now.duration_since(hb.last_emit).as_secs_f64();
-        let live = if since_last > 0.0 {
-            (executed.saturating_sub(hb.last_ops)) as f64 / since_last
-        } else {
-            0.0
-        };
-        hb.last_emit = now;
-        hb.last_ops = executed;
-        let wall = now.duration_since(hb.started).as_secs_f64();
+        let sample = hb.meter.sample(now, executed, budget);
+        let stderr = hb.stderr;
         let lead = self
             .cores
             .iter()
             .map(|c| c.now())
             .fold(Time::ZERO, Time::max);
         let lag = self.cores.iter().map(|c| c.now()).fold(lead, Time::min);
-        let rate = if wall > 0.0 {
-            executed as f64 / wall
-        } else {
-            0.0
-        };
-        let budget = match self.cfg.watchdog.max_ops {
-            Some(b) if b > 0 => format!("{:.1}%", 100.0 * executed as f64 / b as f64),
-            _ => "-".to_owned(),
-        };
-        eprintln!(
-            "[flashsim] sim={:.3}ms ops={executed} rate={rate:.0}/s live={live:.0}/s \
-             budget={budget} skew={}ns",
-            (lead - Time::ZERO).as_ns_f64() / 1e6,
-            (lead - lag).as_ns_f64(),
-        );
+        let skew = lead.saturating_since(lag);
+        if let Some(em) = self.stream.as_mut() {
+            em.progress(lead.as_ps(), &sample, skew.as_ps());
+        }
+        if stderr {
+            let budget = match sample.budget_frac {
+                Some(f) => format!("{:.1}%", 100.0 * f),
+                None => "-".to_owned(),
+            };
+            eprintln!(
+                "[flashsim] sim={:.3}ms ops={executed} rate={:.0}/s live={:.0}/s \
+                 budget={budget} skew={}ns",
+                (lead - Time::ZERO).as_ns_f64() / 1e6,
+                sample.rate,
+                sample.live,
+                skew.as_ns_f64(),
+            );
+        }
     }
 
     /// Charges pending OS timer ticks to node `n` up to its current time.
@@ -1107,6 +1235,7 @@ impl Machine {
         let wall_start = std::time::Instant::now();
         let nodes = self.cfg.nodes as usize;
         self.status = vec![NodeStatus::Running; nodes];
+        self.open_stream();
         if self.tracer.enabled(TraceCategory::Machine) {
             self.tracer.emit(
                 Time::ZERO,
@@ -1117,11 +1246,27 @@ impl Machine {
                 0,
             );
         }
-        match self.cfg.sched {
-            SchedPolicy::Batched => self.run_batched(wall_start)?,
-            SchedPolicy::Reference => self.run_reference(wall_start)?,
+        let ran = match self.cfg.sched {
+            SchedPolicy::Batched => self.run_batched(wall_start),
+            SchedPolicy::Reference => self.run_reference(wall_start),
+        };
+        if let Err(e) = ran {
+            let at = self
+                .cores
+                .iter()
+                .map(|c| c.now())
+                .fold(Time::ZERO, Time::max);
+            let ops: u64 = self.streams.iter().map(ThreadStream::consumed).sum();
+            if let Some(em) = self.stream.as_mut() {
+                em.failed(at.as_ps(), ops, e.kind());
+            }
+            return Err(e);
         }
-        Ok(self.collect_result(wall_start.elapsed().as_secs_f64()))
+        let result = self.collect_result(wall_start.elapsed().as_secs_f64());
+        if let Some(em) = self.stream.as_mut() {
+            em.finished(result.total_time.as_ps(), result.manifest.total_ops);
+        }
+        Ok(result)
     }
 
     /// The historical schedule: one op per decision, linear laggard scan.
@@ -1610,12 +1755,29 @@ impl Machine {
                     }
                     // The machine is now quiescent: every node Running at
                     // the release time, no arrival or lock queues, no
-                    // transaction mid-flight. Emit a checkpoint if a sink
-                    // is attached (take/put-back so the sink can borrow
-                    // the machine-produced text without aliasing `self`).
+                    // transaction mid-flight — and every stable cumulative
+                    // total is policy-invariant, which is what makes the
+                    // stream's closed bucket (deltas since the previous
+                    // release) prefix-stable across reruns and policies.
+                    if self.stream.is_some() {
+                        let totals = self.stream_totals(release);
+                        let account = self.stream_account(release);
+                        if let Some(em) = self.stream.as_mut() {
+                            em.bucket(op.id, release.as_ps(), &totals, account.as_deref());
+                        }
+                    }
+                    // Emit a checkpoint if a sink is attached (take/put-
+                    // back so the sink can borrow the machine-produced
+                    // text without aliasing `self`). The stream's ckpt
+                    // event goes first: the snapshot then stores the
+                    // emitter position *after* the event, so a resume
+                    // continues past it instead of re-emitting it.
                     if let Some(mut sink) = self.ckpt_sink.take() {
                         let seq = self.ckpt_seq;
                         self.ckpt_seq += 1;
+                        if let Some(em) = self.stream.as_mut() {
+                            em.ckpt(seq, release.as_ps());
+                        }
                         let text = self.checkpoint();
                         sink(seq, release, &text);
                         self.ckpt_sink = Some(sink);
@@ -1849,6 +2011,7 @@ impl Machine {
                 .as_ref()
                 .map(|acc| StallClass::ALL.map(|c| acc.fraction(c))),
             spans: self.cfg.spans.as_ref().map(|p| p.describe()),
+            stream: self.cfg.stream.as_ref().map(|p| p.display().to_string()),
         };
 
         RunResult {
@@ -1917,8 +2080,11 @@ impl Machine {
     /// simulated behaviour — config, workload, seed, scheduling policy,
     /// fault plan, telemetry cadence, span plan — so a checkpoint can
     /// never restore against the wrong run. Host-side knobs (watchdog,
-    /// heartbeat) are deliberately excluded: resuming with a different
-    /// wall-clock budget is legitimate.
+    /// heartbeat, stream sink) are deliberately excluded: resuming with
+    /// a different wall-clock budget or stream destination is
+    /// legitimate, and two runs that differ only in observability sinks
+    /// share a provenance hash — which is exactly the grouping key the
+    /// stream's cross-file prefix-stability check relies on.
     pub fn provenance(&self) -> String {
         format!(
             "flashsim nodes={} cpu={:?} os={:?} memsys={:?} geometry={:?} l2_hit={:?} \
@@ -1955,6 +2121,12 @@ impl Machine {
         let mut w = CkptWriter::new(&self.provenance());
         w.section("machine");
         w.u64("ckpt_seq", self.ckpt_seq);
+        // Stream emitter position, so a resumed run continues the live
+        // event stream exactly where this snapshot left it (the ckpt
+        // event for this very snapshot is already behind the position).
+        let (stream_seq, stream_last_ps) = self.stream_position();
+        w.u64("stream_seq", stream_seq);
+        w.u64("stream_last_ps", stream_last_ps);
         w.u64("nodes", u64::from(self.cfg.nodes));
         w.u64("barrier_releases", self.barrier_releases.len() as u64);
         for (id, t) in &self.barrier_releases {
@@ -2046,6 +2218,7 @@ impl Machine {
         r.expect_provenance(&m.provenance())?;
         r.section("machine")?;
         m.ckpt_seq = r.u64("ckpt_seq")?;
+        m.stream_pos = (r.u64("stream_seq")?, r.u64("stream_last_ps")?);
         let nodes = r.u64("nodes")?;
         if nodes != u64::from(m.cfg.nodes) {
             return Err(parse("nodes", nodes.to_string()).into());

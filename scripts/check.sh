@@ -82,6 +82,24 @@ cargo run --release -q -p flashsim-bench --bin chaos -- \
 cargo run --release -q -p flashsim-bench --bin chaos -- \
     --validate-ckpt "$kr_dir/killed" > /dev/null
 echo "kill-and-resume converged byte-identically; checkpoints validate"
+
+echo "== stream smoke (flashsim-stream-v1 validation + prefix stability) =="
+# Every live stream the kill-resume matrix produced — the straight run's,
+# the killed-then-resumed run's, and the torn mid-kill snapshots — must
+# validate against the full stream contract, and files sharing a
+# provenance hash must be prefix-stable over their deterministic events.
+# A partial report must also stitch from a torn snapshot (the post-mortem
+# view of a crashed cell); when no kill landed mid-cell this attempt, the
+# report reads a finished stream instead.
+stream_files="$(ls "$kr_dir"/straight/cell*.stream "$kr_dir"/killed/cell*.stream \
+    "$kr_dir"/killed/cell*.stream.killed 2>/dev/null)"
+[ -n "$stream_files" ] || { echo "FAIL: kill-resume matrix produced no stream files"; exit 1; }
+# shellcheck disable=SC2086
+cargo run --release -q -p flashsim-bench --bin watch -- --validate $stream_files
+torn="$(ls "$kr_dir"/killed/cell*.stream.killed 2>/dev/null | head -n 1)"
+[ -n "$torn" ] || torn="$kr_dir/straight/cell0.stream"
+cargo run --release -q -p flashsim-bench --bin report -- --from-stream "$torn" > /dev/null
+echo "streams validate, prefix-stable per provenance; partial report stitches from a torn tail"
 rm -rf "$kr_dir"
 
 echo "== profile smoke (cycle-accounting conservation) =="
