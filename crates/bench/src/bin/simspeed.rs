@@ -6,8 +6,9 @@
 //! Usage:
 //!
 //! ```text
-//! simspeed [--app snbench|fft|radix|lu|ocean] [--threads N] [--iters N] [--full]
-//!          [--json PATH] [--baseline PATH] [--tolerance FRAC]
+//! simspeed [--app snbench|fft|radix|lu|ocean] [--threads N] [--workers N]
+//!          [--iters N] [--full] [--json PATH] [--baseline PATH]
+//!          [--tolerance FRAC]
 //! ```
 //!
 //! Each platform runs `N` times (default 3) and the best run is reported,
@@ -17,11 +18,19 @@
 //! about instruction processing, so check it with a compute kernel,
 //! e.g. `--app fft`.
 //!
+//! `--threads N` sets the *simulated* node count (where the app allows
+//! it); `--workers N` additionally measures every platform under the
+//! parallel scheduling policy driven by `N` host worker threads,
+//! appended as extra `[parallel wN]` rows. On a single-core host those
+//! rows measure pure oversubscription overhead — commit what you
+//! measure; the speedup only materializes with real host cores.
+//!
 //! `--json PATH` writes the per-platform numbers as a
-//! `flashsim-simspeed-v1` document. `--baseline PATH` compares the fresh
-//! measurement against a previously saved report and exits nonzero if
-//! any platform fell more than `--tolerance` (default 0.30 = 30 %) below
-//! its baseline events/sec — the perf-regression gate used by
+//! `flashsim-simspeed-v2` document (every row records its host worker
+//! thread count). `--baseline PATH` compares the fresh measurement
+//! against a previously saved report and exits nonzero if any platform
+//! fell more than `--tolerance` (default 0.30 = 30 %) below its
+//! baseline events/sec — the perf-regression gate used by
 //! `scripts/check.sh`.
 
 use flashsim_bench::speed::{PlatformSpeed, SpeedReport};
@@ -29,7 +38,7 @@ use flashsim_bench::{header, setup_from_args};
 use flashsim_core::platform::{MemModel, Sim, Study};
 use flashsim_engine::{CategoryMask, Tracer};
 use flashsim_isa::Program;
-use flashsim_machine::{Machine, MachineConfig, RunManifest};
+use flashsim_machine::{Machine, MachineConfig, RunManifest, SchedPolicy};
 use flashsim_workloads::micro::{SnCase, Snbench};
 use flashsim_workloads::{Fft, FftBlocking, Lu, Ocean, Radix};
 
@@ -121,6 +130,9 @@ fn main() {
     let threads: usize = flag("--threads")
         .map(|s| s.parse().expect("--threads takes a number"))
         .unwrap_or(Snbench::NODES);
+    let workers: usize = flag("--workers")
+        .map(|s| s.parse().expect("--workers takes a host thread count"))
+        .unwrap_or(0);
     let app = flag("--app").unwrap_or_else(|| "snbench".into());
     let bench: Box<dyn Program> = match app.as_str() {
         "snbench" => Box::new(Snbench::new(
@@ -168,16 +180,38 @@ fn main() {
             Box::new(move || study.sim(Sim::SimosMipsy(150), nodes, MemModel::Numa)),
         ),
     ];
-    let mut measured: Vec<PlatformSpeed> = Vec::with_capacity(platforms.len());
+    let mut measured: Vec<PlatformSpeed> = Vec::with_capacity(platforms.len() * 2);
     for (name, cfg) in &platforms {
         let best = best_run(cfg, bench, iters, None);
         report(name, &best);
         measured.push(PlatformSpeed {
             label: (*name).to_owned(),
+            threads: 1,
             events_per_sec: best.events_per_sec,
             sim_mips: best.sim_mips,
             wall_seconds: best.wall_seconds,
         });
+    }
+    if workers > 0 {
+        println!();
+        println!("parallel scheduling policy ({workers} host workers):");
+        for (name, cfg) in &platforms {
+            let label = format!("{name} [parallel w{workers}]");
+            let par = || {
+                let mut c = cfg();
+                c.sched = SchedPolicy::Parallel { workers };
+                c
+            };
+            let best = best_run(&par, bench, iters, None);
+            report(&label, &best);
+            measured.push(PlatformSpeed {
+                label,
+                threads: workers as u32,
+                events_per_sec: best.events_per_sec,
+                sim_mips: best.sim_mips,
+                wall_seconds: best.wall_seconds,
+            });
+        }
     }
     let speed_report = SpeedReport {
         app: app.clone(),

@@ -11,9 +11,10 @@
 //!
 //! The default mode renders one dashboard frame and exits: one row per
 //! stream with its phase (`empty`/`started`/`barrier N`/`done`/
-//! `failed:<kind>`), closed-bucket count, simulated time, op count and
-//! live events/sec from the newest advisory progress sample, the
-//! newest checkpoint, and a bucket-wise occupancy sparkline.
+//! `failed:<kind>`), closed-bucket count, simulated time, op count,
+//! live events/sec and host worker occupancy from the newest advisory
+//! progress sample, the newest checkpoint, and a bucket-wise occupancy
+//! sparkline.
 //! `--follow` re-reads and re-renders every `--interval` ms (default
 //! 500) until every stream has ended. `--prom PATH` rewrites a
 //! Prometheus textfile (temp-then-rename, so scrapers never see a torn
@@ -142,8 +143,8 @@ fn read_rows(files: &[String]) -> Vec<(String, TailSummary)> {
 fn render_frame(rows: &[(String, TailSummary)]) -> String {
     let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
     let mut out = format!(
-        "{:<name_w$}  {:<14}  {:>7}  {:>10}  {:>12}  {:>9}  {:>5}  occupancy\n",
-        "cell", "phase", "buckets", "sim ms", "ops", "live/s", "ckpt"
+        "{:<name_w$}  {:<14}  {:>7}  {:>10}  {:>12}  {:>9}  {:>4}  {:>5}  occupancy\n",
+        "cell", "phase", "buckets", "sim ms", "ops", "live/s", "busy", "ckpt"
     );
     for (name, s) in rows {
         let phase = format!(
@@ -157,12 +158,18 @@ fn render_frame(rows: &[(String, TailSummary)]) -> String {
             .as_ref()
             .map(|p| format!("{:.0}", p.live))
             .unwrap_or_else(|| "-".into());
+        let busy = s
+            .progress
+            .as_ref()
+            .and_then(|p| p.busy)
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .unwrap_or_else(|| "-".into());
         let ckpt = s
             .last_ckpt
             .map(|(seq, _)| seq.to_string())
             .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{name:<name_w$}  {phase:<14}  {:>7}  {:>10.3}  {ops:>12}  {live:>9}  {ckpt:>5}  |{}|\n",
+            "{name:<name_w$}  {phase:<14}  {:>7}  {:>10.3}  {ops:>12}  {live:>9}  {busy:>4}  {ckpt:>5}  |{}|\n",
             s.buckets(),
             s.end_ps as f64 / 1e9,
             sparkline(&s.occupancy_row(), 32, SparkFold::Sum),
@@ -208,6 +215,17 @@ fn render_prom(rows: &[(String, TailSummary)]) -> String {
                 "flashsim_stream_live_ops_per_sec",
                 &[("cell", name)],
                 p.live.max(0.0) as u64,
+            );
+        }
+    }
+    prom::push_type(&mut out, "flashsim_stream_worker_busy_percent", "gauge");
+    for (name, s) in rows {
+        if let Some(busy) = s.progress.as_ref().and_then(|p| p.busy) {
+            prom::push_sample(
+                &mut out,
+                "flashsim_stream_worker_busy_percent",
+                &[("cell", name)],
+                (busy * 100.0).round() as u64,
             );
         }
     }

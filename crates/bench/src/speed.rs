@@ -1,8 +1,12 @@
 //! The simulator-speed regression harness behind `simspeed --json`.
 //!
 //! `simspeed` can emit its per-platform throughput numbers as a small
-//! JSON document (schema `flashsim-simspeed-v1`), and compare a fresh
+//! JSON document (schema `flashsim-simspeed-v2`), and compare a fresh
 //! measurement against a committed baseline with a relative tolerance.
+//! Since v2 every row records the host worker `threads` that drove the
+//! scheduler (1 = a serial policy), so a baseline can hold serial and
+//! parallel rows for the same platform side by side; rows are matched
+//! by label, and labels embed the worker count.
 //! `scripts/check.sh` wires this into the offline CI gate: a hot-path
 //! "optimization" that silently costs 30 % of throughput fails the build
 //! the same way a broken test would.
@@ -15,13 +19,15 @@
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into every report.
-pub const SCHEMA: &str = "flashsim-simspeed-v1";
+pub const SCHEMA: &str = "flashsim-simspeed-v2";
 
 /// One platform's measured throughput.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlatformSpeed {
     /// Platform label as printed by `simspeed` (e.g. `"simos-mipsy-150/flashlite"`).
     pub label: String,
+    /// Host worker threads driving the scheduler (1 = serial policy).
+    pub threads: u32,
     /// Best-of-N events per wall-clock second.
     pub events_per_sec: f64,
     /// Best-of-N simulated MIPS.
@@ -94,7 +100,7 @@ fn num(v: f64) -> String {
 }
 
 impl SpeedReport {
-    /// Renders the report as JSON (schema `flashsim-simspeed-v1`).
+    /// Renders the report as JSON (schema `flashsim-simspeed-v2`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 128 * self.platforms.len());
         out.push_str("{\"schema\":\"");
@@ -109,7 +115,8 @@ impl SpeedReport {
             }
             out.push_str("{\"label\":\"");
             flashsim_engine::trace::push_json_escaped(&mut out, &p.label);
-            out.push_str("\",\"events_per_sec\":");
+            let _ = write!(out, "\",\"threads\":{}", p.threads);
+            out.push_str(",\"events_per_sec\":");
             out.push_str(&num(p.events_per_sec));
             out.push_str(",\"sim_mips\":");
             out.push_str(&num(p.sim_mips));
@@ -148,6 +155,7 @@ impl SpeedReport {
             let p = entry.as_object(&format!("platforms[{i}]"))?;
             platforms.push(PlatformSpeed {
                 label: p.field("label")?.as_str("label")?.to_owned(),
+                threads: p.field("threads")?.as_f64("threads")? as u32,
                 events_per_sec: p.field("events_per_sec")?.as_f64("events_per_sec")?,
                 sim_mips: p.field("sim_mips")?.as_f64("sim_mips")?,
                 wall_seconds: p.field("wall_seconds")?.as_f64("wall_seconds")?,
@@ -462,15 +470,24 @@ mod tests {
             platforms: vec![
                 PlatformSpeed {
                     label: "hardware (r10000/irix)".to_owned(),
+                    threads: 1,
                     events_per_sec: 4.0e6,
                     sim_mips: 4.0,
                     wall_seconds: 0.004,
                 },
                 PlatformSpeed {
                     label: "simos-mipsy-150/flashlite".to_owned(),
+                    threads: 1,
                     events_per_sec: 4.5e6,
                     sim_mips: 4.5,
                     wall_seconds: 0.0036,
+                },
+                PlatformSpeed {
+                    label: "simos-mipsy-150/flashlite [parallel w4]".to_owned(),
+                    threads: 4,
+                    events_per_sec: 4.2e6,
+                    sim_mips: 4.2,
+                    wall_seconds: 0.0038,
                 },
             ],
         }
@@ -485,13 +502,15 @@ mod tests {
 
     #[test]
     fn parse_accepts_whitespace_and_rejects_garbage() {
-        let pretty = "{\n  \"schema\": \"flashsim-simspeed-v1\",\n  \"app\": \"x\",\n  \
+        let pretty = "{\n  \"schema\": \"flashsim-simspeed-v2\",\n  \"app\": \"x\",\n  \
                       \"nodes\": 1, \"iters\": 2,\n  \"platforms\": [ {\"label\": \"p\", \
-                      \"events_per_sec\": 1e6, \"sim_mips\": 1.5, \"wall_seconds\": 0.01} ]\n}\n";
+                      \"threads\": 1, \"events_per_sec\": 1e6, \"sim_mips\": 1.5, \
+                      \"wall_seconds\": 0.01} ]\n}\n";
         let r = SpeedReport::parse(pretty).expect("whitespace is fine");
         assert_eq!(r.platforms[0].events_per_sec, 1e6);
+        assert_eq!(r.platforms[0].threads, 1);
         assert!(SpeedReport::parse("not json").is_err());
-        assert!(SpeedReport::parse("{\"schema\":\"flashsim-simspeed-v1\"}").is_err());
+        assert!(SpeedReport::parse("{\"schema\":\"flashsim-simspeed-v2\"}").is_err());
         assert!(SpeedReport::parse("{} trailing").is_err());
     }
 
@@ -500,6 +519,30 @@ mod tests {
         let bad = sample().to_json().replace(SCHEMA, "simspeed-v0");
         let err = SpeedReport::parse(&bad).expect_err("schema mismatch");
         assert!(err.contains("unsupported schema"), "{err}");
+        // A v1 document (no threads field) must not silently validate.
+        let v1 = sample().to_json().replace(SCHEMA, "flashsim-simspeed-v1");
+        assert!(SpeedReport::parse(&v1).is_err());
+    }
+
+    #[test]
+    fn row_without_threads_is_rejected() {
+        let bad = sample().to_json().replace("\"threads\":1,", "");
+        let err = SpeedReport::parse(&bad).expect_err("missing threads");
+        assert!(err.contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn serial_and_parallel_rows_gate_independently() {
+        let base = sample();
+        let mut cur = sample();
+        // Only the parallel row regresses; matching is by label, so the
+        // serial row for the same platform does not mask it.
+        cur.platforms[2].events_per_sec = 1.0e6;
+        let regs = cur.regressions_vs(&base, 0.30);
+        assert_eq!(regs.len(), 1);
+        assert!(
+            matches!(&regs[0], SpeedRegression::Slower { label, .. } if label.contains("parallel"))
+        );
     }
 
     #[test]
@@ -546,6 +589,7 @@ mod tests {
         cur.platforms.remove(1);
         cur.platforms.push(PlatformSpeed {
             label: "brand-new".to_owned(),
+            threads: 1,
             events_per_sec: 1.0,
             sim_mips: 0.1,
             wall_seconds: 9.9,

@@ -67,6 +67,8 @@ pub struct LastProgress {
     pub live: f64,
     /// Fraction of the op budget consumed, if bounded.
     pub budget: Option<f64>,
+    /// Host worker occupancy fraction (parallel scheduler only).
+    pub busy: Option<f64>,
 }
 
 /// Everything a dashboard row or a partial report needs, folded from
@@ -176,6 +178,7 @@ impl TailSummary {
                     rate,
                     live,
                     budget,
+                    busy,
                     ..
                 } => {
                     s.progress = Some(LastProgress {
@@ -184,6 +187,7 @@ impl TailSummary {
                         rate: *rate,
                         live: *live,
                         budget: *budget,
+                        busy: *busy,
                     });
                 }
                 StreamEvent::End {
@@ -300,8 +304,12 @@ impl TailSummary {
                 .budget
                 .map(|f| format!(", budget {:.1}%", f * 100.0))
                 .unwrap_or_default();
+            let busy = p
+                .busy
+                .map(|f| format!(", workers {:.0}% busy", f * 100.0))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "last progress: {} ops at {:.3} ms sim ({:.0} ops/s, live {:.0}{budget})\n",
+                "last progress: {} ops at {:.3} ms sim ({:.0} ops/s, live {:.0}{budget}{busy})\n",
                 p.ops,
                 p.at_ps as f64 / 1e9,
                 p.rate,
@@ -386,7 +394,7 @@ mod tests {
             "{\"ev\":\"bucket\",\"seq\":3,\"barrier\":1,\"start_ps\":100,\"end_ps\":250,",
             "\"values\":{\"ops\":7},\"account\":{\"compute\":150}}\n",
             "{\"ev\":\"progress\",\"at_ps\":260,\"ops\":12,\"rate\":100,\"live\":50,",
-            "\"skew_ps\":10}\n",
+            "\"busy\":0.75,\"skew_ps\":10}\n",
             "{\"ev\":\"end\",\"seq\":4,\"kind\":\"ok\",\"at_ps\":250,\"ops\":12}\n",
         );
         let s = TailSummary::from_text(text);
@@ -400,6 +408,11 @@ mod tests {
         assert_eq!(s.account, vec![250]);
         assert_eq!(s.last_ckpt, Some((0, 100)));
         assert_eq!(s.ops(), Some(12));
+        assert_eq!(
+            s.progress.and_then(|p| p.busy),
+            Some(0.75),
+            "worker occupancy rides the progress sample"
+        );
         let block = s.render();
         assert!(block.contains("phase: done"));
         assert!(block.contains("accounting so far"));

@@ -16,6 +16,7 @@
 //! with the degraded cells marked.
 
 use crate::platform::Study;
+use flashsim_engine::pool::{ScopedJob, WorkerPool};
 use flashsim_engine::{Rng, TimeDelta};
 use flashsim_isa::Program;
 use flashsim_machine::{run_program, MachineConfig, RunManifest, RunResult, SimError, Watchdog};
@@ -238,16 +239,21 @@ pub fn speedup(t1: TimeDelta, tp: TimeDelta) -> f64 {
     t1.as_ns_f64() / tp.as_ns_f64()
 }
 
-/// Runs independent jobs on a bounded pool of OS threads and collects
-/// results in input order.
+/// Runs independent jobs on a bounded set of host worker threads and
+/// collects results in input order.
 ///
-/// The pool is sized `min(available_parallelism, jobs)` — a large
-/// experiment matrix no longer spawns one thread per cell (hundreds of
-/// simultaneous machines oversubscribed the host and ballooned peak
-/// memory); excess jobs queue and are claimed by whichever worker frees
-/// up first. With one usable core the jobs run inline on the caller's
-/// thread. Results are reassembled by index, so ordering is independent
-/// of which worker finished when.
+/// The batch is fed through the engine's shared
+/// [`WorkerPool`](flashsim_engine::pool::WorkerPool) scheduling
+/// substrate (scoped flavor, so jobs may borrow the caller's state) —
+/// the same per-worker queues and work stealing the machine's parallel
+/// scheduling policy runs on. It is sized `min(available_parallelism,
+/// jobs)`: a large experiment matrix never spawns one thread per cell
+/// (hundreds of simultaneous machines oversubscribed the host and
+/// ballooned peak memory); excess jobs queue and are claimed by
+/// whichever worker frees up first. With one usable core the jobs run
+/// inline on the caller's thread. Each job writes into its own
+/// pre-indexed slot, so ordering is independent of which worker
+/// finished when.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -255,46 +261,24 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
+    let workers = WorkerPool::host_parallelism().min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let (task_tx, task_rx) = std::sync::mpsc::channel::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        task_tx.send(pair).expect("task queue has a live receiver"); // gate: allow
-    }
-    drop(task_tx);
-    let task_rx = std::sync::Mutex::new(task_rx);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, R)>();
-        for _ in 0..workers {
-            let res_tx = res_tx.clone();
-            let task_rx = &task_rx;
+    let jobs = out
+        .iter_mut()
+        .zip(items)
+        .map(|(slot, item)| {
             let f = &f;
-            scope.spawn(move || loop {
-                // Hold the lock only for the dequeue, not while running f.
-                let task = task_rx.lock().expect("task queue lock poisoned").recv(); // gate: allow
-                match task {
-                    Ok((idx, item)) => {
-                        if res_tx.send((idx, f(item))).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => break, // queue drained and closed
-                }
-            });
-        }
-        drop(res_tx);
-        for (idx, r) in res_rx {
-            out[idx] = Some(r);
-        }
-    });
+            Box::new(move |_worker: usize| {
+                *slot = Some(f(item));
+            }) as ScopedJob<'_>
+        })
+        .collect();
+    WorkerPool::run_scoped(workers, jobs);
     out.into_iter()
-        .map(|r| r.expect("every job sends exactly one result")) // gate: allow
+        .map(|r| r.expect("every finished job filled its slot")) // gate: allow
         .collect()
 }
 

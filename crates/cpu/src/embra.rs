@@ -70,6 +70,15 @@ impl Core for Embra {
         "embra"
     }
 
+    fn scan_profile(&self) -> crate::env::ScanProfile {
+        // Exactly one cycle per op, and the environment is never
+        // touched — every non-sync op is private to the node.
+        crate::env::ScanProfile {
+            min_ps_per_op: self.clock.period(),
+            resolves_memory: false,
+        }
+    }
+
     // Embra keeps the default no-op `attach_profiler` deliberately: it
     // never stalls, so the accounting profiler's per-op compute residual
     // attributes every one of its cycles to StallClass::Compute — which

@@ -78,6 +78,31 @@ pub trait MemEnv {
     fn resolve(&mut self, addr: VAddr, kind: MemAccessKind, at: Time) -> Resolution;
 }
 
+/// What a scheduler may assume about a core's timing when *scanning
+/// ahead* in its op stream — the contract behind conservative parallel
+/// scheduling (see `SchedPolicy::Parallel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanProfile {
+    /// A guaranteed lower bound on how far [`Core::now`] advances per
+    /// executed op. [`TimeDelta::ZERO`] promises nothing — the scheduler
+    /// then cannot derive a lookahead horizon from unexecuted ops and
+    /// degrades to serial execution for this core (always sound).
+    pub min_ps_per_op: TimeDelta,
+    /// Whether executing a memory-class op calls
+    /// [`MemEnv::resolve`](MemEnv::resolve). Functional models that
+    /// never touch the environment (Embra) report `false`, making every
+    /// non-sync op private to the node.
+    pub resolves_memory: bool,
+}
+
+impl ScanProfile {
+    /// The conservative default: no per-op bound, memory ops resolve.
+    pub const OPAQUE: ScanProfile = ScanProfile {
+        min_ps_per_op: TimeDelta::ZERO,
+        resolves_memory: true,
+    };
+}
+
 /// A processor timing model.
 ///
 /// The machine feeds ops one at a time (synchronization ops never reach
@@ -105,6 +130,16 @@ pub trait Core: Send {
 
     /// Short model name (`"mipsy"`, `"mxs"`, `"r10000"`).
     fn model_name(&self) -> &'static str;
+
+    /// Timing guarantees a scheduler may rely on when scanning this
+    /// core's op stream ahead of execution. The default
+    /// ([`ScanProfile::OPAQUE`]) promises nothing, which keeps complex
+    /// models (out-of-order overlap can retire several ops per cycle)
+    /// sound without any per-model audit: the parallel policy simply
+    /// runs them serially.
+    fn scan_profile(&self) -> ScanProfile {
+        ScanProfile::OPAQUE
+    }
 
     /// Attaches a flight-recorder handle; the core emits `cpu`-category
     /// events (instructions, stalls, TLB refills) tagged with `node`.

@@ -44,7 +44,7 @@ pub mod ooo;
 
 pub use branch::BranchPredictor;
 pub use embra::Embra;
-pub use env::{AccessLevel, Core, FixedEnv, MemAccessKind, MemEnv, Resolution};
+pub use env::{AccessLevel, Core, FixedEnv, MemAccessKind, MemEnv, Resolution, ScanProfile};
 pub use lat::LatencyTable;
 pub use mipsy::{Mipsy, MipsyConfig};
 pub use ooo::{mxs, r10000, OooConfig, OooCore};

@@ -322,6 +322,16 @@ impl Core for Mipsy {
         "mipsy"
     }
 
+    fn scan_profile(&self) -> crate::env::ScanProfile {
+        // Every op path starts by charging at least one CPU cycle
+        // (compute costs are table-driven but never below one cycle),
+        // and loads/stores/prefetches call into the environment.
+        crate::env::ScanProfile {
+            min_ps_per_op: self.cycle(),
+            resolves_memory: true,
+        }
+    }
+
     fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
         self.tracer = tracer;
         self.node = node;

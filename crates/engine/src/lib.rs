@@ -46,6 +46,10 @@
 //!   a durable torn-tail-tolerant file sink, with a prefix-stability
 //!   contract that makes the deterministic events byte-identical
 //!   across reruns, scheduling policies, and kill-resume,
+//! - [`pool`]: a bounded pool of persistent host worker threads with
+//!   per-worker run queues and work stealing — the fan-out substrate
+//!   shared by the study runner's matrix cells and the machine's
+//!   parallel scheduling policy,
 //! - [`prom`]: the single shared Prometheus text-exposition formatter
 //!   used by every exporter in the workspace,
 //! - [`jsonl`]: the shared JSONL field scanners behind every
@@ -76,6 +80,7 @@ pub mod event;
 pub mod fault;
 pub mod fxhash;
 pub mod jsonl;
+pub mod pool;
 pub mod prom;
 pub mod resource;
 pub mod rng;
@@ -92,6 +97,7 @@ pub use ckpt::{CkptError, CkptReader, CkptWriter};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan, MessageFate};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use pool::WorkerPool;
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
 pub use sched::LaggardHeap;

@@ -179,6 +179,10 @@ pub struct ProgressSample {
     pub live: f64,
     /// Fraction of the watchdog op budget consumed, when armed.
     pub budget_frac: Option<f64>,
+    /// Average worker-pool occupancy over the window, in `[0, 1]` —
+    /// only under the parallel scheduling policy, set by the caller
+    /// after sampling (the meter itself knows nothing about workers).
+    pub busy: Option<f64>,
 }
 
 /// Wall-clock window tracker producing [`ProgressSample`]s.
@@ -228,6 +232,7 @@ impl ProgressMeter {
                 .filter(|b| *b > 0)
                 .map(|b| ops as f64 / b as f64)
                 .filter(|f| f.is_finite()),
+            busy: None,
         }
     }
 }
@@ -436,6 +441,9 @@ impl StreamEmitter {
         if let Some(f) = sample.budget_frac {
             line.push_str(&format!(",\"budget\":{f}"));
         }
+        if let Some(f) = sample.busy {
+            line.push_str(&format!(",\"busy\":{f}"));
+        }
         line.push_str(&format!(",\"skew_ps\":{skew_ps}}}"));
         self.emit(&line);
     }
@@ -533,6 +541,9 @@ pub enum StreamEvent {
         live: f64,
         /// Fraction of the op budget consumed, when armed.
         budget: Option<f64>,
+        /// Average worker-pool occupancy over the window (parallel
+        /// scheduling policy only).
+        busy: Option<f64>,
         /// Current max inter-node clock skew, picoseconds.
         skew_ps: u64,
     },
@@ -630,6 +641,7 @@ pub fn parse_line(line: &str) -> Result<StreamEvent, String> {
             rate: field_f64(line, "rate").ok_or("progress missing \"rate\"")?,
             live: field_f64(line, "live").ok_or("progress missing \"live\"")?,
             budget: field_f64(line, "budget"),
+            busy: field_f64(line, "busy"),
             skew_ps: field_u64(line, "skew_ps").ok_or("progress missing \"skew_ps\"")?,
         }),
         "end" => Ok(StreamEvent::End {
@@ -841,6 +853,14 @@ pub fn consistent_prefix(text: &str, next_seq: u64) -> String {
                 }
                 out.push_str(line);
                 out.push('\n');
+                if ev.seq().is_some_and(|s| s + 1 == next_seq) {
+                    // The checkpoint stored the emitter position right
+                    // after this event. Advisory seq-less lines beyond
+                    // it are the dead run's rolled-back future: keeping
+                    // them would let the spliced stream's progress run
+                    // ahead of the resumed run's first heartbeat.
+                    break;
+                }
             }
             Err(_) => break,
         }
@@ -1063,6 +1083,53 @@ mod tests {
     }
 
     #[test]
+    fn consistent_prefix_drops_the_dead_runs_advisory_tail() {
+        // A dead run often emits wall-clock progress lines after the
+        // checkpoint it is later restored from. Those describe rolled-
+        // back execution and can run ahead of the resumed run's first
+        // heartbeat, so the splice must not keep them.
+        let text = emit_run(&[(1, 100, 5, 5, 1), (1, 200, 9, 9, 1)]);
+        let ckpt_line = text
+            .lines()
+            .position(|l| l.contains("\"ev\":\"ckpt\""))
+            .expect("run has a ckpt");
+        let next_seq = (ckpt_line + 1) as u64;
+        let mut interleaved: Vec<String> = text.lines().map(str::to_owned).collect();
+        interleaved.insert(
+            ckpt_line + 1,
+            "{\"ev\":\"progress\",\"at_ps\":260,\"ops\":40,\"rate\":1.0,\"live\":1.0,\"skew_ps\":0}"
+                .to_owned(),
+        );
+        let spliced_src = format!("{}\n", interleaved.join("\n"));
+        let prefix = consistent_prefix(&spliced_src, next_seq);
+        assert!(
+            !prefix.contains("\"ev\":\"progress\""),
+            "post-checkpoint advisory lines must be trimmed"
+        );
+        assert!(prefix
+            .lines()
+            .last()
+            .expect("non-empty")
+            .contains("\"ev\":\"ckpt\""));
+        // Advisory lines *before* the checkpoint are real history and
+        // stay.
+        let mut early: Vec<String> = text.lines().map(str::to_owned).collect();
+        early.insert(
+            ckpt_line,
+            "{\"ev\":\"progress\",\"at_ps\":210,\"ops\":30,\"rate\":1.0,\"live\":1.0,\"skew_ps\":0}"
+                .to_owned(),
+        );
+        let early_src = format!("{}\n", early.join("\n"));
+        let kept = consistent_prefix(&early_src, next_seq);
+        assert!(kept.contains("\"ev\":\"progress\""));
+        assert!(kept
+            .lines()
+            .last()
+            .expect("non-empty")
+            .contains("\"ev\":\"ckpt\""));
+    }
+
+    #[test]
     fn deterministic_lines_skip_start_and_progress() {
         let (sink, buf) = MemorySink::new();
         let mut em = StreamEmitter::new(Box::new(sink));
@@ -1075,6 +1142,7 @@ mod tests {
                 rate: 5.0,
                 live: 7.5,
                 budget_frac: Some(0.01),
+                busy: Some(0.5),
             },
             123,
         );

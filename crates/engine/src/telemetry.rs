@@ -364,6 +364,28 @@ impl Telemetry {
         }
     }
 
+    /// Registers a per-node scheduler-dependent metric — the volatile
+    /// counterpart of [`Telemetry::register_node`], excluded from the
+    /// stable JSONL export. Used for per-worker occupancy series whose
+    /// values depend on host scheduling, never on simulated behaviour.
+    pub fn register_node_volatile(
+        &self,
+        name: &'static str,
+        node: u32,
+        kind: MetricKind,
+    ) -> MetricId {
+        match &self.inner {
+            // gate: allow — a poisoned registry lock is a prior panic
+            Some(inner) => inner.lock().expect("telemetry registry poisoned").register(
+                name,
+                Some(node),
+                kind,
+                true,
+            ),
+            None => MetricId::NONE,
+        }
+    }
+
     /// Adds `n` to a counter at simulated time `at`.
     #[inline]
     pub fn count(&self, id: MetricId, at: Time, n: u64) {

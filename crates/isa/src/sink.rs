@@ -266,6 +266,40 @@ impl ThreadStream {
         Some(&self.chunk[self.cursor])
     }
 
+    /// The op `k` positions past the cursor without consuming anything,
+    /// or `None` when the kernel finishes first. `peek_at(0)` sees the
+    /// same op as [`peek_op`](ThreadStream::peek_op).
+    ///
+    /// Lookahead buffers ops: the cursor chunk is extended in place with
+    /// received chunks (the consumed prefix is dropped first, so memory
+    /// stays bounded by the lookahead depth plus one chunk). Consuming
+    /// calls are unaffected — they walk the same buffer through the same
+    /// cursor, so interleaving lookahead with
+    /// [`next_op`](ThreadStream::next_op)/[`advance`](ThreadStream::advance)
+    /// yields exactly the ops a lookahead-free consumer would see.
+    pub fn peek_at(&mut self, k: usize) -> Option<&Op> {
+        while self.cursor + k >= self.chunk.len() {
+            let rx = self.rx.as_ref()?;
+            match rx.recv() {
+                Ok(more) => {
+                    if self.cursor > 0 {
+                        self.chunk.drain(..self.cursor);
+                        self.cursor = 0;
+                    }
+                    self.chunk.extend_from_slice(&more);
+                }
+                Err(_) => {
+                    // Keep any ops still buffered past the cursor: the
+                    // stream hasn't ended, only the lookahead has.
+                    self.rx = None;
+                    self.join_generator();
+                    return None;
+                }
+            }
+        }
+        Some(&self.chunk[self.cursor + k])
+    }
+
     /// Consumes the op most recently returned by
     /// [`peek_op`](ThreadStream::peek_op). Must only be called while a
     /// peeked op is pending; debug builds assert this.
@@ -453,6 +487,51 @@ mod tests {
         assert_eq!(n, total);
         assert_eq!(s.consumed(), total);
         assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn peek_at_looks_ahead_without_consuming() {
+        let total = (CHUNK_OPS * 2 + 100) as u64;
+        let mut s = spawn_stream(move |sink| {
+            for i in 0..total {
+                sink.load(VAddr(i * 8));
+            }
+        });
+        // Deep lookahead across chunk boundaries, before anything is read.
+        for k in [0usize, 1, CHUNK_OPS - 1, CHUNK_OPS, CHUNK_OPS + 5] {
+            assert_eq!(
+                s.peek_at(k).copied().map(|op| op.addr),
+                Some(VAddr(k as u64 * 8))
+            );
+        }
+        assert_eq!(s.consumed(), 0);
+        // Interleave consumption with lookahead: both views stay aligned.
+        let mut n = 0u64;
+        while let Some(&op) = s.peek_op() {
+            assert_eq!(op.addr, VAddr(n * 8));
+            if n.is_multiple_of(97) {
+                let ahead = s.peek_at(13).copied();
+                if n + 13 < total {
+                    assert_eq!(ahead.map(|o| o.addr), Some(VAddr((n + 13) * 8)));
+                } else {
+                    assert_eq!(ahead, None);
+                }
+            }
+            s.advance();
+            n += 1;
+        }
+        assert_eq!(n, total);
+        assert_eq!(s.consumed(), total);
+    }
+
+    #[test]
+    fn peek_at_past_end_preserves_buffered_tail() {
+        let mut s = spawn_stream(|sink| {
+            sink.alu(5);
+        });
+        assert_eq!(s.peek_at(100), None, "lookahead past the end");
+        // The five buffered ops are still all consumable.
+        assert_eq!(s.by_ref().count(), 5);
     }
 
     #[test]

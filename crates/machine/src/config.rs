@@ -186,9 +186,10 @@ impl MachineGeometry {
 
 /// How the machine driver schedules node execution.
 ///
-/// Both policies produce bit-identical results — `tests/sched_equivalence.rs`
+/// Every policy produces bit-identical results — `tests/sched_equivalence.rs`
 /// asserts it on every platform. `Reference` exists as the oracle for that
-/// proof and for debugging; `Batched` is the production hot path.
+/// proof and for debugging; `Batched` is the serial production hot path;
+/// `Parallel` shards node batches across host worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// Conservative lookahead batching over a laggard min-heap: the
@@ -200,15 +201,29 @@ pub enum SchedPolicy {
     /// The historical one-op-per-decision schedule (`quantum = 1`,
     /// linear `min_by_key` laggard scan).
     Reference,
+    /// Fork/join rounds over a host worker pool: every node whose next
+    /// shared interaction provably lies beyond the conservative horizon
+    /// executes its private ops concurrently; everything shared runs in
+    /// the serial batched order. Output is byte-identical to the other
+    /// policies at every worker count.
+    Parallel {
+        /// Host worker threads (`0` = one per available host core). The
+        /// count shapes only wall-clock speed, never simulated results,
+        /// and is deliberately excluded from [`SchedPolicy::key`] — so
+        /// checkpoint/stream provenance is worker-count-invariant and a
+        /// run may be restored under a different worker count.
+        workers: usize,
+    },
 }
 
 impl SchedPolicy {
-    /// A short machine-readable label (`"batched"` / `"reference"`),
-    /// recorded in run manifests.
+    /// A short machine-readable label (`"batched"` / `"reference"` /
+    /// `"parallel"`), recorded in run manifests.
     pub fn key(&self) -> &'static str {
         match self {
             SchedPolicy::Batched => "batched",
             SchedPolicy::Reference => "reference",
+            SchedPolicy::Parallel { .. } => "parallel",
         }
     }
 }

@@ -30,13 +30,13 @@
 
 use crate::config::{MachineConfig, MemSysKind, SchedPolicy};
 use crate::error::{NodeSnapshot, NodeState, SimError};
-use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution};
+use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution, ScanProfile};
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_engine::stream::{FileSink, ProgressMeter, RunInfo, StreamEmitter, StreamSink};
 use flashsim_engine::{
     Accounting, CkptError, CkptReader, CkptWriter, Clock, FaultInjector, LaggardHeap, MetricId,
     MetricKind, Profiler, SpanSet, SpanTracer, StallClass, StatSet, Telemetry, TelemetrySeries,
-    Time, TimeDelta, TraceCategory, Tracer,
+    Time, TimeDelta, TraceCategory, Tracer, WorkerPool,
 };
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
@@ -46,6 +46,7 @@ use flashsim_mem::{
 use flashsim_os::TlbModel;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Error constructing or running a machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +91,14 @@ struct NodeMem {
     page_faults: u64,
     tlb_refills: u64,
     next_tick: Time,
+    /// Whether the parallel policy's cached lookahead bound for this node
+    /// is stale. Only alien coherence actions (an invalidate or downgrade
+    /// from another node's transaction) can move a node's first shared
+    /// access *earlier* than a prior scan concluded, so this is set
+    /// exactly there; the node's own execution can only push the bound
+    /// out (per-node op keys are monotone), which keeps a stale bound
+    /// conservative but sound.
+    lb_dirty: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +182,11 @@ struct Heartbeat {
     stderr: bool,
     ticks: u64,
     meter: ProgressMeter,
+    /// Baseline for the parallel policy's worker-occupancy fraction:
+    /// `(wall instant, cumulative busy ns across workers)` at the last
+    /// emitted sample. `None` until the first sample under a worker
+    /// pool (the fraction needs a window to average over).
+    last_busy: Option<(std::time::Instant, u64)>,
 }
 
 /// The environment one node's core executes against (see
@@ -327,11 +341,13 @@ impl MachineEnv<'_> {
             if v as usize != self.node {
                 self.mems[v as usize].hier.invalidate_line(line);
                 self.mems[v as usize].pending.remove(&line);
+                self.mems[v as usize].lb_dirty = true;
             }
         }
         if let Some(v) = actions.downgrade {
             if v as usize != self.node {
                 self.mems[v as usize].hier.downgrade_line(line);
+                self.mems[v as usize].lb_dirty = true;
             }
         }
     }
@@ -622,6 +638,329 @@ impl MemEnv for MachineEnv<'_> {
     }
 }
 
+/// Ops a lookahead scan walks before giving up and returning a capped
+/// (still valid) bound. Also caps the fork dispatcher's default quota.
+const FORK_SCAN_CAP: usize = 4096;
+/// Per-node fork-quota clamp and the adaptation loop's tuning knobs:
+/// the quota tracks twice the admitted-ops EWMA so a phase that forks
+/// well gets longer private runs, and a round that admits fewer than
+/// `FORK_MIN_YIELD` ops per node sends the scheduler back to serial
+/// batches for `SERIAL_BACKOFF` decisions before re-probing.
+const FORK_MIN_QUOTA: f64 = 256.0;
+const FORK_MAX_QUOTA: f64 = 8192.0;
+const FORK_MIN_YIELD: f64 = 16.0;
+const SERIAL_BACKOFF: u32 = 64;
+
+/// The private state one node carries into a parallel round. Moved out
+/// of the machine's vectors so a pool job can own it (`'static` jobs),
+/// and moved back — in node order — at the join.
+struct Bundle {
+    core: Box<dyn Core>,
+    mem: NodeMem,
+    stream: ThreadStream,
+}
+
+/// Per-node mailbox for a parallel round. One slot per node; each pool
+/// job locks only its own slot, so the mutexes are uncontended and
+/// exist purely to satisfy the shared-ownership type.
+struct ForkSlot {
+    bundle: Option<Bundle>,
+    /// Scan output: a conservative lower bound on the `(clock, node)`
+    /// key of this node's next possibly-shared action.
+    lb: Time,
+    /// Fork output: ops dispatched during the private phase.
+    dispatches: u64,
+    /// Fork output: the node's status after the private phase (`Done`
+    /// or `Stalled` park it; otherwise still `Running`).
+    status: NodeStatus,
+}
+
+fn lock_slot(slots: &[Mutex<ForkSlot>], n: usize) -> MutexGuard<'_, ForkSlot> {
+    // One job per slot: contention-free, and a poisoned slot can only
+    // mean a sibling job panicked — the pool re-raises that panic before
+    // the driver reads any slot, so recovering the guard is safe.
+    slots[n].lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Walks `stream` from its cursor counting ops until the first
+/// *possibly shared* one — a sync op, a memory op on an unmapped page,
+/// or an access [`CacheHierarchy::classify`] predicts as an upgrade or
+/// miss — and returns `now + count * min_ps_per_op`, a lower bound on
+/// that op's reference schedule key (every op advances the node clock
+/// by at least one cycle, and per-node op keys are monotone).
+/// [`Time::MAX`] when the stream ends first; a capped scan returns the
+/// bound at the cap, which is still valid.
+fn scan_lb(
+    stream: &mut ThreadStream,
+    hier: &CacheHierarchy,
+    pt: &PageTable,
+    now: Time,
+    profile: ScanProfile,
+    page_bytes: u64,
+) -> Time {
+    for k in 0..FORK_SCAN_CAP {
+        let Some(op) = stream.peek_at(k) else {
+            return Time::MAX;
+        };
+        let shared = if op.class.is_sync() {
+            true
+        } else if profile.resolves_memory && op.class.is_memory() {
+            match pt.lookup(op.addr.vpn(page_bytes)) {
+                // First touch maps a page: page table and frame
+                // allocator are shared state.
+                None => true,
+                Some(pfn) => {
+                    let paddr = flashsim_mem::addr::translate(op.addr, pfn, page_bytes);
+                    let write = op.class == OpClass::Store;
+                    matches!(
+                        hier.classify(paddr, write),
+                        HierProbe::L2Upgrade | HierProbe::L2Miss
+                    )
+                }
+            }
+        } else {
+            false
+        };
+        if shared {
+            return now + profile.min_ps_per_op * k as u64;
+        }
+    }
+    now + profile.min_ps_per_op * FORK_SCAN_CAP as u64
+}
+
+/// The environment a forked node's core executes against during the
+/// parallel policy's private phase. It mirrors [`MachineEnv`]'s resolve
+/// bit-for-bit on the paths a fork-admitted op can reach — translation
+/// of an already-mapped page (TLB refills included), L1/L2 hits, and
+/// waits on the node's own in-flight fills. The shared paths (page
+/// faults, upgrades, misses, tracing, spans) are unreachable by
+/// construction: the dispatcher admits a memory op only after
+/// [`CacheHierarchy::classify`] proves it a hit on a mapped page, pages
+/// are never unmapped, and no private path evicts or downgrades an L2
+/// line, so the prediction cannot degrade before the op executes.
+struct ForkEnv {
+    node: usize,
+    mem: NodeMem,
+    pt: Arc<PageTable>,
+    cfg: Arc<MachineConfig>,
+    clock: Clock,
+    profiler: Profiler,
+    telemetry: Telemetry,
+    tel: TelIds,
+}
+
+impl ForkEnv {
+    /// [`MachineEnv::account`] with `in_op` fixed to true: forked
+    /// resolution always happens inside a core op.
+    fn account(&self, class: StallClass, at: Time, dur: TimeDelta) {
+        if dur.is_zero() {
+            return;
+        }
+        self.profiler.charge(self.node as u32, class, at, dur);
+    }
+
+    /// Identical to [`MachineEnv::charge_exposed_wait`].
+    fn charge_exposed_wait(&self, at: Time, wait: TimeDelta, bd: LatencyBreakdown) {
+        let total = bd.total().as_ps();
+        if total == 0 {
+            self.account(StallClass::L2Miss, at, wait);
+            return;
+        }
+        let w = wait.as_ps() as u128;
+        let part =
+            |p: TimeDelta| TimeDelta::from_ps((w * p.as_ps() as u128 / total as u128) as u64);
+        let occ = part(bd.occupancy);
+        let net = part(bd.network);
+        self.account(StallClass::DirOccupancy, at, occ);
+        self.account(StallClass::NetTransit, at, net);
+        self.account(StallClass::L2Miss, at, wait - occ - net);
+    }
+}
+
+impl MemEnv for ForkEnv {
+    fn resolve(&mut self, addr: VAddr, kind: MemAccessKind, at: Time) -> Resolution {
+        let page_bytes = self.cfg.geometry.page_bytes;
+        let vpn = addr.vpn(page_bytes);
+        // Admission proved the page mapped (an unmapped page is a
+        // possibly-shared action) and pages are never unmapped.
+        let pfn = self.pt.lookup(vpn).expect("fork op on unmapped page"); // gate: allow
+        let mut refill = TimeDelta::ZERO;
+        if let TlbModel::Modeled { refill_cycles, .. } = self.cfg.os.tlb {
+            let tlb = self.mem.tlb.as_mut().expect("TLB modelled but absent"); // gate: allow
+            if tlb.translate(addr).is_none() {
+                tlb.insert(vpn, pfn);
+                refill = self.clock.cycles(refill_cycles);
+                self.mem.tlb_refills += 1;
+            }
+        }
+        let paddr = flashsim_mem::addr::translate(addr, pfn, page_bytes);
+        // No page fault is possible here, so `t = at + refill + 0` and
+        // the zero OS charge MachineEnv would skip is skipped too.
+        let t = at + refill;
+        let write = kind == MemAccessKind::Write;
+        if kind != MemAccessKind::Prefetch {
+            self.account(StallClass::TlbRefill, at, refill);
+        }
+        let demand_read = kind == MemAccessKind::Read;
+
+        let probe = self.mem.hier.probe(paddr, write);
+        match probe {
+            HierProbe::L1Hit => self.telemetry.count(self.tel.l1_hits, t, 1),
+            HierProbe::L2Hit => {
+                self.telemetry.count(self.tel.l1_misses, t, 1);
+                self.telemetry.count(self.tel.l2_hits, t, 1);
+            }
+            // Admission classified this access a hit, and private
+            // execution can only preserve or upgrade hit-ness.
+            HierProbe::L2Upgrade | HierProbe::L2Miss => unreachable!(), // gate: allow
+        }
+
+        // Memory tracing is never enabled under a fork (the policy runs
+        // fully serial when the tracer is active), so this is exactly
+        // MachineEnv's fast-path condition.
+        if matches!(probe, HierProbe::L1Hit) && self.mem.pending.is_empty() {
+            return Resolution {
+                done_at: t,
+                level: AccessLevel::L1,
+                tlb_refill: refill,
+            };
+        }
+
+        let line = self.mem.hier.l2_line(paddr);
+        let (mut done_at, level) = match probe {
+            HierProbe::L1Hit => (t, AccessLevel::L1),
+            HierProbe::L2Hit => {
+                self.mem.hier.fill_l1_from_l2(paddr, write);
+                if demand_read {
+                    self.account(StallClass::L1Miss, t, self.cfg.l2_hit);
+                }
+                (t + self.cfg.l2_hit, AccessLevel::L2)
+            }
+            HierProbe::L2Upgrade | HierProbe::L2Miss => unreachable!(), // gate: allow
+        };
+
+        if let Some(&(arrives, bd)) = self.mem.pending.get(&line) {
+            if arrives > done_at {
+                if demand_read {
+                    self.charge_exposed_wait(done_at, arrives - done_at, bd);
+                }
+                done_at = arrives;
+            } else {
+                self.mem.pending.remove(&line);
+            }
+        }
+
+        Resolution {
+            done_at,
+            level,
+            tlb_refill: refill,
+        }
+    }
+}
+
+/// One node's private phase of a parallel round, executed by a pool
+/// job. Dispatch order mirrors [`Machine::run_batch`] per op: the
+/// injector stall sweep, the schedule test (here the horizon — the op's
+/// reference key must beat every other runnable node's next
+/// possibly-shared action, so it commutes with everything that can
+/// happen before the next serial phase), then dispatch with inline OS
+/// timer ticks. Sync ops stop the phase *unconsumed* for the serial
+/// loop's sync arm; a memory op runs only if admission proves it
+/// private (mapped page, classify hit). The round's budget guard runs
+/// before forking, so no per-op budget check is needed here.
+#[allow(clippy::too_many_arguments)]
+fn run_fork(
+    n: usize,
+    mut bundle: Bundle,
+    horizon: Option<(u32, Time)>,
+    quota: u64,
+    profile: ScanProfile,
+    inject_stalls: bool,
+    faults: &FaultInjector,
+    pt: &Arc<PageTable>,
+    cfg: &Arc<MachineConfig>,
+    profiler: &Profiler,
+    telemetry: &Telemetry,
+    tel: TelIds,
+) -> (Bundle, u64, NodeStatus) {
+    let page_bytes = cfg.geometry.page_bytes;
+    let mut env = ForkEnv {
+        node: n,
+        mem: bundle.mem,
+        pt: Arc::clone(pt),
+        cfg: Arc::clone(cfg),
+        clock: cfg.cpu.clock(),
+        profiler: profiler.clone(),
+        telemetry: telemetry.clone(),
+        tel,
+    };
+    let core = &mut bundle.core;
+    let stream = &mut bundle.stream;
+    let mut dispatches = 0u64;
+    let mut status = NodeStatus::Running;
+    while dispatches < quota {
+        if inject_stalls && faults.node_stalled(n as u32, stream.consumed()) {
+            status = NodeStatus::Stalled;
+            break;
+        }
+        let now = core.now();
+        if let Some((m, lim)) = horizon {
+            if (now, n as u32) >= (lim, m) {
+                break;
+            }
+        }
+        let Some(&op) = stream.peek_op() else {
+            // End-of-stream discovery is a dispatch, as in run_batch;
+            // drain and park. Per-node state only.
+            dispatches += 1;
+            let t = core.drain();
+            core.set_time(t);
+            status = NodeStatus::Done;
+            break;
+        };
+        if op.class.is_sync() {
+            // Left unconsumed for the serial phase's sync arm.
+            break;
+        }
+        if profile.resolves_memory && op.class.is_memory() {
+            let admitted = match pt.lookup(op.addr.vpn(page_bytes)) {
+                None => false,
+                Some(pfn) => {
+                    let paddr = flashsim_mem::addr::translate(op.addr, pfn, page_bytes);
+                    let write = op.class == OpClass::Store;
+                    matches!(
+                        env.mem.hier.classify(paddr, write),
+                        HierProbe::L1Hit | HierProbe::L2Hit
+                    )
+                }
+            };
+            if !admitted {
+                break;
+            }
+        }
+        dispatches += 1;
+        stream.advance();
+        let op_start = core.now();
+        core.execute(&op, &mut env);
+        env.profiler
+            .mark_op(n as u32, op_start, core.now().saturating_since(op_start));
+        // OS timer ticks touch only per-node state; charged inline
+        // exactly as run_batch does.
+        if let Some(interval) = cfg.os.timer_interval {
+            let now = core.now();
+            while env.mem.next_tick <= now {
+                env.mem.next_tick += interval;
+                let at = core.now();
+                env.profiler
+                    .charge_wall(n as u32, StallClass::Os, at, cfg.os.timer_cost);
+                core.set_time(at + cfg.os.timer_cost);
+            }
+        }
+    }
+    bundle.mem = env.mem;
+    (bundle, dispatches, status)
+}
+
 /// Machine-readable provenance record for one run: what was simulated,
 /// under which configuration and seed, and how fast the host simulated
 /// it. Written alongside results so any number in a report can be traced
@@ -829,6 +1168,11 @@ pub struct Machine {
     /// checkpoint before any sink is attached; a later attach resumes
     /// from here instead of re-emitting the prefix.
     stream_pos: (u64, u64),
+    /// Live worker-pool occupancy under the parallel policy:
+    /// `(worker count, cumulative busy ns across workers)`, refreshed
+    /// once per scheduling decision so the heartbeat can report a busy
+    /// fraction. `None` under the serial policies.
+    worker_busy: Option<(usize, u64)>,
 }
 
 impl fmt::Debug for Machine {
@@ -866,6 +1210,7 @@ impl Machine {
                 page_faults: 0,
                 tlb_refills: 0,
                 next_tick: Time::ZERO + cfg.os.timer_interval.unwrap_or(TimeDelta::ZERO),
+                lb_dirty: true,
             })
             .collect();
 
@@ -924,6 +1269,7 @@ impl Machine {
             ckpt_seq: 0,
             stream: None,
             stream_pos: (0, 0),
+            worker_busy: None,
         };
         if let Some(cadence) = machine.cfg.telemetry {
             machine.attach_telemetry(Telemetry::with_cadence(cadence));
@@ -1043,6 +1389,7 @@ impl Machine {
             stderr: true,
             ticks: 0,
             meter: ProgressMeter::start(),
+            last_busy: None,
         });
     }
 
@@ -1107,6 +1454,7 @@ impl Machine {
                 stderr: false,
                 ticks: 0,
                 meter: ProgressMeter::start(),
+                last_busy: None,
             });
         }
         let at = Time::from_ps(self.stream_position().1);
@@ -1161,6 +1509,7 @@ impl Machine {
     /// agree.
     fn heartbeat_tick(&mut self, executed: u64) {
         let budget = self.cfg.watchdog.max_ops;
+        let worker_busy = self.worker_busy;
         let Some(hb) = self.heartbeat.as_mut() else {
             return;
         };
@@ -1172,7 +1521,21 @@ impl Machine {
         if !hb.meter.due(now, hb.every) {
             return;
         }
-        let sample = hb.meter.sample(now, executed, budget);
+        let mut sample = hb.meter.sample(now, executed, budget);
+        if let Some((workers, busy_ns)) = worker_busy {
+            // Average worker occupancy over the window since the last
+            // sample: host-side observability only, never simulated
+            // state (progress events are advisory by contract).
+            if let Some((prev_at, prev_ns)) = hb.last_busy {
+                let wall_ns = now.duration_since(prev_at).as_nanos();
+                if wall_ns > 0 && workers > 0 {
+                    let frac =
+                        busy_ns.saturating_sub(prev_ns) as f64 / (wall_ns as f64 * workers as f64);
+                    sample.busy = Some(frac.min(1.0));
+                }
+            }
+            hb.last_busy = Some((now, busy_ns));
+        }
         let stderr = hb.stderr;
         let lead = self
             .cores
@@ -1189,9 +1552,13 @@ impl Machine {
                 Some(f) => format!("{:.1}%", 100.0 * f),
                 None => "-".to_owned(),
             };
+            let busy = match sample.busy {
+                Some(f) => format!(" busy={:.0}%", 100.0 * f),
+                None => String::new(),
+            };
             eprintln!(
                 "[flashsim] sim={:.3}ms ops={executed} rate={:.0}/s live={:.0}/s \
-                 budget={budget} skew={}ns",
+                 budget={budget} skew={}ns{busy}",
                 (lead - Time::ZERO).as_ns_f64() / 1e6,
                 sample.rate,
                 sample.live,
@@ -1249,6 +1616,7 @@ impl Machine {
         let ran = match self.cfg.sched {
             SchedPolicy::Batched => self.run_batched(wall_start),
             SchedPolicy::Reference => self.run_reference(wall_start),
+            SchedPolicy::Parallel { workers } => self.run_parallel(workers, wall_start),
         };
         if let Err(e) = ran {
             let at = self
@@ -1416,6 +1784,360 @@ impl Machine {
             self.telemetry
                 .count(self.tel.sched_batch_ops, decision_at, executed - ops_before);
         }
+    }
+
+    /// The parallel schedule: the batched policy's loop, with fork/join
+    /// rounds interleaved whenever the conservative lookahead window
+    /// covers more than one node's private run.
+    ///
+    /// A round scans each runnable node's op stream for a lower bound on
+    /// its next *possibly shared* action (sync op, unmapped page,
+    /// predicted upgrade/miss — see [`scan_lb`]), then executes every
+    /// node's private prefix concurrently on a [`WorkerPool`], each node
+    /// stopping before its horizon — the minimum of the *other* nodes'
+    /// bounds. Private ops on distinct nodes commute (they touch only
+    /// node-private state, and profiler charges and telemetry counters
+    /// are per-window sums), and the horizon guarantees every forked op
+    /// precedes every shared action any other node can take in reference
+    /// order, so the round's outcome is byte-identical to the serial
+    /// policies regardless of worker count or host timing. All shared
+    /// ops — misses, upgrades, page faults, sync — still execute in the
+    /// serial phase, in exact reference order.
+    ///
+    /// Forking is disabled for the whole run when a core model promises
+    /// no per-op clock floor ([`ScanProfile::OPAQUE`]: no horizon can be
+    /// derived) or a tracer is active (the ring's insertion order under
+    /// concurrent emission is not deterministic); the loop then behaves
+    /// exactly like [`Machine::run_batched`]. Telemetry-guided
+    /// adaptation: an EWMA of per-round admitted ops (the
+    /// `sched.batch_ops` series) tunes the per-node quota, and a
+    /// low-yield round backs off to serial batches for a while — both
+    /// driven only by simulated state, so the adaptation itself is
+    /// deterministic.
+    fn run_parallel(
+        &mut self,
+        workers: usize,
+        wall_start: std::time::Instant,
+    ) -> Result<(), SimError> {
+        let nodes = self.cfg.nodes as usize;
+        let inject_stalls = self.injector.is_active();
+        let lookahead = self.memsys.min_shared_latency();
+        let wall_limit = self.cfg.watchdog.wall_limit;
+        let pool = WorkerPool::new(workers);
+        // Per-worker occupancy counters (volatile: host-shaped by
+        // construction, excluded from the policy-stable exports).
+        let busy_ids: Vec<MetricId> = (0..pool.size())
+            .map(|w| {
+                self.telemetry.register_node_volatile(
+                    "sched.worker_busy_ps",
+                    w as u32,
+                    MetricKind::Counter,
+                )
+            })
+            .collect();
+        let mut busy_prev: Vec<u64> = vec![0; pool.size()];
+        let profiles: Vec<ScanProfile> = self.cores.iter().map(|c| c.scan_profile()).collect();
+        let can_fork = nodes >= 2
+            && profiles.iter().all(|p| p.min_ps_per_op > TimeDelta::ZERO)
+            && !self.tracer.is_active();
+        let cfg_arc = Arc::new(self.cfg.clone());
+        // See run_reference: continues from restored streams on resume.
+        let mut executed: u64 = self.streams.iter().map(|s| s.consumed()).sum();
+        let mut decisions: u64 = 0;
+        let mut heap = LaggardHeap::new(nodes);
+        for n in 0..nodes {
+            heap.insert(n as u32, self.cores[n].now());
+        }
+        let mut lbs: Vec<Time> = vec![Time::ZERO; nodes];
+        let mut ewma: f64 = FORK_MAX_QUOTA / 2.0;
+        let mut serial_backoff: u32 = 0;
+        loop {
+            self.worker_busy = Some((pool.size(), (0..pool.size()).map(|w| pool.busy_ns(w)).sum()));
+            self.heartbeat_tick(executed);
+            decisions += 1;
+            if let Some(limit) = wall_limit {
+                // Amortized wall-clock check (first decision, then once
+                // per 4096); batches and rounds both bound the time
+                // between decisions.
+                if decisions & 0xFFF == 1 && wall_start.elapsed() >= limit {
+                    return Err(self.timeout_error(wall_start, limit));
+                }
+            }
+            if inject_stalls {
+                for n in 0..nodes {
+                    if self.status[n] == NodeStatus::Running
+                        && self
+                            .injector
+                            .node_stalled(n as u32, self.streams[n].consumed())
+                    {
+                        self.status[n] = NodeStatus::Stalled;
+                        heap.remove(n as u32);
+                    }
+                }
+            }
+
+            if can_fork && serial_backoff == 0 && heap.len() >= 2 {
+                let quota = (2.0 * ewma).clamp(FORK_MIN_QUOTA, FORK_MAX_QUOTA) as u64;
+                // The fork phase cannot consult the global dispatch
+                // counter mid-round, so fork only when the worst case
+                // fits under the watchdog budget — exhaustion then
+                // always surfaces in the serial phase, at the same
+                // dispatch count as under the serial policies.
+                let budget_ok = match self.cfg.watchdog.max_ops {
+                    None => true,
+                    Some(b) => executed + heap.len() as u64 * (quota + 1) <= b,
+                };
+                if budget_ok {
+                    let running = heap.len() as u64;
+                    let decision_at = heap.peek().map_or(Time::ZERO, |(_, t)| t);
+                    let admitted = self.parallel_round(&pool, &profiles, &mut lbs, quota, &cfg_arc);
+                    executed += admitted;
+                    self.telemetry.count(self.tel.sched_batches, decision_at, 1);
+                    self.telemetry
+                        .gauge(self.tel.sched_heap, decision_at, running);
+                    self.telemetry
+                        .count(self.tel.sched_batch_ops, decision_at, admitted);
+                    for (w, prev) in busy_prev.iter_mut().enumerate() {
+                        let b = pool.busy_ns(w);
+                        self.telemetry
+                            .count(busy_ids[w], decision_at, (b - *prev) * 1000);
+                        *prev = b;
+                    }
+                    let per_node = admitted as f64 / running.max(1) as f64;
+                    ewma = 0.75 * ewma + 0.25 * per_node;
+                    if per_node < FORK_MIN_YIELD {
+                        serial_backoff = SERIAL_BACKOFF;
+                    }
+                    // The round moved clocks and may have parked nodes.
+                    heap.clear();
+                    for m in 0..nodes {
+                        if self.status[m] == NodeStatus::Running {
+                            heap.insert(m as u32, self.cores[m].now());
+                        }
+                    }
+                    continue;
+                }
+            }
+            serial_backoff = serial_backoff.saturating_sub(1);
+
+            // Serial decision, identical to run_batched's.
+            let Some((n, _)) = heap.pop() else {
+                if self.status.iter().all(|s| *s == NodeStatus::Done) {
+                    return Ok(());
+                }
+                if self.status.contains(&NodeStatus::Stalled) {
+                    return Err(self.stall_error(executed));
+                }
+                return Err(SimError::Deadlock {
+                    nodes: self.snapshots(),
+                });
+            };
+            let limit = heap.peek();
+            let decision_at = self.cores[n as usize].now();
+            let ops_before = executed;
+            self.telemetry.count(self.tel.sched_batches, decision_at, 1);
+            self.telemetry
+                .gauge(self.tel.sched_heap, decision_at, heap.len() as u64 + 1);
+            match self.run_batch(n as usize, limit, lookahead, &mut executed)? {
+                BatchEnd::Reschedule => heap.insert(n, self.cores[n as usize].now()),
+                BatchEnd::Parked => {}
+                BatchEnd::Sync => {
+                    heap.clear();
+                    for m in 0..nodes {
+                        if self.status[m] == NodeStatus::Running {
+                            heap.insert(m as u32, self.cores[m].now());
+                        }
+                    }
+                }
+            }
+            self.telemetry
+                .count(self.tel.sched_batch_ops, decision_at, executed - ops_before);
+        }
+    }
+
+    /// One fork/join round of the parallel policy: refresh stale
+    /// lookahead bounds (in parallel), derive each runnable node's
+    /// horizon, execute every admissible node's private prefix on the
+    /// pool, then commit results in deterministic node order. Returns
+    /// the number of ops dispatched across all forked nodes.
+    fn parallel_round(
+        &mut self,
+        pool: &WorkerPool,
+        profiles: &[ScanProfile],
+        lbs: &mut [Time],
+        quota: u64,
+        cfg_arc: &Arc<MachineConfig>,
+    ) -> u64 {
+        let nodes = self.cfg.nodes as usize;
+        let inject_stalls = self.injector.is_active();
+        let page_bytes = self.cfg.geometry.page_bytes;
+
+        // A cached bound goes stale only when alien coherence touched
+        // the node (lb_dirty) or the node caught up to it; everything
+        // else leaves it valid (conservative at worst).
+        let mut now_of = vec![Time::ZERO; nodes];
+        let mut rescan: Vec<usize> = Vec::new();
+        for n in 0..nodes {
+            if self.status[n] != NodeStatus::Running {
+                continue;
+            }
+            now_of[n] = self.cores[n].now();
+            if self.mems[n].lb_dirty || lbs[n] <= now_of[n] {
+                rescan.push(n);
+            }
+        }
+
+        // Move each node's private state into per-node mailbox slots the
+        // pool jobs can own; everything is moved back at the join.
+        let pt = Arc::new(std::mem::take(&mut self.pt));
+        let cores = std::mem::take(&mut self.cores);
+        let mems = std::mem::take(&mut self.mems);
+        let streams = std::mem::take(&mut self.streams);
+        let slots: Arc<Vec<Mutex<ForkSlot>>> = Arc::new(
+            cores
+                .into_iter()
+                .zip(mems)
+                .zip(streams)
+                .map(|((core, mem), stream)| {
+                    Mutex::new(ForkSlot {
+                        bundle: Some(Bundle { core, mem, stream }),
+                        lb: Time::MAX,
+                        dispatches: 0,
+                        status: NodeStatus::Running,
+                    })
+                })
+                .collect(),
+        );
+
+        // Phase A: refresh stale bounds, one scan job per node.
+        if !rescan.is_empty() {
+            let jobs: Vec<flashsim_engine::pool::Job> = rescan
+                .iter()
+                .map(|&n| {
+                    let slots = Arc::clone(&slots);
+                    let pt = Arc::clone(&pt);
+                    let profile = profiles[n];
+                    Box::new(move |_w: usize| {
+                        let mut slot = lock_slot(&slots, n);
+                        let slot = &mut *slot;
+                        let Some(bundle) = slot.bundle.as_mut() else {
+                            return;
+                        };
+                        let now = bundle.core.now();
+                        bundle.mem.lb_dirty = false;
+                        slot.lb = scan_lb(
+                            &mut bundle.stream,
+                            &bundle.mem.hier,
+                            &pt,
+                            now,
+                            profile,
+                            page_bytes,
+                        );
+                    }) as flashsim_engine::pool::Job
+                })
+                .collect();
+            pool.run_all(jobs);
+            for &n in &rescan {
+                lbs[n] = lock_slot(&slots, n).lb;
+            }
+        }
+
+        // Horizon per node: the smallest (bound, node) key among the
+        // *other* runnable nodes — track the best and runner-up keys.
+        let mut best: Option<(Time, u32)> = None;
+        let mut second: Option<(Time, u32)> = None;
+        for (n, &lb) in lbs.iter().enumerate().take(nodes) {
+            if self.status[n] != NodeStatus::Running {
+                continue;
+            }
+            let key = (lb, n as u32);
+            if best.is_none_or(|b| key < b) {
+                second = best;
+                best = Some(key);
+            } else if second.is_none_or(|s| key < s) {
+                second = Some(key);
+            }
+        }
+
+        // Phase B: fork every runnable node whose first op beats its
+        // horizon.
+        let mut forked = vec![false; nodes];
+        let mut jobs: Vec<flashsim_engine::pool::Job> = Vec::new();
+        for n in 0..nodes {
+            if self.status[n] != NodeStatus::Running {
+                continue;
+            }
+            let horizon = match best {
+                Some((_, m)) if m as usize == n => second.map(|(t2, m2)| (m2, t2)),
+                Some((t, m)) => Some((m, t)),
+                None => None,
+            };
+            if let Some((m, lim)) = horizon {
+                if (now_of[n], n as u32) >= (lim, m) {
+                    continue;
+                }
+            }
+            forked[n] = true;
+            let slots = Arc::clone(&slots);
+            let pt = Arc::clone(&pt);
+            let cfg = Arc::clone(cfg_arc);
+            let profiler = self.profiler.clone();
+            let telemetry = self.telemetry.clone();
+            let faults = self.injector.clone();
+            let tel = self.tel;
+            let profile = profiles[n];
+            jobs.push(Box::new(move |_w: usize| {
+                let mut slot = lock_slot(&slots, n);
+                let Some(bundle) = slot.bundle.take() else {
+                    return;
+                };
+                let (bundle, dispatches, status) = run_fork(
+                    n,
+                    bundle,
+                    horizon,
+                    quota,
+                    profile,
+                    inject_stalls,
+                    &faults,
+                    &pt,
+                    &cfg,
+                    &profiler,
+                    &telemetry,
+                    tel,
+                );
+                slot.bundle = Some(bundle);
+                slot.dispatches = dispatches;
+                slot.status = status;
+            }));
+        }
+        if !jobs.is_empty() {
+            pool.run_all(jobs);
+        }
+
+        // Join: reassemble the machine and apply cross-node effects in
+        // deterministic node order. (All job clones of the Arcs are
+        // dropped once run_all returns.)
+        let slots = Arc::try_unwrap(slots)
+            .map_err(|_| ())
+            .expect("fork jobs still hold round state"); // gate: allow
+        self.pt = Arc::try_unwrap(pt)
+            .map_err(|_| ())
+            .expect("fork jobs still hold the page table"); // gate: allow
+        let mut total = 0u64;
+        for (n, slot) in slots.into_iter().enumerate() {
+            let slot = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            let bundle = slot.bundle.expect("fork job lost its bundle"); // gate: allow
+            self.cores.push(bundle.core);
+            self.mems.push(bundle.mem);
+            self.streams.push(bundle.stream);
+            if forked[n] {
+                total += slot.dispatches;
+                if slot.status != NodeStatus::Running {
+                    self.status[n] = slot.status;
+                }
+            }
+        }
+        total
     }
 
     /// Executes a run of ops on node `n` — the popped laggard — until a

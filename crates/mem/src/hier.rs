@@ -104,6 +104,36 @@ impl CacheHierarchy {
         }
     }
 
+    /// Predicts, without mutating anything, what [`probe`] would return
+    /// for an access at `paddr` — no LRU updates, no state changes, no
+    /// hit/miss statistics.
+    ///
+    /// The parallel scheduler uses this to scan a node's op stream
+    /// *ahead of execution* and classify which accesses will stay
+    /// private to the node (`L1Hit`/`L2Hit`). The prediction is stable
+    /// across the node's own private execution: private fills only grow
+    /// presence and writability (L2 evictions happen only in
+    /// [`fill_from_memory`], on the shared miss path), so an access
+    /// classified as a hit can flip between `L1Hit` and `L2Hit` but
+    /// never degrade to `L2Upgrade`/`L2Miss` until another node's
+    /// coherence action intervenes — and those are applied only at
+    /// serial points, which invalidate the scan.
+    ///
+    /// [`probe`]: CacheHierarchy::probe
+    /// [`fill_from_memory`]: CacheHierarchy::fill_from_memory
+    pub fn classify(&self, paddr: PAddr, write: bool) -> HierProbe {
+        let l1_line = self.l1.line_of(paddr);
+        match self.l1.peek(l1_line) {
+            Some(state) if !write || state.writable() => return HierProbe::L1Hit,
+            _ => {}
+        }
+        match self.l2.peek(self.l2_line(paddr)) {
+            Some(state) if !write || state.writable() => HierProbe::L2Hit,
+            Some(_) => HierProbe::L2Upgrade,
+            None => HierProbe::L2Miss,
+        }
+    }
+
     /// After an `L2Hit`: brings the L1 subline in from the L2 (and for a
     /// write, marks both levels Modified). An L1 victim's dirty data folds
     /// into its L2 line.
@@ -387,6 +417,56 @@ mod tests {
         assert_eq!(h.probe(a, true), HierProbe::L2Hit);
         h.fill_l1_from_l2(a, true); // must not panic
         assert_eq!(h.probe(a, true), HierProbe::L1Hit);
+    }
+
+    #[test]
+    fn classify_predicts_probe_without_mutating() {
+        let mut h = hier();
+        let p = PAddr(0x1000);
+        // Cold: classify agrees with probe and performs no fills.
+        assert_eq!(h.classify(p, false), HierProbe::L2Miss);
+        assert_eq!(h.classify(p, false), HierProbe::L2Miss, "no state change");
+        h.probe(p, false);
+        h.fill_from_memory(p, false, false); // Shared
+        assert_eq!(h.classify(p, false), HierProbe::L1Hit);
+        assert_eq!(h.classify(p, true), HierProbe::L2Upgrade, "shared write");
+        // Sibling subline of the same L2 line: L2 hit for reads.
+        let q = PAddr(0x1000 + 64);
+        assert_eq!(h.classify(q, false), HierProbe::L2Hit);
+        assert_eq!(h.classify(q, true), HierProbe::L2Upgrade);
+        h.complete_upgrade(p);
+        assert_eq!(h.classify(p, true), HierProbe::L1Hit);
+        assert_eq!(h.classify(q, true), HierProbe::L2Hit, "owned L2 line");
+        // classify never touched LRU or stats: probe still sees a clean
+        // sequence (the L1 hit below would have refreshed LRU anyway).
+        assert_eq!(h.probe(p, false), HierProbe::L1Hit);
+    }
+
+    #[test]
+    fn classify_matches_probe_over_random_churn() {
+        // Drive a hierarchy through a seeded mix of accesses and check
+        // classify == the probe outcome at every step (classify first,
+        // since probe mutates).
+        let mut h = hier();
+        let mut rng = flashsim_engine::Rng::seeded(0xC1A5);
+        for _ in 0..2000 {
+            let p = PAddr(rng.gen_range(64) * 96); // overlapping lines/sets
+            let write = rng.gen_range(2) == 0;
+            let predicted = h.classify(p, write);
+            let actual = h.probe(p, write);
+            assert_eq!(
+                predicted, actual,
+                "classify diverged at {p:?} write={write}"
+            );
+            match actual {
+                HierProbe::L1Hit => {}
+                HierProbe::L2Hit => h.fill_l1_from_l2(p, write),
+                HierProbe::L2Upgrade => h.complete_upgrade(p),
+                HierProbe::L2Miss => {
+                    h.fill_from_memory(p, write, rng.gen_range(2) == 0);
+                }
+            }
+        }
     }
 
     #[test]

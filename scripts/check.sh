@@ -11,15 +11,28 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== scheduler equivalence worker sweep (1, 2, host parallelism) =="
+# The parallel policy must be byte-identical to the reference
+# interleaving at *every* worker count, not just the suite's default of
+# 2: one worker (pure fork overhead, no concurrency), two (the smallest
+# real interleaving), and 0 = one per available host core.
+for w in 1 2 0; do
+    echo "-- FLASHSIM_EQ_WORKERS=$w --"
+    FLASHSIM_EQ_WORKERS=$w cargo test -q --test sched_equivalence
+done
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== panic/unwrap/expect/unreachable gate (library crates) =="
+echo "== panic/unwrap/expect/unreachable + unsafe-concurrency gate (library crates) =="
 # Library code must fail structurally (SimError), not panic: reject
 # panic!/.unwrap()/.expect(/unreachable! outside #[cfg(test)] regions.
+# The parallel scheduler also makes `static mut` and hand-asserted
+# `unsafe impl Send/Sync` load-bearing hazards, so those are rejected
+# outright — cross-thread sharing must go through the safe primitives.
 # The bench crate (CLI tools), test modules, comments, and sites
 # annotated `gate: allow` — same line or the comment line directly above
 # (documented programming-error contracts) — are exempt.
@@ -33,30 +46,36 @@ violations=$(find crates -name '*.rs' -path '*/src/*' ! -path 'crates/bench/*' \
         /gate: allow/ { next }
         skipnext { skipnext = 0; next }
         /panic!\(|\.unwrap\(\)|\.expect\(|unreachable!\(/ { print FILENAME ":" FNR ": " $0 }
+        /static[ \t]+mut[ \t]|unsafe[ \t]+impl/ { print FILENAME ":" FNR ": " $0 }
     ' {} +)
 if [ -n "$violations" ]; then
-    echo "library code must return SimError instead of panicking:"
+    echo "library code must return SimError instead of panicking, and must"
+    echo "not smuggle shared mutable state past the compiler:"
     echo "$violations"
     exit 1
 fi
 
 echo "== simspeed perf gate (events/sec vs committed baseline) =="
-# Best-of-N snbench throughput per platform, emitted as JSON, schema-
-# validated, and compared against results/BENCH_simspeed_baseline.json:
-# any platform more than 30% below its baseline events/sec fails the
-# gate. These configs leave telemetry compiled in but disabled, so the
-# comparison also asserts the telemetry disabled path (one branch per
-# probe site) has not regressed the hot loop. Wall-clock numbers are host-dependent and noisy — on a loaded or
-# much slower machine, skip with FLASHSIM_SKIP_PERF=1 (the benchmark
-# still runs as a smoke test; only the comparison is skipped).
+# Best-of-N snbench throughput per platform — serial rows plus the
+# parallel scheduling policy under 4 host workers — emitted as JSON,
+# schema-validated, and compared against
+# results/BENCH_simspeed_baseline.json: any row more than 30% below its
+# baseline events/sec fails the gate. These configs leave telemetry
+# compiled in but disabled, so the comparison also asserts the
+# telemetry disabled path (one branch per probe site) has not regressed
+# the hot loop; the parallel rows additionally gate the fork/join
+# round machinery's overhead. Wall-clock numbers are host-dependent and
+# noisy — on a loaded or much slower machine, skip with
+# FLASHSIM_SKIP_PERF=1 (the benchmark still runs as a smoke test; only
+# the comparison is skipped).
 cargo build --release -q -p flashsim-bench --bin simspeed
 perf_json="$(mktemp)"
 if [ "${FLASHSIM_SKIP_PERF:-0}" = "1" ]; then
-    ./target/release/simspeed --app snbench --iters 3 --json "$perf_json" > /dev/null
+    ./target/release/simspeed --app snbench --iters 3 --workers 4 --json "$perf_json" > /dev/null
     ./target/release/simspeed --validate "$perf_json"
     echo "FLASHSIM_SKIP_PERF=1: baseline comparison skipped"
 else
-    ./target/release/simspeed --app snbench --iters 10 --json "$perf_json" \
+    ./target/release/simspeed --app snbench --iters 10 --workers 4 --json "$perf_json" \
         --baseline results/BENCH_simspeed_baseline.json --tolerance 0.30 > /dev/null
     ./target/release/simspeed --validate "$perf_json"
     echo "within 30% of committed baseline"

@@ -1,17 +1,43 @@
-//! The batched-lookahead scheduler's correctness contract: on every
-//! platform, a run under the default `Batched` policy is *bit-identical*
-//! to the same run under the `Reference` policy (one op per scheduling
-//! decision, linear laggard scan) — same stats JSON, same accounting,
-//! same parallel/total times, same barrier releases, same per-node op
-//! counts. The batching, the laggard heap, the flat stream cursor, and
-//! the L1-hit fast path are all pure host-side optimizations; nothing
-//! about the simulated machine may move.
+//! The optimized schedulers' correctness contract: on every platform, a
+//! run under the default `Batched` policy *and* under the `Parallel`
+//! policy (nodes sharded across host worker threads under the
+//! conservative lookahead horizon) is *bit-identical* to the same run
+//! under the `Reference` policy (one op per scheduling decision, linear
+//! laggard scan) — same stats JSON, same accounting, same parallel/total
+//! times, same barrier releases, same per-node op counts, same telemetry
+//! and span JSONL. The batching, the laggard heap, the flat stream
+//! cursor, the L1-hit fast path, and the fork/join rounds are all pure
+//! host-side optimizations; nothing about the simulated machine may
+//! move, at any worker count (`FLASHSIM_EQ_WORKERS` sweeps it in CI).
 
 use flashsim::attrib::run_profiled;
-use flashsim::engine::FaultPlan;
-use flashsim::machine::{run_program, MachineConfig, RunResult, SchedPolicy};
+use flashsim::engine::{FaultPlan, SpanPlan, Time, TimeDelta};
+use flashsim::machine::{run_program, Machine, MachineConfig, RunResult, SchedPolicy};
 use flashsim::platform::{MemModel, Sim, Study};
 use flashsim::workloads::{Fft, FftBlocking, ProblemScale, SnCase, Snbench, SyncStorm};
+use std::sync::{Arc, Mutex};
+
+/// Worker count for the `Parallel` policy under test. `scripts/check.sh`
+/// sweeps 1, 2, and 0 (= host parallelism) through this variable; the
+/// default exercises real multi-worker interleavings everywhere.
+fn eq_workers() -> usize {
+    std::env::var("FLASHSIM_EQ_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// The optimized policies, each proven against `Reference`.
+fn candidates() -> Vec<(String, SchedPolicy)> {
+    let w = eq_workers();
+    vec![
+        ("batched".to_owned(), SchedPolicy::Batched),
+        (
+            format!("parallel(workers={w})"),
+            SchedPolicy::Parallel { workers: w },
+        ),
+    ]
+}
 
 /// Every platform of the study, at a small node count.
 fn platforms(study: &Study, nodes: u32) -> Vec<(String, MachineConfig)> {
@@ -31,29 +57,29 @@ fn with_policy(mut cfg: MachineConfig, sched: SchedPolicy) -> MachineConfig {
 }
 
 /// Asserts every schedule-sensitive observable of two runs is identical.
-fn assert_identical(label: &str, batched: &RunResult, reference: &RunResult) {
+fn assert_identical(label: &str, candidate: &RunResult, reference: &RunResult) {
     assert_eq!(
-        batched.stats.to_json(),
+        candidate.stats.to_json(),
         reference.stats.to_json(),
         "{label}: stats JSON must be byte-identical"
     );
     assert_eq!(
-        batched.parallel_time, reference.parallel_time,
+        candidate.parallel_time, reference.parallel_time,
         "{label}: parallel time must match"
     );
     assert_eq!(
-        batched.total_time, reference.total_time,
+        candidate.total_time, reference.total_time,
         "{label}: total time must match"
     );
     assert_eq!(
-        batched.ops_per_node, reference.ops_per_node,
+        candidate.ops_per_node, reference.ops_per_node,
         "{label}: per-node op counts must match"
     );
     assert_eq!(
-        batched.barrier_releases, reference.barrier_releases,
+        candidate.barrier_releases, reference.barrier_releases,
         "{label}: barrier release times must match"
     );
-    match (&batched.accounting, &reference.accounting) {
+    match (&candidate.accounting, &reference.accounting) {
         (None, None) => {}
         (Some(b), Some(r)) => assert_eq!(
             b.to_json(),
@@ -62,57 +88,104 @@ fn assert_identical(label: &str, batched: &RunResult, reference: &RunResult) {
         ),
         _ => panic!("{label}: one run profiled, the other not"),
     }
-}
-
-#[test]
-fn batched_matches_reference_on_every_platform() {
-    let study = Study::scaled();
-    let prog = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
-    for (label, cfg) in platforms(&study, 2) {
-        let b = run_program(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
-            .expect("batched run completes");
-        let r = run_program(with_policy(cfg, SchedPolicy::Reference), &prog)
-            .expect("reference run completes");
-        assert_identical(&label, &b, &r);
+    match (&candidate.telemetry, &reference.telemetry) {
+        (None, None) => {}
+        (Some(b), Some(r)) => assert_eq!(
+            b.to_jsonl(),
+            r.to_jsonl(),
+            "{label}: stable telemetry JSONL must be byte-identical"
+        ),
+        _ => panic!("{label}: one run sampled telemetry, the other not"),
+    }
+    match (&candidate.spans, &reference.spans) {
+        (None, None) => {}
+        (Some(b), Some(r)) => assert_eq!(
+            b.to_jsonl(),
+            r.to_jsonl(),
+            "{label}: span JSONL must be byte-identical"
+        ),
+        _ => panic!("{label}: one run traced spans, the other not"),
     }
 }
 
 #[test]
-fn batched_matches_reference_with_profiler_attached() {
+fn candidates_match_reference_on_every_platform() {
+    let study = Study::scaled();
+    let prog = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
+    for (label, cfg) in platforms(&study, 2) {
+        let r = run_program(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        for (pname, policy) in candidates() {
+            let c = run_program(with_policy(cfg.clone(), policy), &prog)
+                .expect("candidate run completes");
+            assert_identical(&format!("{label}/{pname}"), &c, &r);
+        }
+    }
+}
+
+#[test]
+fn candidates_match_reference_with_profiler_attached() {
     // The profiler widens the observable surface (per-op marks, wall vs
     // in-op charges, time-phase buckets), so equivalence is asserted
     // under it too.
     let study = Study::scaled();
     let prog = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
     for (label, cfg) in platforms(&study, 2) {
-        let b = run_profiled(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
-            .expect("batched run completes");
-        let r = run_profiled(with_policy(cfg, SchedPolicy::Reference), &prog)
+        let r = run_profiled(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
             .expect("reference run completes");
-        assert_identical(&label, &b, &r);
+        for (pname, policy) in candidates() {
+            let c = run_profiled(with_policy(cfg.clone(), policy), &prog)
+                .expect("candidate run completes");
+            assert_identical(&format!("{label}/{pname}"), &c, &r);
+        }
     }
 }
 
 #[test]
-fn batched_matches_reference_on_sync_heavy_storm() {
+fn candidates_match_reference_with_telemetry_and_spans() {
+    // Telemetry buckets are per-window sums and span sampling happens
+    // only on the serial shared paths, so both exports must be
+    // byte-identical under the parallel policy's fork/join rounds too —
+    // at four nodes, where rounds actually fork several nodes at once.
+    let study = Study::scaled();
+    let prog = Fft::sized(ProblemScale::Tiny, 4, FftBlocking::Cache);
+    for (label, mut cfg) in platforms(&study, 4) {
+        cfg.telemetry = Some(TimeDelta::from_us(1));
+        cfg.spans = Some(SpanPlan::all(7));
+        let r = run_program(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
+            .expect("reference run completes");
+        for (pname, policy) in candidates() {
+            let c = run_program(with_policy(cfg.clone(), policy), &prog)
+                .expect("candidate run completes");
+            assert_identical(&format!("{label}/{pname}"), &c, &r);
+        }
+    }
+}
+
+#[test]
+fn candidates_match_reference_on_sync_heavy_storm() {
     // Lock hand-off chains, queueing, and per-round barriers: the batch
-    // breaker and the post-sync heap rebuild get exercised constantly.
+    // breaker, the post-sync heap rebuild, and the parallel policy's
+    // horizon collapse (every node's next shared op is a sync) get
+    // exercised constantly.
     let study = Study::scaled();
     let prog = SyncStorm::new(4, 6, 5);
     for (label, cfg) in platforms(&study, 4) {
-        let b = run_profiled(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
-            .expect("batched run completes");
-        let r = run_profiled(with_policy(cfg, SchedPolicy::Reference), &prog)
+        let r = run_profiled(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
             .expect("reference run completes");
-        assert_identical(&label, &b, &r);
+        for (pname, policy) in candidates() {
+            let c = run_profiled(with_policy(cfg.clone(), policy), &prog)
+                .expect("candidate run completes");
+            assert_identical(&format!("{label}/{pname}"), &c, &r);
+        }
     }
 }
 
 #[test]
-fn batched_matches_reference_on_snbench_chase() {
+fn candidates_match_reference_on_snbench_chase() {
     // The single-runnable-node regime (node 0 chasing alone between
-    // barriers) is where batching earns its speedup; prove it changes
-    // nothing.
+    // barriers) is where batching earns its speedup and where the
+    // parallel policy must degrade gracefully to serial batches.
     let study = Study::scaled();
     let prog = Snbench::new(SnCase::all()[2], study.geometry.l2.bytes);
     for (label, cfg) in [
@@ -122,16 +195,18 @@ fn batched_matches_reference_on_snbench_chase() {
             study.sim(Sim::SimosMipsy(150), 4, MemModel::FlashLite),
         ),
     ] {
-        let b = run_program(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
-            .expect("batched run completes");
-        let r = run_program(with_policy(cfg, SchedPolicy::Reference), &prog)
+        let r = run_program(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
             .expect("reference run completes");
-        assert_identical(&label, &b, &r);
+        for (pname, policy) in candidates() {
+            let c = run_program(with_policy(cfg.clone(), policy), &prog)
+                .expect("candidate run completes");
+            assert_identical(&format!("{label}/{pname}"), &c, &r);
+        }
     }
 }
 
 #[test]
-fn batched_matches_reference_under_fault_injection() {
+fn candidates_match_reference_under_fault_injection() {
     // Latency perturbation draws from the injector's shared RNG on every
     // memory transaction, so the *order* of shared interactions is
     // directly observable: any schedule divergence scrambles the draws
@@ -146,18 +221,22 @@ fn batched_matches_reference_under_fault_injection() {
     };
     for (label, mut cfg) in platforms(&study, 2) {
         cfg.faults = Some(plan);
-        let b = run_profiled(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
-            .expect("batched run completes");
-        let r = run_profiled(with_policy(cfg, SchedPolicy::Reference), &prog)
+        let r = run_profiled(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
             .expect("reference run completes");
-        assert_identical(&label, &b, &r);
+        for (pname, policy) in candidates() {
+            let c = run_profiled(with_policy(cfg.clone(), policy), &prog)
+                .expect("candidate run completes");
+            assert_identical(&format!("{label}/{pname}"), &c, &r);
+        }
     }
 }
 
 #[test]
-fn batched_matches_reference_on_injected_stall_failure() {
-    // A stalled node starves the machine; both policies must fail with
+fn candidates_match_reference_on_injected_stall_failure() {
+    // A stalled node starves the machine; every policy must fail with
     // the same structured error (same op count, same node snapshots).
+    // The parallel policy's fork phase runs the same per-op stall check,
+    // so the node parks at exactly the same consumed-op count.
     let study = Study::scaled();
     let prog = SyncStorm::new(2, 4, 3);
     let plan = FaultPlan {
@@ -168,13 +247,61 @@ fn batched_matches_reference_on_injected_stall_failure() {
     };
     let mut cfg = study.sim(Sim::SimosMipsy(150), 2, MemModel::FlashLite);
     cfg.faults = Some(plan);
-    let b = run_program(with_policy(cfg.clone(), SchedPolicy::Batched), &prog)
+    let r = run_program(with_policy(cfg.clone(), SchedPolicy::Reference), &prog)
         .expect_err("stalled run must fail");
-    let r = run_program(with_policy(cfg, SchedPolicy::Reference), &prog)
-        .expect_err("stalled run must fail");
-    assert_eq!(
-        format!("{b:?}"),
-        format!("{r:?}"),
-        "structured stall failures must be identical"
+    for (pname, policy) in candidates() {
+        let c = run_program(with_policy(cfg.clone(), policy), &prog)
+            .expect_err("stalled run must fail");
+        assert_eq!(
+            format!("{c:?}"),
+            format!("{r:?}"),
+            "{pname}: structured stall failures must be identical"
+        );
+    }
+}
+
+#[test]
+fn parallel_restore_from_checkpoint_matches_reference() {
+    // The sched-equivalence contract must survive a checkpoint cycle
+    // under the parallel policy: snapshot a Parallel run mid-flight at a
+    // quiescent point, restore it (checkpoints are worker-count
+    // invariant — `key()` omits the count), resume under Parallel, and
+    // land exactly on the Reference policy's numbers.
+    let study = Study::scaled();
+    let program = Fft::sized(ProblemScale::Tiny, 2, FftBlocking::Cache);
+    let base = study.sim(Sim::SimosMipsy(150), 2, MemModel::FlashLite);
+    let observed = |mut cfg: MachineConfig| {
+        cfg.profile = true;
+        cfg.telemetry = Some(TimeDelta::from_ns(500));
+        cfg
+    };
+    let mut reference = base.clone();
+    reference.sched = SchedPolicy::Reference;
+    let ref_straight = run_program(observed(reference), &program).expect("reference run");
+
+    let par = with_policy(
+        base.clone(),
+        SchedPolicy::Parallel {
+            workers: eq_workers(),
+        },
     );
+    let ckpts: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&ckpts);
+    let mut m = Machine::new(observed(par.clone()), &program).expect("machine builds");
+    m.attach_ckpt_sink(Box::new(move |seq, _at: Time, text: &str| {
+        sink.lock().expect("sink lock").push((seq, text.to_owned()));
+    }));
+    let straight = m.run().expect("parallel run completes");
+    drop(m);
+    assert_identical("parallel straight vs reference", &straight, &ref_straight);
+
+    let ckpts = ckpts.lock().expect("sink lock").clone();
+    assert!(
+        ckpts.len() >= 2,
+        "multi-barrier FFT must checkpoint repeatedly"
+    );
+    let mid = &ckpts[ckpts.len() / 2];
+    let mut m = Machine::restore(observed(par), &program, &mid.1).expect("parallel ckpt restores");
+    let resumed = m.run().expect("resumed parallel run completes");
+    assert_identical("parallel restore vs reference", &resumed, &ref_straight);
 }
