@@ -8,11 +8,18 @@
 //!
 //! ```text
 //! report [SIM] [--mem numa|flashlite] [--nodes N] [--cadence-us N]
-//!        [--heartbeat MS] [--out PATH] [--html PATH] [--jsonl PATH]
-//!        [--prom PATH] [--spans-jsonl PATH] [--full]
+//!        [--heartbeat MS] [--hostprof] [--out PATH] [--html PATH]
+//!        [--jsonl PATH] [--prom PATH] [--spans-jsonl PATH] [--full]
 //! report --validate PATH
 //! report --from-stream PATH
 //! ```
+//!
+//! `--hostprof` attaches the host-time self-profiler to both cells and
+//! adds a host-time section per cell (where the simulator's own wall
+//! clock went, by phase); with `--prom` the host metrics are appended
+//! to the telemetry exposition. Host numbers are advisory — they never
+//! enter the gates below and attaching the profiler changes no
+//! simulated byte (see `tests/hostprof_isolation.rs`).
 //!
 //! `SIM` is one of `simos-mipsy` (default), `solo-mipsy`, `simos-mxs`.
 //! `--cadence-us` sets the telemetry bucket width (default 1 µs of sim
@@ -44,7 +51,7 @@ use flashsim_bench::streamview::TailSummary;
 use flashsim_bench::{header, setup_from_args};
 use flashsim_core::platform::{MemModel, Sim};
 use flashsim_core::runner::{run_matrix, CellOutcome, MatrixCell};
-use flashsim_engine::{span, telemetry, SpanPlan, TimeDelta};
+use flashsim_engine::{span, telemetry, HostPhase, HostReport, SpanPlan, TimeDelta};
 use flashsim_isa::Program;
 use flashsim_workloads::{Fft, FftBlocking};
 use std::sync::Arc;
@@ -98,7 +105,51 @@ fn render_cell(outcome: &CellOutcome, failures: &mut Vec<String>) -> String {
         }
         None => failures.push(format!("{}: no telemetry attached", m.config)),
     }
+    if let Some(host) = &result.hostprof {
+        out.push('\n');
+        out.push_str(&render_host(host));
+    }
     out.push('\n');
+    out
+}
+
+/// Renders one cell's host-time section: where this run's *wall clock*
+/// went, by scheduler phase — the host-side complement to the simulated
+/// cycle accounting above it.
+fn render_host(r: &HostReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "host time (self-profile): {:.3} ms wall, {} scheduler rounds\n",
+        r.total_ns as f64 / 1e6,
+        r.admission.rounds
+    ));
+    for p in HostPhase::ALL {
+        let ns = r.phase(p);
+        if ns > 0 {
+            out.push_str(&format!(
+                "  {:<7} {:>14} ns  {:>5.1}%\n",
+                p.key(),
+                ns,
+                r.fraction(p) * 100.0
+            ));
+        }
+    }
+    let a = &r.admission;
+    if a.rounds > 0 {
+        out.push_str(&format!(
+            "  fork admission: {} ops over {} forked node-rounds; rejected {} horizon / {} shared / {} opaque\n",
+            a.admitted_ops, a.forked_nodes, a.rejected_horizon, a.rejected_shared, a.rejected_opaque
+        ));
+    }
+    for (w, lane) in r.workers.iter().enumerate() {
+        let lane_total = (lane.execute_ns + lane.steal_ns + lane.idle_ns).max(1);
+        out.push_str(&format!(
+            "  worker {w}: {:.1}% execute, {} jobs ({} stolen)\n",
+            lane.execute_ns as f64 * 100.0 / lane_total as f64,
+            lane.jobs,
+            lane.steals
+        ));
+    }
     out
 }
 
@@ -196,6 +247,7 @@ fn main() {
         .unwrap_or(1);
     let heartbeat_ms: Option<u64> = flag_value(&args, "--heartbeat")
         .map(|s| s.parse().expect("--heartbeat takes milliseconds"));
+    let hostprof = args.iter().any(|a| a == "--hostprof");
 
     let fft = Fft::sized(setup.scale, nodes as usize, FftBlocking::Cache);
     println!("workload: {} over {nodes} nodes", fft.name());
@@ -212,6 +264,7 @@ fn main() {
         cfg.telemetry = Some(TimeDelta::from_us(cadence_us.max(1)));
         cfg.profile = true;
         cfg.spans = Some(SpanPlan::sampled(7, 64));
+        cfg.hostprof = hostprof;
         if let Some(ms) = heartbeat_ms {
             cfg.heartbeat = Some(std::time::Duration::from_millis(ms.max(1)));
         }
@@ -258,8 +311,15 @@ fn main() {
             println!("wrote {path}");
         }
         if let Some(path) = flag_value(&args, "--prom") {
-            std::fs::write(&path, series.to_prometheus())
-                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            let mut text = series.to_prometheus();
+            if let Some(host) = outcomes
+                .last()
+                .and_then(|o| o.result())
+                .and_then(|r| r.hostprof.as_ref())
+            {
+                text.push_str(&host.to_prometheus());
+            }
+            std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("wrote {path}");
         }
     }

@@ -8,7 +8,8 @@
 //! ```text
 //! simspeed [--app snbench|fft|radix|lu|ocean] [--threads N] [--workers N]
 //!          [--iters N] [--full] [--json PATH] [--baseline PATH]
-//!          [--tolerance FRAC]
+//!          [--tolerance FRAC] [--hostprof] [--hostprof-jsonl PATH]
+//!          [--hostprof-overhead FRAC]
 //! ```
 //!
 //! Each platform runs `N` times (default 3) and the best run is reported,
@@ -25,18 +26,38 @@
 //! rows measure pure oversubscription overhead — commit what you
 //! measure; the speedup only materializes with real host cores.
 //!
+//! `--hostprof` attaches the host-time self-profiler to every parallel
+//! row and prints, per platform, the per-phase host-time table (the
+//! phases tile the profiled window exactly, and the window is
+//! reconciled against the run's wall clock), the fork-admission
+//! breakdown, and an Amdahl-style attribution of *why* the parallel
+//! policy did or didn't scale: driver-serial sections vs join/commit vs
+//! worker idle vs admission rejections. Requires `--workers` (defaults
+//! to 2 when omitted alongside `--hostprof`). `--hostprof-jsonl PATH`
+//! additionally writes the first profiled platform's
+//! `flashsim-hostprof-v1` document, schema-validated before the write.
+//!
+//! `--hostprof-overhead FRAC` is the gate on the profiler's own cost:
+//! for every platform under the parallel policy it *interleaves*
+//! detached and attached runs (one pair per iteration, so host
+//! frequency drift and cache warmth hit both sides equally — a naive
+//! two-process comparison flakes on exactly the noise this removes),
+//! compares best-of events/sec, and exits nonzero if attachment costs
+//! more than `FRAC` (e.g. `0.05` = 5 %) on any platform.
+//!
 //! `--json PATH` writes the per-platform numbers as a
-//! `flashsim-simspeed-v2` document (every row records its host worker
-//! thread count). `--baseline PATH` compares the fresh measurement
-//! against a previously saved report and exits nonzero if any platform
-//! fell more than `--tolerance` (default 0.30 = 30 %) below its
-//! baseline events/sec — the perf-regression gate used by
+//! `flashsim-simspeed-v3` document (every row records its host worker
+//! thread count; profiled rows carry a `host` phase summary; v2
+//! baselines still parse). `--baseline PATH` compares the fresh
+//! measurement against a previously saved report and exits nonzero if
+//! any platform fell more than `--tolerance` (default 0.30 = 30 %)
+//! below its baseline events/sec — the perf-regression gate used by
 //! `scripts/check.sh`.
 
-use flashsim_bench::speed::{PlatformSpeed, SpeedReport};
+use flashsim_bench::speed::{HostSummary, PlatformSpeed, SpeedReport};
 use flashsim_bench::{header, setup_from_args};
 use flashsim_core::platform::{MemModel, Sim, Study};
-use flashsim_engine::{CategoryMask, Tracer};
+use flashsim_engine::{hostprof, CategoryMask, HostPhase, HostReport, Tracer};
 use flashsim_isa::Program;
 use flashsim_machine::{Machine, MachineConfig, RunManifest, SchedPolicy};
 use flashsim_workloads::micro::{SnCase, Snbench};
@@ -45,6 +66,32 @@ use flashsim_workloads::{Fft, FftBlocking, Lu, Ocean, Radix};
 /// A platform selector: builds a fresh config for each timed run.
 type ConfigFn<'a> = Box<dyn Fn() -> MachineConfig + 'a>;
 
+/// Best-of-`iters` run (highest events/sec): the manifest plus the
+/// host-time profile of that same winning run, when one was attached.
+fn best_run_full(
+    cfg: &dyn Fn() -> MachineConfig,
+    prog: &dyn Program,
+    iters: usize,
+    tracer: Option<&Tracer>,
+) -> (RunManifest, Option<HostReport>) {
+    (0..iters)
+        .map(|_| {
+            let mut machine = Machine::new(cfg(), prog).expect("valid configuration");
+            if let Some(t) = tracer {
+                machine.attach_tracer(t.clone());
+            }
+            let result = machine.run().expect("benchmark runs to completion");
+            (result.manifest, result.hostprof)
+        })
+        .max_by(|a, b| {
+            // A degenerate run (zero-op workload, clock glitch) reports
+            // NaN throughput; rank it below every finite run instead of
+            // panicking mid-benchmark.
+            finite_or_worst(a.0.events_per_sec).total_cmp(&finite_or_worst(b.0.events_per_sec))
+        })
+        .expect("at least one iteration")
+}
+
 /// Best-of-`iters` manifest (highest events/sec).
 fn best_run(
     cfg: &dyn Fn() -> MachineConfig,
@@ -52,24 +99,167 @@ fn best_run(
     iters: usize,
     tracer: Option<&Tracer>,
 ) -> RunManifest {
-    (0..iters)
-        .map(|_| {
-            let mut machine = Machine::new(cfg(), prog).expect("valid configuration");
-            if let Some(t) = tracer {
-                machine.attach_tracer(t.clone());
+    best_run_full(cfg, prog, iters, tracer).0
+}
+
+/// Condenses a full host report into the JSON row summary.
+fn host_summary(r: &HostReport) -> HostSummary {
+    HostSummary {
+        total_ns: r.total_ns,
+        idle_ns: r.workers.iter().map(|w| w.idle_ns).sum(),
+        phases: HostPhase::ALL
+            .iter()
+            .map(|&p| (p.key().to_owned(), r.phase(p)))
+            .collect(),
+    }
+}
+
+/// Prints the per-phase host-time table, wall-clock reconciliation,
+/// fork-admission breakdown, and the Amdahl-style attribution of where
+/// the parallel policy's scaling went.
+fn print_host_table(r: &HostReport, m: &RunManifest) {
+    println!(
+        "    host-time self-profile ({} scheduler rounds, {} workers):",
+        r.admission.rounds,
+        r.workers.len()
+    );
+    println!("      {:<7} {:>14}  {:>6}", "phase", "host ns", "share");
+    for p in HostPhase::ALL {
+        println!(
+            "      {:<7} {:>14}  {:>5.1}%",
+            p.key(),
+            r.phase(p),
+            r.fraction(p) * 100.0
+        );
+    }
+    let sum: u64 = r.phase_ns.iter().sum();
+    let wall_ns = m.wall_seconds * 1e9;
+    let skew = if wall_ns > 0.0 {
+        (wall_ns - sum as f64).abs() / wall_ns
+    } else {
+        0.0
+    };
+    println!(
+        "      sum   {:>14} ns vs wall {:.0} ns: {}",
+        sum,
+        wall_ns,
+        if skew <= 0.01 {
+            format!("reconciled ({:.2}% skew)", skew * 100.0)
+        } else {
+            format!("SKEW {:.2}%", skew * 100.0)
+        }
+    );
+    let a = &r.admission;
+    println!(
+        "      fork admission: {} ops admitted across {} forked node-rounds",
+        a.admitted_ops, a.forked_nodes
+    );
+    println!(
+        "        rejected: {} horizon, {} predicted-shared, {} opaque-profile",
+        a.rejected_horizon, a.rejected_shared, a.rejected_opaque
+    );
+    println!(
+        "        fork stops: {} sync, {} quota, {} end-of-stream",
+        a.stopped_sync, a.stopped_quota, a.stopped_end
+    );
+    for (w, lane) in r.workers.iter().enumerate() {
+        let lane_total = (lane.execute_ns + lane.steal_ns + lane.idle_ns).max(1);
+        println!(
+            "      worker {w}: {:>5.1}% execute / {:>4.1}% steal / {:>5.1}% idle  ({} jobs, {} stolen)",
+            lane.execute_ns as f64 * 100.0 / lane_total as f64,
+            lane.steal_ns as f64 * 100.0 / lane_total as f64,
+            lane.idle_ns as f64 * 100.0 / lane_total as f64,
+            lane.jobs,
+            lane.steals
+        );
+    }
+    // Amdahl-style attribution: each line is a reason the wall clock
+    // didn't shrink by the worker count.
+    let total = r.total_ns.max(1);
+    let driver_serial =
+        r.phase(HostPhase::Drive) + r.phase(HostPhase::Serial) + r.phase(HostPhase::Scan);
+    let services = r.phase(HostPhase::Ckpt) + r.phase(HostPhase::Stream);
+    let observed: u64 = r
+        .workers
+        .iter()
+        .map(|w| w.execute_ns + w.steal_ns + w.idle_ns)
+        .sum::<u64>()
+        .max(1);
+    let idle: u64 = r.workers.iter().map(|w| w.idle_ns).sum();
+    println!("      why parallel didn't scale:");
+    println!(
+        "        driver-serial execution {:>5.1}% of host time (drive+serial+scan)",
+        driver_serial as f64 * 100.0 / total as f64
+    );
+    println!(
+        "        join/commit barrier     {:>5.1}% of host time",
+        r.fraction(HostPhase::Commit) * 100.0
+    );
+    println!(
+        "        ckpt/stream services    {:>5.1}% of host time",
+        services as f64 * 100.0 / total as f64
+    );
+    println!(
+        "        worker idle             {:>5.1}% of observed worker time",
+        idle as f64 * 100.0 / observed as f64
+    );
+    let rejections = a.rejected_horizon + a.rejected_shared + a.rejected_opaque;
+    println!(
+        "        admission rejections    {rejections} over {} rounds ({:.2}/round)",
+        a.rounds,
+        rejections as f64 / a.rounds.max(1) as f64
+    );
+}
+
+/// The profiler-overhead gate: alternate detached/attached runs of the
+/// parallel policy on every platform, best-of each side, and report the
+/// platforms where attachment cost more than `frac` of throughput.
+/// Interleaving the sides pair-by-pair makes the comparison robust to
+/// host frequency drift that a run-all-of-one-side-first protocol (or
+/// two separate processes) would fold into the result.
+fn hostprof_overhead_gate(
+    platforms: &[(&str, ConfigFn<'_>)],
+    bench: &dyn Program,
+    workers: usize,
+    iters: usize,
+    frac: f64,
+) -> Vec<String> {
+    println!();
+    println!(
+        "hostprof overhead gate ({workers} host workers, best of {iters} interleaved pairs, \
+         limit {:.0}%):",
+        frac * 100.0
+    );
+    let mut failures = Vec::new();
+    for (name, cfg) in platforms {
+        let mut best = [f64::NEG_INFINITY; 2];
+        for _ in 0..iters {
+            for attached in [false, true] {
+                let mut c = cfg();
+                c.sched = SchedPolicy::Parallel { workers };
+                c.hostprof = attached;
+                let mut machine = Machine::new(c, bench).expect("valid configuration");
+                let result = machine.run().expect("benchmark runs to completion");
+                let side = usize::from(attached);
+                best[side] = best[side].max(finite_or_worst(result.manifest.events_per_sec));
             }
-            machine
-                .run()
-                .expect("benchmark runs to completion")
-                .manifest
-        })
-        .max_by(|a, b| {
-            // A degenerate run (zero-op workload, clock glitch) reports
-            // NaN throughput; rank it below every finite run instead of
-            // panicking mid-benchmark.
-            finite_or_worst(a.events_per_sec).total_cmp(&finite_or_worst(b.events_per_sec))
-        })
-        .expect("at least one iteration")
+        }
+        let [off, on] = best;
+        let delta = (on - off) / off;
+        let ok = on >= off * (1.0 - frac);
+        println!(
+            "  {name:<28} detached {off:>12.0} ev/s   attached {on:>12.0} ev/s   ({:+.1}%) {}",
+            delta * 100.0,
+            if ok { "ok" } else { "OVER LIMIT" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{name}: attached {on:.0} ev/s is {:.1}% below detached {off:.0}",
+                -delta * 100.0
+            ));
+        }
+    }
+    failures
 }
 
 /// Maps non-finite throughput to -inf so `total_cmp` ranks it last.
@@ -130,9 +320,12 @@ fn main() {
     let threads: usize = flag("--threads")
         .map(|s| s.parse().expect("--threads takes a number"))
         .unwrap_or(Snbench::NODES);
+    let hostprof = args.iter().any(|a| a == "--hostprof");
     let workers: usize = flag("--workers")
         .map(|s| s.parse().expect("--workers takes a host thread count"))
-        .unwrap_or(0);
+        // The self-profiler's attribution story is about the parallel
+        // policy, so `--hostprof` alone implies a small worker pool.
+        .unwrap_or(if hostprof { 2 } else { 0 });
     let app = flag("--app").unwrap_or_else(|| "snbench".into());
     let bench: Box<dyn Program> = match app.as_str() {
         "snbench" => Box::new(Snbench::new(
@@ -190,8 +383,10 @@ fn main() {
             events_per_sec: best.events_per_sec,
             sim_mips: best.sim_mips,
             wall_seconds: best.wall_seconds,
+            host: None,
         });
     }
+    let mut first_profile: Option<HostReport> = None;
     if workers > 0 {
         println!();
         println!("parallel scheduling policy ({workers} host workers):");
@@ -200,18 +395,57 @@ fn main() {
             let par = || {
                 let mut c = cfg();
                 c.sched = SchedPolicy::Parallel { workers };
+                c.hostprof = hostprof;
                 c
             };
-            let best = best_run(&par, bench, iters, None);
+            let (best, host) = best_run_full(&par, bench, iters, None);
             report(&label, &best);
+            if let Some(h) = &host {
+                print_host_table(h, &best);
+            }
+            if first_profile.is_none() {
+                first_profile.clone_from(&host);
+            }
             measured.push(PlatformSpeed {
                 label,
                 threads: workers as u32,
                 events_per_sec: best.events_per_sec,
                 sim_mips: best.sim_mips,
                 wall_seconds: best.wall_seconds,
+                host: host.as_ref().map(host_summary),
             });
         }
+    }
+    if let Some(frac) = flag("--hostprof-overhead") {
+        let frac: f64 = frac.parse().expect("--hostprof-overhead takes a fraction");
+        // The gate measures the parallel policy; without --workers it
+        // uses the same small default pool as --hostprof.
+        let gate_workers = if workers > 0 { workers } else { 2 };
+        let failures = hostprof_overhead_gate(&platforms, bench, gate_workers, iters, frac);
+        if !failures.is_empty() {
+            eprintln!(
+                "hostprof overhead gate FAILED (limit {:.0}%):",
+                frac * 100.0
+            );
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = flag("--hostprof-jsonl") {
+        let Some(profile) = &first_profile else {
+            eprintln!("--hostprof-jsonl needs --hostprof (no profile was collected)");
+            std::process::exit(2);
+        };
+        let text = profile.to_jsonl();
+        if let Err(e) = hostprof::validate_jsonl(&text) {
+            eprintln!("internal error: emitted host profile fails its own schema: {e}");
+            std::process::exit(2);
+        }
+        std::fs::write(&path, &text).expect("write --hostprof-jsonl output");
+        println!();
+        println!("wrote {path} ({})", hostprof::HOSTPROF_SCHEMA);
     }
     let speed_report = SpeedReport {
         app: app.clone(),

@@ -14,7 +14,9 @@
 //! `failed:<kind>`), closed-bucket count, simulated time, op count,
 //! live events/sec and host worker occupancy from the newest advisory
 //! progress sample, the newest checkpoint, and a bucket-wise occupancy
-//! sparkline.
+//! sparkline. Parallel cells whose progress samples carry per-worker
+//! occupancy (`wbusy`) get an indented utilization-bar sub-row, one bar
+//! per host worker.
 //! `--follow` re-reads and re-renders every `--interval` ms (default
 //! 500) until every stream has ended. `--prom PATH` rewrites a
 //! Prometheus textfile (temp-then-rename, so scrapers never see a torn
@@ -30,7 +32,7 @@
 //! `scripts/check.sh` runs it over every stream the kill-resume gate
 //! produces.
 
-use flashsim_bench::streamview::{sparkline, SparkFold, TailSummary};
+use flashsim_bench::streamview::{sparkline, worker_bars, SparkFold, TailSummary};
 use flashsim_engine::{prom, stream};
 use std::path::{Path, PathBuf};
 
@@ -174,6 +176,17 @@ fn render_frame(rows: &[(String, TailSummary)]) -> String {
             s.end_ps as f64 / 1e9,
             sparkline(&s.occupancy_row(), 32, SparkFold::Sum),
         ));
+        // Parallel cells carry per-worker occupancy on their progress
+        // samples; render them as an indented utilization sub-row.
+        if let Some(p) = &s.progress {
+            if !p.worker_busy.is_empty() {
+                out.push_str(&format!(
+                    "{:<name_w$}  {}\n",
+                    "",
+                    worker_bars(&p.worker_busy, 8)
+                ));
+            }
+        }
     }
     let done = rows.iter().filter(|(_, s)| s.ended.is_some()).count();
     out.push_str(&format!("{done}/{} stream(s) ended\n", rows.len()));
@@ -227,6 +240,24 @@ fn render_prom(rows: &[(String, TailSummary)]) -> String {
                 &[("cell", name)],
                 (busy * 100.0).round() as u64,
             );
+        }
+    }
+    prom::push_type(
+        &mut out,
+        "flashsim_stream_worker_lane_busy_percent",
+        "gauge",
+    );
+    for (name, s) in rows {
+        if let Some(p) = &s.progress {
+            for (w, f) in p.worker_busy.iter().enumerate() {
+                let worker = w.to_string();
+                prom::push_sample(
+                    &mut out,
+                    "flashsim_stream_worker_lane_busy_percent",
+                    &[("cell", name), ("worker", &worker)],
+                    (f.clamp(0.0, 1.0) * 100.0).round() as u64,
+                );
+            }
         }
     }
     prom::push_type(&mut out, "flashsim_stream_last_ckpt", "gauge");

@@ -1,12 +1,16 @@
 //! The simulator-speed regression harness behind `simspeed --json`.
 //!
 //! `simspeed` can emit its per-platform throughput numbers as a small
-//! JSON document (schema `flashsim-simspeed-v2`), and compare a fresh
+//! JSON document (schema `flashsim-simspeed-v3`), and compare a fresh
 //! measurement against a committed baseline with a relative tolerance.
 //! Since v2 every row records the host worker `threads` that drove the
 //! scheduler (1 = a serial policy), so a baseline can hold serial and
 //! parallel rows for the same platform side by side; rows are matched
-//! by label, and labels embed the worker count.
+//! by label, and labels embed the worker count. Since v3 a row may also
+//! carry an optional `host` summary (the `hostprof` per-phase host-time
+//! breakdown of the best run); the field is advisory — the parser
+//! accepts v2 documents unchanged and [`SpeedReport::regressions_vs`]
+//! never looks at it, so committed v2 baselines keep gating.
 //! `scripts/check.sh` wires this into the offline CI gate: a hot-path
 //! "optimization" that silently costs 30 % of throughput fails the build
 //! the same way a broken test would.
@@ -19,7 +23,25 @@
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into every report.
-pub const SCHEMA: &str = "flashsim-simspeed-v2";
+pub const SCHEMA: &str = "flashsim-simspeed-v3";
+
+/// The previous schema, still accepted on parse so committed baselines
+/// written before the `host` extension keep gating.
+pub const SCHEMA_V2: &str = "flashsim-simspeed-v2";
+
+/// Host-time self-profile summary for one measured row (v3 extension).
+/// Present only when `simspeed` ran with `--hostprof`; purely advisory
+/// and never consulted by the regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSummary {
+    /// Profiled wall-clock of the best run, ns.
+    pub total_ns: u64,
+    /// Per-phase host time `(phase key, ns)` in canonical phase order;
+    /// the phases tile `total_ns` exactly.
+    pub phases: Vec<(String, u64)>,
+    /// Summed worker idle-lane time, ns (0 when no pool ran).
+    pub idle_ns: u64,
+}
 
 /// One platform's measured throughput.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +56,8 @@ pub struct PlatformSpeed {
     pub sim_mips: f64,
     /// Wall seconds of the best run.
     pub wall_seconds: f64,
+    /// Host-time breakdown of the best run, when profiled.
+    pub host: Option<HostSummary>,
 }
 
 /// A full `simspeed` measurement: the workload identity plus one entry
@@ -122,6 +146,22 @@ impl SpeedReport {
             out.push_str(&num(p.sim_mips));
             out.push_str(",\"wall_seconds\":");
             out.push_str(&num(p.wall_seconds));
+            if let Some(host) = &p.host {
+                let _ = write!(
+                    out,
+                    ",\"host\":{{\"total_ns\":{},\"idle_ns\":{},\"phases\":{{",
+                    host.total_ns, host.idle_ns
+                );
+                for (i, (key, ns)) in host.phases.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    flashsim_engine::trace::push_json_escaped(&mut out, key);
+                    let _ = write!(out, "\":{ns}");
+                }
+                out.push_str("}}");
+            }
             out.push('}');
         }
         out.push_str("]}");
@@ -139,8 +179,10 @@ impl SpeedReport {
         let value = Json::parse(text)?;
         let obj = value.as_object("top level")?;
         let schema = obj.field("schema")?.as_str("schema")?;
-        if schema != SCHEMA {
-            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        if schema != SCHEMA && schema != SCHEMA_V2 {
+            return Err(format!(
+                "unsupported schema {schema:?} (want {SCHEMA:?} or {SCHEMA_V2:?})"
+            ));
         }
         let app = obj.field("app")?.as_str("app")?.to_owned();
         let nodes = obj.field("nodes")?.as_f64("nodes")? as u32;
@@ -153,12 +195,28 @@ impl SpeedReport {
             .enumerate()
         {
             let p = entry.as_object(&format!("platforms[{i}]"))?;
+            let host = match p.field_opt("host") {
+                None => None,
+                Some(h) => {
+                    let h = h.as_object(&format!("platforms[{i}].host"))?;
+                    let mut phases = Vec::new();
+                    for (key, v) in h.field("phases")?.as_object("host.phases")?.0 {
+                        phases.push((key.clone(), v.as_f64(key)? as u64));
+                    }
+                    Some(HostSummary {
+                        total_ns: h.field("total_ns")?.as_f64("total_ns")? as u64,
+                        idle_ns: h.field("idle_ns")?.as_f64("idle_ns")? as u64,
+                        phases,
+                    })
+                }
+            };
             platforms.push(PlatformSpeed {
                 label: p.field("label")?.as_str("label")?.to_owned(),
                 threads: p.field("threads")?.as_f64("threads")? as u32,
                 events_per_sec: p.field("events_per_sec")?.as_f64("events_per_sec")?,
                 sim_mips: p.field("sim_mips")?.as_f64("sim_mips")?,
                 wall_seconds: p.field("wall_seconds")?.as_f64("wall_seconds")?,
+                host,
             });
         }
         if platforms.is_empty() {
@@ -273,11 +331,12 @@ impl Json {
 
 impl Obj<'_> {
     fn field(&self, key: &str) -> Result<&Json, String> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.field_opt(key)
             .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn field_opt(&self, key: &str) -> Option<&Json> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 }
 
@@ -474,6 +533,7 @@ mod tests {
                     events_per_sec: 4.0e6,
                     sim_mips: 4.0,
                     wall_seconds: 0.004,
+                    host: None,
                 },
                 PlatformSpeed {
                     label: "simos-mipsy-150/flashlite".to_owned(),
@@ -481,6 +541,7 @@ mod tests {
                     events_per_sec: 4.5e6,
                     sim_mips: 4.5,
                     wall_seconds: 0.0036,
+                    host: None,
                 },
                 PlatformSpeed {
                     label: "simos-mipsy-150/flashlite [parallel w4]".to_owned(),
@@ -488,6 +549,16 @@ mod tests {
                     events_per_sec: 4.2e6,
                     sim_mips: 4.2,
                     wall_seconds: 0.0038,
+                    host: Some(HostSummary {
+                        total_ns: 3_800_000,
+                        idle_ns: 400_000,
+                        phases: vec![
+                            ("drive".to_owned(), 1_000_000),
+                            ("scan".to_owned(), 300_000),
+                            ("fork".to_owned(), 2_000_000),
+                            ("commit".to_owned(), 500_000),
+                        ],
+                    }),
                 },
             ],
         }
@@ -512,6 +583,41 @@ mod tests {
         assert!(SpeedReport::parse("not json").is_err());
         assert!(SpeedReport::parse("{\"schema\":\"flashsim-simspeed-v2\"}").is_err());
         assert!(SpeedReport::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn v2_baseline_still_parses_and_gates_a_v3_report() {
+        // A committed baseline written before the `host` extension: v2
+        // schema tag, no host fields anywhere.
+        let mut old = sample();
+        for p in &mut old.platforms {
+            p.host = None;
+        }
+        let v2_text = old.to_json().replace(SCHEMA, SCHEMA_V2);
+        let baseline = SpeedReport::parse(&v2_text).expect("v2 baselines stay valid");
+        assert!(baseline.platforms.iter().all(|p| p.host.is_none()));
+        // A fresh v3 measurement (host summaries attached) gates against
+        // it by throughput alone.
+        let mut cur = sample();
+        assert!(cur.regressions_vs(&baseline, 0.30).is_empty());
+        cur.platforms[1].events_per_sec = 1.0e6;
+        let regs = cur.regressions_vs(&baseline, 0.30);
+        assert_eq!(regs.len(), 1);
+        assert!(
+            matches!(&regs[0], SpeedRegression::Slower { label, .. } if label.contains("mipsy"))
+        );
+    }
+
+    #[test]
+    fn host_summary_roundtrips_and_stays_optional() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"host\":{\"total_ns\":3800000"));
+        let parsed = SpeedReport::parse(&json).expect("parses");
+        let host = parsed.platforms[2].host.as_ref().expect("host present");
+        assert_eq!(host.phases[2], ("fork".to_owned(), 2_000_000));
+        assert_eq!(host.idle_ns, 400_000);
+        assert!(parsed.platforms[0].host.is_none(), "absent rows stay None");
     }
 
     #[test]
@@ -593,6 +699,7 @@ mod tests {
             events_per_sec: 1.0,
             sim_mips: 0.1,
             wall_seconds: 9.9,
+            host: None,
         });
         let regs = cur.regressions_vs(&base, 0.30);
         assert_eq!(regs.len(), 1);

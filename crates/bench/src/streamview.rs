@@ -54,8 +54,29 @@ pub fn sparkline(values: &[u64], width: usize, fold: SparkFold) -> String {
         .collect()
 }
 
+/// Renders per-worker occupancy fractions as compact labelled bars,
+/// e.g. `w0|####    | 50%  w1|##      | 25%` — the dashboard's view of
+/// the `wbusy` array a parallel run's progress samples carry. Empty
+/// input (serial runs, no baseline yet) renders the empty string.
+pub fn worker_bars(fracs: &[f64], width: usize) -> String {
+    let mut out = String::new();
+    for (w, f) in fracs.iter().enumerate() {
+        if w > 0 {
+            out.push_str("  ");
+        }
+        let f = f.clamp(0.0, 1.0);
+        let filled = (f * width as f64).round() as usize;
+        out.push_str(&format!("w{w}|"));
+        for i in 0..width {
+            out.push(if i < filled { '#' } else { ' ' });
+        }
+        out.push_str(&format!("| {:>3.0}%", f * 100.0));
+    }
+    out
+}
+
 /// The last advisory progress sample seen in a tail.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LastProgress {
     /// Leading node's simulated time, ps.
     pub at_ps: u64,
@@ -69,6 +90,9 @@ pub struct LastProgress {
     pub budget: Option<f64>,
     /// Host worker occupancy fraction (parallel scheduler only).
     pub busy: Option<f64>,
+    /// Per-worker occupancy fractions since the previous sample
+    /// (empty when the scheduler has no pool or no baseline yet).
+    pub worker_busy: Vec<f64>,
 }
 
 /// Everything a dashboard row or a partial report needs, folded from
@@ -179,6 +203,7 @@ impl TailSummary {
                     live,
                     budget,
                     busy,
+                    worker_busy,
                     ..
                 } => {
                     s.progress = Some(LastProgress {
@@ -188,6 +213,7 @@ impl TailSummary {
                         live: *live,
                         budget: *budget,
                         busy: *busy,
+                        worker_busy: worker_busy.clone(),
                     });
                 }
                 StreamEvent::End {
@@ -394,7 +420,7 @@ mod tests {
             "{\"ev\":\"bucket\",\"seq\":3,\"barrier\":1,\"start_ps\":100,\"end_ps\":250,",
             "\"values\":{\"ops\":7},\"account\":{\"compute\":150}}\n",
             "{\"ev\":\"progress\",\"at_ps\":260,\"ops\":12,\"rate\":100,\"live\":50,",
-            "\"busy\":0.75,\"skew_ps\":10}\n",
+            "\"busy\":0.75,\"wbusy\":[0.900,0.600],\"skew_ps\":10}\n",
             "{\"ev\":\"end\",\"seq\":4,\"kind\":\"ok\",\"at_ps\":250,\"ops\":12}\n",
         );
         let s = TailSummary::from_text(text);
@@ -409,13 +435,27 @@ mod tests {
         assert_eq!(s.last_ckpt, Some((0, 100)));
         assert_eq!(s.ops(), Some(12));
         assert_eq!(
-            s.progress.and_then(|p| p.busy),
+            s.progress.as_ref().and_then(|p| p.busy),
             Some(0.75),
             "worker occupancy rides the progress sample"
+        );
+        assert_eq!(
+            s.progress.as_ref().map(|p| p.worker_busy.clone()),
+            Some(vec![0.9, 0.6]),
+            "per-worker occupancy rides the progress sample"
         );
         let block = s.render();
         assert!(block.contains("phase: done"));
         assert!(block.contains("accounting so far"));
+    }
+
+    #[test]
+    fn worker_bars_render_scaled_fills() {
+        assert_eq!(worker_bars(&[], 8), "");
+        let bars = worker_bars(&[1.0, 0.5, 0.0], 4);
+        assert_eq!(bars, "w0|####| 100%  w1|##  |  50%  w2|    |   0%");
+        // Out-of-range fractions clamp instead of overflowing the bar.
+        assert_eq!(worker_bars(&[1.7], 2), "w0|##| 100%");
     }
 
     #[test]

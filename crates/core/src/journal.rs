@@ -71,6 +71,15 @@ pub fn stream_path(dir: &Path, idx: usize) -> PathBuf {
     dir.join(format!("cell{idx}.stream"))
 }
 
+/// Path of cell `idx`'s host-time self-profile (`flashsim-hostprof-v1`
+/// JSONL) inside a run directory. Written only when the cell ran with
+/// [`MachineConfig::hostprof`] enabled; host wall-clock numbers vary
+/// run to run, so the profile is a side file and deliberately never
+/// part of the deterministic artifacts.
+pub fn hostprof_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("cell{idx}.hostprof"))
+}
+
 /// The stable identity hash of one matrix cell — everything that shapes
 /// its simulated behaviour, including a fingerprint of the workload's
 /// actual op streams (names and seeds alone can collide across workload
@@ -439,6 +448,11 @@ pub fn run_matrix_journaled(
         });
         let kind = outcome.error().map_or("ok", |e| e.kind());
         let _ = write_atomic(&apath, &render_artifacts(&outcome));
+        if let CellOutcome::Completed(r) = &outcome {
+            if let Some(host) = &r.hostprof {
+                let _ = write_atomic(&hostprof_path(dir, idx), &host.to_jsonl());
+            }
+        }
         journal.append(&format!("finish {idx} {kind}"));
         CellReport {
             index: idx,
@@ -684,6 +698,36 @@ mod tests {
         for tag in ["gold", "crash", "crash-corrupt", "crash-zero"] {
             let _ = fs::remove_dir_all(tmpdir(tag));
         }
+    }
+
+    #[test]
+    fn hostprof_side_file_rides_the_journal_without_touching_identity() {
+        let dir = tmpdir("hostprof");
+        let study = Study::scaled();
+        let mut cfg = study.hardware(1);
+        cfg.hostprof = true;
+        // The knob is host-side observability: it must not change what
+        // the cell *is*, or enabling it would force a rerun on resume.
+        let mut off = cfg.clone();
+        off.hostprof = false;
+        let probe = Arc::new(RestartProbe::new(2_000));
+        assert_eq!(
+            cell_identity(&cfg, probe.as_ref()),
+            cell_identity(&off, probe.as_ref()),
+            "hostprof knob must be excluded from cell identity"
+        );
+        let cells: Vec<MatrixCell> = vec![(cfg, probe as Arc<dyn Program>)];
+        let reports = run_matrix_journaled(cells, Some(10_000_000), &dir).unwrap();
+        assert!(reports[0]
+            .outcome
+            .as_ref()
+            .is_some_and(CellOutcome::is_completed));
+        let text = fs::read_to_string(hostprof_path(&dir, 0)).unwrap();
+        flashsim_engine::hostprof::validate_jsonl(&text).unwrap();
+        // The artifacts stay simulation-deterministic: no host numbers.
+        let artifacts = fs::read_to_string(artifacts_path(&dir, 0)).unwrap();
+        assert!(!artifacts.contains("hostprof"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

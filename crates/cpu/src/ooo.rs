@@ -486,6 +486,23 @@ impl Core for OooCore {
         self.name
     }
 
+    fn scan_profile(&self) -> crate::env::ScanProfile {
+        // `now()` is the fetch pointer and every `execute` begins with
+        // `advance_fetch`, which moves fetch by at least
+        // floor(period / effective_width) picoseconds per op — the
+        // sustained-bandwidth lower bound. Out-of-order *completion*
+        // overlap never moves fetch backwards, so the bound holds no
+        // matter how many ops retire per cycle. This is what lets the
+        // parallel scheduler derive a lookahead horizon for MXS and
+        // R10000 instead of degrading them to serial execution.
+        crate::env::ScanProfile {
+            min_ps_per_op: TimeDelta::from_ps(
+                (self.cfg.clock.period().as_ps() as f64 / self.cfg.effective_width) as u64,
+            ),
+            resolves_memory: true,
+        }
+    }
+
     fn attach_tracer(&mut self, tracer: Tracer, node: u32) {
         self.tracer = tracer;
         self.node = node;
@@ -864,6 +881,43 @@ mod tests {
         let mut r = flashsim_engine::CkptReader::open(&text).unwrap();
         r.section("core").unwrap();
         assert!(Core::load_ckpt(&mut c, &mut r).is_err());
+    }
+
+    #[test]
+    fn scan_profile_lower_bounds_fetch_advance() {
+        // Both OOO models must publish a transparent profile (the
+        // parallel scheduler needs a non-zero per-op bound to fork
+        // them) and the bound must actually hold against `now()` on a
+        // maximally overlapped stream — independent single-cycle ALU
+        // ops are the fastest the fetch pointer can possibly move.
+        for mut core in [mxs(), r10000()] {
+            let profile = core.scan_profile();
+            assert!(
+                profile.min_ps_per_op > TimeDelta::ZERO,
+                "{}: OOO profile must not be opaque",
+                core.model_name()
+            );
+            assert!(profile.resolves_memory);
+            let floor = profile.min_ps_per_op.as_ps();
+            let period = core.config().clock.period().as_ps();
+            assert!(
+                floor as f64 <= period as f64 / core.config().effective_width,
+                "bound must not exceed sustained fetch bandwidth"
+            );
+            let mut env = FixedEnv::all_hits();
+            let n = 5000u64;
+            for op in indep_alu(n as usize) {
+                core.execute(&op, &mut env);
+            }
+            assert!(
+                core.now().as_ps() >= n * floor,
+                "{}: now {} < {} ops x {} ps floor",
+                core.model_name(),
+                core.now().as_ps(),
+                n,
+                floor
+            );
+        }
     }
 
     #[test]

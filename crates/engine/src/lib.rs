@@ -50,6 +50,11 @@
 //!   per-worker run queues and work stealing — the fan-out substrate
 //!   shared by the study runner's matrix cells and the machine's
 //!   parallel scheduling policy,
+//! - [`hostprof`]: host-time self-profiling — monotonic-clock scoped
+//!   phase timers over the scheduler's round structure, fork-admission
+//!   outcome counters, and per-worker pool lanes, with JSONL /
+//!   Chrome-trace / Prometheus export and a hard isolation contract
+//!   (host clock reads never feed simulated state),
 //! - [`prom`]: the single shared Prometheus text-exposition formatter
 //!   used by every exporter in the workspace,
 //! - [`jsonl`]: the shared JSONL field scanners behind every
@@ -79,6 +84,7 @@ pub mod ckpt;
 pub mod event;
 pub mod fault;
 pub mod fxhash;
+pub mod hostprof;
 pub mod jsonl;
 pub mod pool;
 pub mod prom;
@@ -97,7 +103,8 @@ pub use ckpt::{CkptError, CkptReader, CkptWriter};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan, MessageFate};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
-pub use pool::WorkerPool;
+pub use hostprof::{ForkAdmission, HostPhase, HostProf, HostReport, RoundTally};
+pub use pool::{WorkerLane, WorkerPool};
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::Rng;
 pub use sched::LaggardHeap;

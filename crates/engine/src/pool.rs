@@ -27,6 +27,15 @@
 //! attributes per-worker busy time to its `sched.worker_busy_ps`
 //! telemetry without any shared mutable state inside the jobs.
 //!
+//! Every worker also keeps an always-on [`WorkerLane`]: wall-clock
+//! nanoseconds split into *execute* (inside jobs), *steal* (winning a
+//! job from a sibling's queue), and *idle* (parked waiting for
+//! tickets), plus job/steal counts. These lanes are the single source
+//! of truth for host-side occupancy — the stream's advisory `busy`
+//! fraction reads the execute lane via [`WorkerPool::busy_ns`], and the
+//! host-time profiler (`crate::hostprof`) harvests full snapshots via
+//! [`WorkerPool::lanes`].
+//!
 //! Determinism note: the pool makes **no ordering promises** between
 //! jobs of one batch — callers must keep jobs independent and apply any
 //! cross-job effects in a deterministic order after `run_all` returns.
@@ -74,6 +83,45 @@ pub type Job = ScopedJob<'static>;
 /// any host. Generously above every simulated-node count in the study.
 const MAX_WORKERS: usize = 256;
 
+/// Snapshot of one worker's host-time lanes since the pool was built.
+/// All counters are monotone; callers diff successive snapshots for
+/// per-interval occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerLane {
+    /// Wall-clock nanoseconds spent executing jobs.
+    pub execute_ns: u64,
+    /// Wall-clock nanoseconds spent winning jobs from siblings' queues.
+    pub steal_ns: u64,
+    /// Wall-clock nanoseconds spent parked waiting for a job ticket.
+    pub idle_ns: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Jobs obtained by stealing rather than from the worker's own queue.
+    pub steals: u64,
+}
+
+/// The atomic cells behind one worker's [`WorkerLane`].
+#[derive(Default)]
+struct LaneCells {
+    execute_ns: AtomicU64,
+    steal_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    jobs: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl LaneCells {
+    fn snapshot(&self) -> WorkerLane {
+        WorkerLane {
+            execute_ns: self.execute_ns.load(Ordering::Relaxed),
+            steal_ns: self.steal_ns.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Locks `m`, recovering from poisoning: a worker panic is already
 /// captured and re-thrown by [`WorkerPool::run_all`], and every
 /// protected invariant is restored before unwinding, so the poison flag
@@ -108,32 +156,41 @@ struct Shared<'env> {
     wake: Condvar,
     latch: Mutex<Latch>,
     done: Condvar,
-    busy_ns: Vec<AtomicU64>,
+    lanes: Vec<LaneCells>,
 }
 
 impl<'env> Shared<'env> {
-    /// Claims one job ticket, parking until one is available. Returns
+    /// Claims one job ticket for worker `me`, parking until one is
+    /// available; the wait is charged to the worker's idle lane. Returns
     /// `false` on shutdown with no tickets left.
-    fn claim(&self) -> bool {
+    fn claim(&self, me: usize) -> bool {
+        let started = std::time::Instant::now();
         let mut p = lock_ok(&self.park);
-        loop {
+        let claimed = loop {
             if p.tickets > 0 {
                 p.tickets -= 1;
-                return true;
+                break true;
             }
             if p.shutdown {
-                return false;
+                break false;
             }
             p = wait_ok(&self.wake, p);
-        }
+        };
+        drop(p);
+        self.lanes[me]
+            .idle_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        claimed
     }
 
     /// Pops a job for worker `me`: own queue front first (LIFO locality),
     /// then steal from the back of siblings' queues. A held ticket
     /// guarantees at least one job exists across all queues, so the scan
-    /// retries (yielding) until it wins one.
+    /// retries (yielding) until it wins one. A win from a sibling's
+    /// queue is charged to the worker's steal lane.
     fn pop(&self, me: usize) -> ScopedJob<'env> {
         let n = self.queues.len();
+        let started = std::time::Instant::now();
         loop {
             if let Some(job) = lock_ok(&self.queues[me]).pop_front() {
                 return job;
@@ -141,6 +198,10 @@ impl<'env> Shared<'env> {
             for k in 1..n {
                 let victim = (me + k) % n;
                 if let Some(job) = lock_ok(&self.queues[victim]).pop_back() {
+                    let lane = &self.lanes[me];
+                    lane.steal_ns
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    lane.steals.fetch_add(1, Ordering::Relaxed);
                     return job;
                 }
             }
@@ -150,13 +211,15 @@ impl<'env> Shared<'env> {
         }
     }
 
-    /// Runs one job with busy-time accounting and panic capture, then
+    /// Runs one job with execute-lane accounting and panic capture, then
     /// drops the completion latch.
     fn execute(&self, me: usize, job: ScopedJob<'env>) {
         let started = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(move || job(me)));
         let spent = started.elapsed().as_nanos() as u64;
-        self.busy_ns[me].fetch_add(spent, Ordering::Relaxed);
+        let lane = &self.lanes[me];
+        lane.execute_ns.fetch_add(spent, Ordering::Relaxed);
+        lane.jobs.fetch_add(1, Ordering::Relaxed);
         let mut l = lock_ok(&self.latch);
         if let Err(payload) = outcome {
             if l.panic.is_none() {
@@ -171,7 +234,7 @@ impl<'env> Shared<'env> {
 }
 
 fn worker_main(shared: Arc<Shared<'static>>, me: usize) {
-    while shared.claim() {
+    while shared.claim(me) {
         let job = shared.pop(me);
         shared.execute(me, job);
     }
@@ -231,7 +294,7 @@ impl WorkerPool {
                 panic: None,
             }),
             done: Condvar::new(),
-            busy_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            lanes: (0..size).map(|_| LaneCells::default()).collect(),
         });
         let handles = (0..size)
             .map(|me| {
@@ -255,10 +318,16 @@ impl WorkerPool {
     }
 
     /// Cumulative wall-clock nanoseconds worker `w` has spent executing
-    /// jobs since the pool was built. Monotone; callers diff successive
-    /// reads for per-interval occupancy.
+    /// jobs since the pool was built — the execute lane of
+    /// [`WorkerPool::lanes`]. Monotone; callers diff successive reads
+    /// for per-interval occupancy.
     pub fn busy_ns(&self, w: usize) -> u64 {
-        self.shared.busy_ns[w].load(Ordering::Relaxed)
+        self.shared.lanes[w].execute_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every worker's host-time lanes, in worker order.
+    pub fn lanes(&self) -> Vec<WorkerLane> {
+        self.shared.lanes.iter().map(LaneCells::snapshot).collect()
     }
 
     /// Executes every job, blocking until all complete. Jobs run
@@ -323,7 +392,7 @@ impl WorkerPool {
                 panic: None,
             }),
             done: Condvar::new(),
-            busy_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            lanes: (0..size).map(|_| LaneCells::default()).collect(),
         };
         for (k, job) in jobs.into_iter().enumerate() {
             lock_ok(&shared.queues[k % size]).push_back(job);
@@ -332,7 +401,7 @@ impl WorkerPool {
             for me in 0..size {
                 let shared = &shared;
                 scope.spawn(move || {
-                    while shared.claim() {
+                    while shared.claim(me) {
                         let job = shared.pop(me);
                         shared.execute(me, job);
                     }
@@ -437,6 +506,33 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }) as Job]);
         assert!(pool.busy_ns(0) > 0);
+    }
+
+    #[test]
+    fn lanes_expose_execute_idle_and_job_counts() {
+        let pool = WorkerPool::new(2);
+        pool.run_all(
+            (0..16)
+                .map(|_| {
+                    Box::new(|_w: usize| {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }) as Job
+                })
+                .collect(),
+        );
+        // Let workers park again so idle time registers.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let lanes = pool.lanes();
+        assert_eq!(lanes.len(), 2);
+        let jobs: u64 = lanes.iter().map(|l| l.jobs).sum();
+        assert_eq!(jobs, 16);
+        let exec: u64 = lanes.iter().map(|l| l.execute_ns).sum();
+        assert!(exec > 0);
+        assert!(lanes.iter().any(|l| l.idle_ns > 0));
+        // busy_ns is an alias for the execute lane.
+        assert_eq!(pool.busy_ns(0), lanes[0].execute_ns);
+        // Steal counts never exceed executed jobs.
+        assert!(lanes.iter().all(|l| l.steals <= l.jobs));
     }
 
     #[test]

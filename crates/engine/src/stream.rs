@@ -169,7 +169,7 @@ pub struct RunInfo {
 /// One windowed progress sample — the single computation behind both
 /// the stderr heartbeat and the stream's `progress` events, so the two
 /// can never drift.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ProgressSample {
     /// Ops executed so far.
     pub ops: u64,
@@ -183,6 +183,10 @@ pub struct ProgressSample {
     /// only under the parallel scheduling policy, set by the caller
     /// after sampling (the meter itself knows nothing about workers).
     pub busy: Option<f64>,
+    /// Per-worker occupancy over the window, in `[0, 1]` per worker —
+    /// empty unless a worker pool is live. Advisory, like `busy`: the
+    /// `watch` dashboard renders utilization bars from it.
+    pub worker_busy: Vec<f64>,
 }
 
 /// Wall-clock window tracker producing [`ProgressSample`]s.
@@ -233,6 +237,7 @@ impl ProgressMeter {
                 .map(|b| ops as f64 / b as f64)
                 .filter(|f| f.is_finite()),
             busy: None,
+            worker_busy: Vec::new(),
         }
     }
 }
@@ -444,6 +449,16 @@ impl StreamEmitter {
         if let Some(f) = sample.busy {
             line.push_str(&format!(",\"busy\":{f}"));
         }
+        if !sample.worker_busy.is_empty() {
+            line.push_str(",\"wbusy\":[");
+            for (w, f) in sample.worker_busy.iter().enumerate() {
+                if w > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("{f:.3}"));
+            }
+            line.push(']');
+        }
         line.push_str(&format!(",\"skew_ps\":{skew_ps}}}"));
         self.emit(&line);
     }
@@ -544,6 +559,8 @@ pub enum StreamEvent {
         /// Average worker-pool occupancy over the window (parallel
         /// scheduling policy only).
         busy: Option<f64>,
+        /// Per-worker occupancy over the window; empty when absent.
+        worker_busy: Vec<f64>,
         /// Current max inter-node clock skew, picoseconds.
         skew_ps: u64,
     },
@@ -635,15 +652,35 @@ pub fn parse_line(line: &str) -> Result<StreamEvent, String> {
             ckpt: field_u64(line, "ckpt").ok_or("ckpt missing \"ckpt\"")?,
             at_ps: field_u64(line, "at_ps").ok_or("ckpt missing \"at_ps\"")?,
         }),
-        "progress" => Ok(StreamEvent::Progress {
-            at_ps: field_u64(line, "at_ps").ok_or("progress missing \"at_ps\"")?,
-            ops: field_u64(line, "ops").ok_or("progress missing \"ops\"")?,
-            rate: field_f64(line, "rate").ok_or("progress missing \"rate\"")?,
-            live: field_f64(line, "live").ok_or("progress missing \"live\"")?,
-            budget: field_f64(line, "budget"),
-            busy: field_f64(line, "busy"),
-            skew_ps: field_u64(line, "skew_ps").ok_or("progress missing \"skew_ps\"")?,
-        }),
+        "progress" => {
+            let worker_busy = match line.split("\"wbusy\":[").nth(1) {
+                None => Vec::new(),
+                Some(rest) => {
+                    let body = rest
+                        .split(']')
+                        .next()
+                        .ok_or("progress: malformed \"wbusy\"")?;
+                    body.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.trim()
+                                .parse::<f64>()
+                                .map_err(|_| format!("progress: bad wbusy entry {s:?}"))
+                        })
+                        .collect::<Result<Vec<f64>, String>>()?
+                }
+            };
+            Ok(StreamEvent::Progress {
+                at_ps: field_u64(line, "at_ps").ok_or("progress missing \"at_ps\"")?,
+                ops: field_u64(line, "ops").ok_or("progress missing \"ops\"")?,
+                rate: field_f64(line, "rate").ok_or("progress missing \"rate\"")?,
+                live: field_f64(line, "live").ok_or("progress missing \"live\"")?,
+                budget: field_f64(line, "budget"),
+                busy: field_f64(line, "busy"),
+                worker_busy,
+                skew_ps: field_u64(line, "skew_ps").ok_or("progress missing \"skew_ps\"")?,
+            })
+        }
         "end" => Ok(StreamEvent::End {
             seq: field_u64(line, "seq").ok_or("end missing \"seq\"")?,
             kind: field_str(line, "kind")
@@ -1143,6 +1180,7 @@ mod tests {
                 live: 7.5,
                 budget_frac: Some(0.01),
                 busy: Some(0.5),
+                worker_busy: vec![0.75, 0.25],
             },
             123,
         );
@@ -1163,6 +1201,9 @@ mod tests {
                 ..
             }
         ));
+        if let StreamEvent::Progress { worker_busy, .. } = &readout.events[2] {
+            assert_eq!(worker_busy, &[0.75, 0.25], "wbusy array roundtrips");
+        }
     }
 
     #[test]

@@ -278,6 +278,15 @@ pub struct MachineConfig {
     /// the same cell share a provenance hash and can be prefix-checked
     /// against each other.
     pub stream: Option<std::path::PathBuf>,
+    /// Attach a host-time self-profiler at construction (default: off).
+    /// When set, the machine drives an enabled
+    /// [`flashsim_engine::HostProf`] through its scheduling loops and
+    /// the run result carries the finalized
+    /// [`flashsim_engine::HostReport`]. A host-side observability knob
+    /// like `stream`: host clock reads never feed simulated state, so it
+    /// is excluded from the provenance string and attachment changes
+    /// zero simulated bytes (`tests/hostprof_isolation.rs`).
+    pub hostprof: bool,
 }
 
 impl MachineConfig {
@@ -307,6 +316,7 @@ impl MachineConfig {
             heartbeat: None,
             spans: None,
             stream: None,
+            hostprof: false,
         }
     }
 

@@ -34,9 +34,10 @@ use flashsim_cpu::env::{AccessLevel, Core, MemAccessKind, MemEnv, Resolution, Sc
 use flashsim_engine::fxhash::FxHashMap;
 use flashsim_engine::stream::{FileSink, ProgressMeter, RunInfo, StreamEmitter, StreamSink};
 use flashsim_engine::{
-    Accounting, CkptError, CkptReader, CkptWriter, Clock, FaultInjector, LaggardHeap, MetricId,
-    MetricKind, Profiler, SpanSet, SpanTracer, StallClass, StatSet, Telemetry, TelemetrySeries,
-    Time, TimeDelta, TraceCategory, Tracer, WorkerPool,
+    Accounting, CkptError, CkptReader, CkptWriter, Clock, FaultInjector, HostPhase, HostProf,
+    HostReport, LaggardHeap, MetricId, MetricKind, Profiler, RoundTally, SpanSet, SpanTracer,
+    StallClass, StatSet, Telemetry, TelemetrySeries, Time, TimeDelta, TraceCategory, Tracer,
+    WorkerPool,
 };
 use flashsim_isa::{check_segments, OpClass, Placement, Program, Segment, ThreadStream, VAddr};
 use flashsim_mem::{
@@ -187,6 +188,11 @@ struct Heartbeat {
     /// emitted sample. `None` until the first sample under a worker
     /// pool (the fraction needs a window to average over).
     last_busy: Option<(std::time::Instant, u64)>,
+    /// Per-worker counterpart of `last_busy`: cumulative busy ns per
+    /// worker at the last emitted sample, for the advisory per-worker
+    /// utilization array on progress events. Empty until the first
+    /// sample under a worker pool.
+    last_worker: Vec<u64>,
 }
 
 /// The environment one node's core executes against (see
@@ -660,6 +666,28 @@ struct Bundle {
     stream: ThreadStream,
 }
 
+/// Why a forked private phase stopped. Pure host observability: the
+/// join tallies these into the host profiler's fork-admission counters
+/// ([`flashsim_engine::ForkAdmission`]) and nothing simulated ever
+/// reads one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ForkStop {
+    /// No stop to report (node not forked, or stalled by injection).
+    #[default]
+    None,
+    /// Reached the conservative horizon.
+    Horizon,
+    /// Stopped at a sync op, left for the serial sync arm.
+    Sync,
+    /// Stopped at a memory op predicted shared (unmapped page, or
+    /// classify said upgrade/miss).
+    Shared,
+    /// Exhausted the per-node op quota.
+    Quota,
+    /// Ran off the end of the op stream.
+    End,
+}
+
 /// Per-node mailbox for a parallel round. One slot per node; each pool
 /// job locks only its own slot, so the mutexes are uncontended and
 /// exist purely to satisfy the shared-ownership type.
@@ -673,6 +701,8 @@ struct ForkSlot {
     /// Fork output: the node's status after the private phase (`Done`
     /// or `Stalled` park it; otherwise still `Running`).
     status: NodeStatus,
+    /// Fork output: why the private phase stopped (host observability).
+    stop: ForkStop,
 }
 
 fn lock_slot(slots: &[Mutex<ForkSlot>], n: usize) -> MutexGuard<'_, ForkSlot> {
@@ -882,7 +912,7 @@ fn run_fork(
     profiler: &Profiler,
     telemetry: &Telemetry,
     tel: TelIds,
-) -> (Bundle, u64, NodeStatus) {
+) -> (Bundle, u64, NodeStatus, ForkStop) {
     let page_bytes = cfg.geometry.page_bytes;
     let mut env = ForkEnv {
         node: n,
@@ -898,14 +928,19 @@ fn run_fork(
     let stream = &mut bundle.stream;
     let mut dispatches = 0u64;
     let mut status = NodeStatus::Running;
+    // The `while` condition can only end the loop by quota exhaustion;
+    // every `break` overwrites the stop reason with its own.
+    let mut stop = ForkStop::Quota;
     while dispatches < quota {
         if inject_stalls && faults.node_stalled(n as u32, stream.consumed()) {
             status = NodeStatus::Stalled;
+            stop = ForkStop::None;
             break;
         }
         let now = core.now();
         if let Some((m, lim)) = horizon {
             if (now, n as u32) >= (lim, m) {
+                stop = ForkStop::Horizon;
                 break;
             }
         }
@@ -916,10 +951,12 @@ fn run_fork(
             let t = core.drain();
             core.set_time(t);
             status = NodeStatus::Done;
+            stop = ForkStop::End;
             break;
         };
         if op.class.is_sync() {
             // Left unconsumed for the serial phase's sync arm.
+            stop = ForkStop::Sync;
             break;
         }
         if profile.resolves_memory && op.class.is_memory() {
@@ -935,6 +972,7 @@ fn run_fork(
                 }
             };
             if !admitted {
+                stop = ForkStop::Shared;
                 break;
             }
         }
@@ -958,7 +996,7 @@ fn run_fork(
         }
     }
     bundle.mem = env.mem;
-    (bundle, dispatches, status)
+    (bundle, dispatches, status, stop)
 }
 
 /// Machine-readable provenance record for one run: what was simulated,
@@ -1115,6 +1153,10 @@ pub struct RunResult {
     /// Sampled causal span trees; `None` when no span tracer was
     /// attached.
     pub spans: Option<SpanSet>,
+    /// Host-time self-profile (phase decomposition, fork-admission
+    /// outcomes, per-worker lanes); `None` when no host profiler was
+    /// attached. Pure host observability — carries no simulated state.
+    pub hostprof: Option<HostReport>,
 }
 
 impl RunResult {
@@ -1173,6 +1215,13 @@ pub struct Machine {
     /// once per scheduling decision so the heartbeat can report a busy
     /// fraction. `None` under the serial policies.
     worker_busy: Option<(usize, u64)>,
+    /// Live per-worker cumulative busy ns (same refresh cadence as
+    /// `worker_busy`), reused in place so the refresh never allocates;
+    /// the heartbeat derives advisory per-worker utilization from it.
+    worker_busy_lanes: Vec<u64>,
+    /// Host-time self-profiler; see [`Machine::attach_hostprof`].
+    /// Disabled by default: one branch per probe.
+    hostprof: HostProf,
 }
 
 impl fmt::Debug for Machine {
@@ -1270,6 +1319,8 @@ impl Machine {
             stream: None,
             stream_pos: (0, 0),
             worker_busy: None,
+            worker_busy_lanes: Vec::new(),
+            hostprof: HostProf::disabled(),
         };
         if let Some(cadence) = machine.cfg.telemetry {
             machine.attach_telemetry(Telemetry::with_cadence(cadence));
@@ -1282,6 +1333,9 @@ impl Machine {
         }
         if let Some(plan) = machine.cfg.spans {
             machine.attach_spans(SpanTracer::new(plan));
+        }
+        if machine.cfg.hostprof {
+            machine.attach_hostprof(HostProf::new());
         }
         Ok(machine)
     }
@@ -1390,7 +1444,34 @@ impl Machine {
             ticks: 0,
             meter: ProgressMeter::start(),
             last_busy: None,
+            last_worker: Vec::new(),
         });
+    }
+
+    /// Attaches a host-time self-profiler: the scheduling loops drive
+    /// its scoped phase timers (scan / fork / commit / serial /
+    /// checkpoint / stream over a `drive` base), the parallel rounds
+    /// tally fork-admission outcomes into it, and the worker pool's
+    /// per-worker lanes are harvested into its report.
+    ///
+    /// Attach *before* [`Machine::run`]; a disabled profiler (the
+    /// default) costs one branch per probe. Setting
+    /// [`MachineConfig::hostprof`] attaches one automatically at
+    /// construction.
+    ///
+    /// Isolation contract: the profiler only ever *absorbs* host clock
+    /// readings — no machine code path reads time back out of it — so
+    /// attachment cannot change a single simulated byte
+    /// (`tests/hostprof_isolation.rs` proves it per platform and
+    /// policy), and the knob is excluded from [`Machine::provenance`].
+    pub fn attach_hostprof(&mut self, hostprof: HostProf) {
+        self.hostprof = hostprof;
+    }
+
+    /// The finalized host-time report of the last completed run
+    /// (`None` when no profiler is attached or no run has finished).
+    pub fn hostprof_report(&self) -> Option<HostReport> {
+        self.hostprof.report()
     }
 
     /// Attaches a live `flashsim-stream-v1` event sink: the machine
@@ -1455,6 +1536,7 @@ impl Machine {
                 ticks: 0,
                 meter: ProgressMeter::start(),
                 last_busy: None,
+                last_worker: Vec::new(),
             });
         }
         let at = Time::from_ps(self.stream_position().1);
@@ -1470,6 +1552,7 @@ impl Machine {
             budget_ops: self.cfg.watchdog.max_ops,
         };
         if let Some(em) = self.stream.as_mut() {
+            let _stream = self.hostprof.phase(HostPhase::Stream);
             em.begin(&info, &metrics, account.as_deref());
         }
     }
@@ -1532,9 +1615,21 @@ impl Machine {
                     let frac =
                         busy_ns.saturating_sub(prev_ns) as f64 / (wall_ns as f64 * workers as f64);
                     sample.busy = Some(frac.min(1.0));
+                    if hb.last_worker.len() == self.worker_busy_lanes.len() {
+                        sample.worker_busy = self
+                            .worker_busy_lanes
+                            .iter()
+                            .zip(&hb.last_worker)
+                            .map(|(cur, prev)| {
+                                (cur.saturating_sub(*prev) as f64 / wall_ns as f64).min(1.0)
+                            })
+                            .collect();
+                    }
                 }
             }
             hb.last_busy = Some((now, busy_ns));
+            hb.last_worker.clear();
+            hb.last_worker.extend_from_slice(&self.worker_busy_lanes);
         }
         let stderr = hb.stderr;
         let lead = self
@@ -1545,6 +1640,7 @@ impl Machine {
         let lag = self.cores.iter().map(|c| c.now()).fold(lead, Time::min);
         let skew = lead.saturating_since(lag);
         if let Some(em) = self.stream.as_mut() {
+            let _stream = self.hostprof.phase(HostPhase::Stream);
             em.progress(lead.as_ps(), &sample, skew.as_ps());
         }
         if stderr {
@@ -1600,6 +1696,11 @@ impl Machine {
     /// never hangs and never panics.
     pub fn run(&mut self) -> Result<RunResult, SimError> {
         let wall_start = std::time::Instant::now();
+        // Host-time window: opened here, closed right after the policy
+        // loop returns, so the phase decomposition tiles (within the
+        // few trace/stream-terminator statements outside it) the same
+        // wall clock the manifest reports.
+        self.hostprof.run_begin();
         let nodes = self.cfg.nodes as usize;
         self.status = vec![NodeStatus::Running; nodes];
         self.open_stream();
@@ -1618,6 +1719,7 @@ impl Machine {
             SchedPolicy::Reference => self.run_reference(wall_start),
             SchedPolicy::Parallel { workers } => self.run_parallel(workers, wall_start),
         };
+        self.hostprof.run_end();
         if let Err(e) = ran {
             let at = self
                 .cores
@@ -1764,7 +1866,11 @@ impl Machine {
             self.telemetry.count(self.tel.sched_batches, decision_at, 1);
             self.telemetry
                 .gauge(self.tel.sched_heap, decision_at, heap.len() as u64 + 1);
-            match self.run_batch(n as usize, limit, lookahead, &mut executed)? {
+            let end = {
+                let _serial = self.hostprof.phase(HostPhase::Serial);
+                self.run_batch(n as usize, limit, lookahead, &mut executed)?
+            };
+            match end {
                 BatchEnd::Reschedule => heap.insert(n, self.cores[n as usize].now()),
                 // The node left the Running set (done or stalled); it
                 // re-enters the heap only via a sync-op rebuild.
@@ -1819,11 +1925,26 @@ impl Machine {
         workers: usize,
         wall_start: std::time::Instant,
     ) -> Result<(), SimError> {
+        let pool = WorkerPool::new(workers);
+        let out = self.run_parallel_loop(&pool, wall_start);
+        // Harvest the pool's per-worker host-time lanes before the pool
+        // (and its counters) is dropped. Host observability only.
+        self.hostprof.record_workers(pool.lanes());
+        out
+    }
+
+    /// The decision loop of [`Machine::run_parallel`], split out so the
+    /// pool outlives every early return and its worker lanes can be
+    /// harvested afterwards.
+    fn run_parallel_loop(
+        &mut self,
+        pool: &WorkerPool,
+        wall_start: std::time::Instant,
+    ) -> Result<(), SimError> {
         let nodes = self.cfg.nodes as usize;
         let inject_stalls = self.injector.is_active();
         let lookahead = self.memsys.min_shared_latency();
         let wall_limit = self.cfg.watchdog.wall_limit;
-        let pool = WorkerPool::new(workers);
         // Per-worker occupancy counters (volatile: host-shaped by
         // construction, excluded from the policy-stable exports).
         let busy_ids: Vec<MetricId> = (0..pool.size())
@@ -1837,9 +1958,13 @@ impl Machine {
             .collect();
         let mut busy_prev: Vec<u64> = vec![0; pool.size()];
         let profiles: Vec<ScanProfile> = self.cores.iter().map(|c| c.scan_profile()).collect();
-        let can_fork = nodes >= 2
-            && profiles.iter().all(|p| p.min_ps_per_op > TimeDelta::ZERO)
-            && !self.tracer.is_active();
+        let transparent =
+            profiles.iter().all(|p| p.min_ps_per_op > TimeDelta::ZERO) && !self.tracer.is_active();
+        let can_fork = nodes >= 2 && transparent;
+        // Host observability: when forking is off because a profile is
+        // opaque (or a tracer pins the ring order), every serially run
+        // op is a rejected-opaque-profile admission outcome.
+        let opaque_serial = nodes >= 2 && !transparent;
         let cfg_arc = Arc::new(self.cfg.clone());
         // See run_reference: continues from restored streams on resume.
         let mut executed: u64 = self.streams.iter().map(|s| s.consumed()).sum();
@@ -1852,7 +1977,15 @@ impl Machine {
         let mut ewma: f64 = FORK_MAX_QUOTA / 2.0;
         let mut serial_backoff: u32 = 0;
         loop {
-            self.worker_busy = Some((pool.size(), (0..pool.size()).map(|w| pool.busy_ns(w)).sum()));
+            // Refresh the live per-worker occupancy snapshot in place
+            // (no allocation on the decision path).
+            self.worker_busy_lanes.resize(pool.size(), 0);
+            let mut busy_total = 0u64;
+            for (w, lane) in self.worker_busy_lanes.iter_mut().enumerate() {
+                *lane = pool.busy_ns(w);
+                busy_total += *lane;
+            }
+            self.worker_busy = Some((pool.size(), busy_total));
             self.heartbeat_tick(executed);
             decisions += 1;
             if let Some(limit) = wall_limit {
@@ -1890,7 +2023,7 @@ impl Machine {
                 if budget_ok {
                     let running = heap.len() as u64;
                     let decision_at = heap.peek().map_or(Time::ZERO, |(_, t)| t);
-                    let admitted = self.parallel_round(&pool, &profiles, &mut lbs, quota, &cfg_arc);
+                    let admitted = self.parallel_round(pool, &profiles, &mut lbs, quota, &cfg_arc);
                     executed += admitted;
                     self.telemetry.count(self.tel.sched_batches, decision_at, 1);
                     self.telemetry
@@ -1938,7 +2071,11 @@ impl Machine {
             self.telemetry.count(self.tel.sched_batches, decision_at, 1);
             self.telemetry
                 .gauge(self.tel.sched_heap, decision_at, heap.len() as u64 + 1);
-            match self.run_batch(n as usize, limit, lookahead, &mut executed)? {
+            let end = {
+                let _serial = self.hostprof.phase(HostPhase::Serial);
+                self.run_batch(n as usize, limit, lookahead, &mut executed)?
+            };
+            match end {
                 BatchEnd::Reschedule => heap.insert(n, self.cores[n as usize].now()),
                 BatchEnd::Parked => {}
                 BatchEnd::Sync => {
@@ -1949,6 +2086,9 @@ impl Machine {
                         }
                     }
                 }
+            }
+            if opaque_serial {
+                self.hostprof.count_opaque(executed - ops_before);
             }
             self.telemetry
                 .count(self.tel.sched_batch_ops, decision_at, executed - ops_before);
@@ -2004,6 +2144,7 @@ impl Machine {
                         lb: Time::MAX,
                         dispatches: 0,
                         status: NodeStatus::Running,
+                        stop: ForkStop::None,
                     })
                 })
                 .collect(),
@@ -2011,6 +2152,7 @@ impl Machine {
 
         // Phase A: refresh stale bounds, one scan job per node.
         if !rescan.is_empty() {
+            let _scan = self.hostprof.phase(HostPhase::Scan);
             let jobs: Vec<flashsim_engine::pool::Job> = rescan
                 .iter()
                 .map(|&n| {
@@ -2061,6 +2203,7 @@ impl Machine {
 
         // Phase B: fork every runnable node whose first op beats its
         // horizon.
+        let mut tally = RoundTally::default();
         let mut forked = vec![false; nodes];
         let mut jobs: Vec<flashsim_engine::pool::Job> = Vec::new();
         for n in 0..nodes {
@@ -2074,6 +2217,7 @@ impl Machine {
             };
             if let Some((m, lim)) = horizon {
                 if (now_of[n], n as u32) >= (lim, m) {
+                    tally.rejected_horizon += 1;
                     continue;
                 }
             }
@@ -2091,7 +2235,7 @@ impl Machine {
                 let Some(bundle) = slot.bundle.take() else {
                     return;
                 };
-                let (bundle, dispatches, status) = run_fork(
+                let (bundle, dispatches, status, stop) = run_fork(
                     n,
                     bundle,
                     horizon,
@@ -2108,15 +2252,18 @@ impl Machine {
                 slot.bundle = Some(bundle);
                 slot.dispatches = dispatches;
                 slot.status = status;
+                slot.stop = stop;
             }));
         }
         if !jobs.is_empty() {
+            let _fork = self.hostprof.phase(HostPhase::Fork);
             pool.run_all(jobs);
         }
 
         // Join: reassemble the machine and apply cross-node effects in
         // deterministic node order. (All job clones of the Arcs are
         // dropped once run_all returns.)
+        let _commit = self.hostprof.phase(HostPhase::Commit);
         let slots = Arc::try_unwrap(slots)
             .map_err(|_| ())
             .expect("fork jobs still hold round state"); // gate: allow
@@ -2132,11 +2279,22 @@ impl Machine {
             self.streams.push(bundle.stream);
             if forked[n] {
                 total += slot.dispatches;
+                tally.forked_nodes += 1;
+                match slot.stop {
+                    ForkStop::Horizon => tally.rejected_horizon += 1,
+                    ForkStop::Shared => tally.rejected_shared += 1,
+                    ForkStop::Sync => tally.stopped_sync += 1,
+                    ForkStop::Quota => tally.stopped_quota += 1,
+                    ForkStop::End => tally.stopped_end += 1,
+                    ForkStop::None => {}
+                }
                 if slot.status != NodeStatus::Running {
                     self.status[n] = slot.status;
                 }
             }
         }
+        tally.admitted_ops = total;
+        self.hostprof.round(tally);
         total
     }
 
@@ -2482,6 +2640,7 @@ impl Machine {
                     // stream's closed bucket (deltas since the previous
                     // release) prefix-stable across reruns and policies.
                     if self.stream.is_some() {
+                        let _stream = self.hostprof.phase(HostPhase::Stream);
                         let totals = self.stream_totals(release);
                         let account = self.stream_account(release);
                         if let Some(em) = self.stream.as_mut() {
@@ -2495,9 +2654,11 @@ impl Machine {
                     // emitter position *after* the event, so a resume
                     // continues past it instead of re-emitting it.
                     if let Some(mut sink) = self.ckpt_sink.take() {
+                        let _ckpt = self.hostprof.phase(HostPhase::Ckpt);
                         let seq = self.ckpt_seq;
                         self.ckpt_seq += 1;
                         if let Some(em) = self.stream.as_mut() {
+                            let _stream = self.hostprof.phase(HostPhase::Stream);
                             em.ckpt(seq, release.as_ps());
                         }
                         let text = self.checkpoint();
@@ -2746,6 +2907,7 @@ impl Machine {
             accounting,
             telemetry: self.telemetry.snapshot(end),
             spans: self.spans.snapshot(),
+            hostprof: self.hostprof.report(),
         }
     }
 }
@@ -2802,8 +2964,8 @@ impl Machine {
     /// simulated behaviour — config, workload, seed, scheduling policy,
     /// fault plan, telemetry cadence, span plan — so a checkpoint can
     /// never restore against the wrong run. Host-side knobs (watchdog,
-    /// heartbeat, stream sink) are deliberately excluded: resuming with
-    /// a different wall-clock budget or stream destination is
+    /// heartbeat, stream sink, hostprof) are deliberately excluded:
+    /// resuming with a different wall-clock budget or stream destination is
     /// legitimate, and two runs that differ only in observability sinks
     /// share a provenance hash — which is exactly the grouping key the
     /// stream's cross-file prefix-stability check relies on.

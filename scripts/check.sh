@@ -82,6 +82,41 @@ else
 fi
 rm -f "$perf_json"
 
+echo "== hostprof gate (flashsim-hostprof-v1 schema + reconciliation + overhead) =="
+# The host-time self-profiler must (a) emit schema-valid
+# flashsim-hostprof-v1 JSONL — the binary self-validates the export
+# through engine::hostprof::validate_jsonl before writing and exits
+# nonzero on a bad report; (b) reconcile every per-phase table against
+# the row's measured wall time within 1% (boundary tiling; a failed
+# reconciliation prints `SKEW` instead of `reconciled`); and (c) cost
+# at most 5% of throughput when attached: `--hostprof-overhead 0.05`
+# interleaves detached/attached runs of the parallel policy pair by
+# pair on every platform (so host frequency drift hits both sides
+# equally) and compares best-of events/sec. The overhead half is
+# wall-clock and host-dependent, so FLASHSIM_SKIP_PERF=1 skips it —
+# the schema and reconciliation gates still run.
+hp_out="$(mktemp)"
+hp_jsonl="$(mktemp)"
+./target/release/simspeed --app snbench --iters 1 --workers 2 \
+    --hostprof --hostprof-jsonl "$hp_jsonl" > "$hp_out"
+grep -q '"schema":"flashsim-hostprof-v1"' "$hp_jsonl" \
+    || { echo "FAIL: hostprof export missing the v1 schema header"; exit 1; }
+grep -q "reconciled" "$hp_out" \
+    || { echo "FAIL: no reconciled hostprof table in simspeed output"; exit 1; }
+if grep -q "SKEW" "$hp_out"; then
+    echo "FAIL: hostprof phase sum does not reconcile with wall time:"
+    grep "SKEW" "$hp_out"
+    exit 1
+fi
+if [ "${FLASHSIM_SKIP_PERF:-0}" = "1" ]; then
+    echo "schema + reconciliation ok; FLASHSIM_SKIP_PERF=1: overhead comparison skipped"
+else
+    ./target/release/simspeed --app snbench --iters 8 --workers 2 \
+        --hostprof-overhead 0.05 > /dev/null
+    echo "schema + reconciliation ok; hostprof overhead within 5% of detached"
+fi
+rm -f "$hp_out" "$hp_jsonl"
+
 echo "== chaos smoke (fault-injection survival) =="
 # 20 seeded fault plans x all platforms; exits nonzero if any cell
 # panics or the sweep hangs past the watchdog.
